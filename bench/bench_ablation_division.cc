@@ -1,0 +1,70 @@
+// Ablation: the domain division factor f of the clustering function. The
+// paper fixes f=4 (§6) balancing clustering opportunity against the cost of
+// maintaining candidate statistics (between Nd*f(f+1)/2 and Nd*f^2
+// candidates per cluster). This bench sweeps f and reports structure size,
+// candidate overhead, and query performance.
+#include <cstdio>
+
+#include "core/adaptive_index.h"
+#include "harness.h"
+#include "util/timer.h"
+#include "workload/generators.h"
+#include "workload/query_gen.h"
+
+using namespace accl;
+using namespace accl::bench;
+
+int main() {
+  const size_t n = EnvCount("ACCL_ABLATION_OBJECTS", 30000);
+  const Dim nd = 16;
+  std::printf("=== Ablation: division factor f (uniform, %ud, %zu objects) ===\n",
+              nd, n);
+
+  UniformSpec spec;
+  spec.nd = nd;
+  spec.count = n;
+  spec.seed = 4;
+  const Dataset ds = GenerateUniform(spec);
+
+  QueryGenSpec qspec;
+  qspec.rel = Relation::kIntersects;
+  qspec.count = 2000;
+  qspec.target_selectivity = 5e-3;
+  qspec.seed = 45;
+  QueryWorkload wl = GenerateCalibrated(ds, qspec);
+
+  std::printf("%-4s | %9s | %10s | %12s | %12s | %10s\n", "f", "clusters",
+              "cands/cl", "wall ms/q", "model ms/q", "objs.%");
+  for (uint32_t f : {2u, 4u, 8u}) {
+    AdaptiveConfig cfg;
+    cfg.nd = nd;
+    cfg.division_factor = f;
+    AdaptiveIndex idx(cfg);
+    for (size_t i = 0; i < ds.size(); ++i) idx.Insert(ds.ids[i], ds.box(i));
+
+    std::vector<ObjectId> out;
+    for (size_t i = 0; i < 1500; ++i) {
+      out.clear();
+      idx.Execute(wl.queries[i % wl.queries.size()], &out);
+    }
+    ExperimentStats stats;
+    QueryMetrics m;
+    for (size_t i = 0; i < 200; ++i) {
+      const Query& q = wl.queries[(1500 + i) % wl.queries.size()];
+      out.clear();
+      WallTimer t;
+      idx.Execute(q, &out, &m);
+      stats.AddQuery(m, t.ElapsedMs(), ds.size());
+    }
+    double cands = 0;
+    for (const auto& ci : idx.GetClusterInfos()) {
+      cands += static_cast<double>(ci.candidates);
+    }
+    std::printf("%-4u | %9zu | %10.1f | %12.4f | %12.4f | %10.2f\n", f,
+                idx.cluster_count(),
+                cands / static_cast<double>(idx.cluster_count()),
+                stats.wall_ms.mean(), stats.sim_ms.mean(),
+                stats.verified_ratio.mean() * 100.0);
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation: the reorganization period. The paper reorganizes every 100
+// queries and observes convergence in <10 steps (§7.1). This bench sweeps
+// the period, reporting passes until the structure stabilizes (a pass with
+// no splits and no merges), the converged cluster count, and the modeled
+// average query cost.
+#include <cstdio>
+
+#include "core/adaptive_index.h"
+#include "harness.h"
+#include "workload/generators.h"
+#include "workload/query_gen.h"
+
+using namespace accl;
+using namespace accl::bench;
+
+int main() {
+  const size_t n = EnvCount("ACCL_ABLATION_OBJECTS", 30000);
+  const Dim nd = 16;
+  std::printf("=== Ablation: reorganization period (uniform, %ud, %zu objects) ===\n",
+              nd, n);
+
+  UniformSpec spec;
+  spec.nd = nd;
+  spec.count = n;
+  spec.seed = 5;
+  const Dataset ds = GenerateUniform(spec);
+
+  QueryGenSpec qspec;
+  qspec.rel = Relation::kIntersects;
+  qspec.count = 4000;
+  qspec.target_selectivity = 5e-3;
+  qspec.seed = 46;
+  QueryWorkload wl = GenerateCalibrated(ds, qspec);
+
+  std::printf("%-8s | %14s | %9s | %13s | %13s\n", "period",
+              "passes->stable", "clusters", "model ms/q", "scan ms/q");
+  for (uint32_t period : {25u, 50u, 100u, 200u, 400u}) {
+    AdaptiveConfig cfg;
+    cfg.nd = nd;
+    cfg.reorg_period = period;
+    AdaptiveIndex idx(cfg);
+    for (size_t i = 0; i < ds.size(); ++i) idx.Insert(ds.ids[i], ds.box(i));
+
+    std::vector<ObjectId> out;
+    uint64_t stable_pass = 0;
+    size_t qi = 0;
+    for (int pass = 0; pass < 40 && stable_pass == 0; ++pass) {
+      for (uint32_t i = 0; i < period; ++i) {
+        out.clear();
+        idx.Execute(wl.queries[qi++ % wl.queries.size()], &out);
+      }
+      const auto& rs = idx.reorg_stats();
+      if (rs.passes > 1 && rs.last_pass_splits == 0 &&
+          rs.last_pass_merges == 0) {
+        stable_pass = rs.passes;
+      }
+    }
+    const double scan_cost =
+        idx.cost_model().ClusterTime(1.0, static_cast<double>(ds.size()));
+    std::printf("%-8u | %14llu | %9zu | %13.4f | %13.4f\n", period,
+                static_cast<unsigned long long>(stable_pass),
+                idx.cluster_count(), idx.ExpectedQueryTimeMs(), scan_cost);
+  }
+  return 0;
+}

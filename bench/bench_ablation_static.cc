@@ -1,0 +1,107 @@
+// Ablation: online adaptation vs offline (static) cost-based clustering.
+//
+// The paper's related work cites window-query-optimal static clustering
+// (Pagel et al., PODS'95) as the known-distributions ideal. This bench
+// quantifies what the *adaptive* part costs: a cold adaptive index pays for
+// learning the statistics online (its early queries run near scan speed),
+// while a statically clustered index starts converged. After convergence
+// the two should be close — the adaptive structure greedily optimizes the
+// same objective with estimated instead of exact probabilities.
+#include <cstdio>
+
+#include "core/static_clustering.h"
+#include "harness.h"
+#include "util/timer.h"
+#include "workload/generators.h"
+#include "workload/query_gen.h"
+
+using namespace accl;
+using namespace accl::bench;
+
+namespace {
+
+struct PhaseResult {
+  double wall_ms;
+  double verified_pct;
+};
+
+PhaseResult MeasurePhase(AdaptiveIndex& idx, const std::vector<Query>& qs,
+                         size_t first, size_t count) {
+  ExperimentStats stats;
+  std::vector<ObjectId> out;
+  QueryMetrics m;
+  for (size_t i = 0; i < count; ++i) {
+    out.clear();
+    WallTimer t;
+    idx.Execute(qs[(first + i) % qs.size()], &out, &m);
+    stats.AddQuery(m, t.ElapsedMs(), idx.size());
+  }
+  return {stats.wall_ms.mean(), stats.verified_ratio.mean() * 100.0};
+}
+
+}  // namespace
+
+int main() {
+  const size_t n = EnvCount("ACCL_ABLATION_OBJECTS", 30000);
+  const Dim nd = 16;
+  std::printf(
+      "=== Ablation: adaptive (cold) vs static clustering (uniform, %ud, %zu "
+      "objects) ===\n",
+      nd, n);
+
+  UniformSpec spec;
+  spec.nd = nd;
+  spec.count = n;
+  spec.seed = 6;
+  const Dataset ds = GenerateUniform(spec);
+
+  QueryGenSpec qspec;
+  qspec.rel = Relation::kIntersects;
+  qspec.count = 4000;
+  qspec.target_selectivity = 5e-3;
+  qspec.seed = 47;
+  QueryWorkload wl = GenerateCalibrated(ds, qspec);
+
+  AdaptiveConfig cfg;
+  cfg.nd = nd;
+
+  // Static: clustered offline from a 512-query sample of the distribution.
+  StaticClusteringOptions sopt;
+  WallTimer build_timer;
+  auto static_idx = BuildStaticIndex(
+      ds, std::vector<Query>(wl.queries.begin(), wl.queries.begin() + 512),
+      sopt, cfg);
+  const double static_build_ms = build_timer.ElapsedMs();
+
+  // Adaptive: cold start, same data.
+  AdaptiveIndex adaptive(cfg);
+  build_timer.Reset();
+  for (size_t i = 0; i < ds.size(); ++i) {
+    adaptive.Insert(ds.ids[i], ds.box(i));
+  }
+  const double adaptive_build_ms = build_timer.ElapsedMs();
+
+  std::printf("build: static=%.0f ms (%zu clusters), adaptive load=%.0f ms "
+              "(1 cluster)\n\n",
+              static_build_ms, static_idx->cluster_count(),
+              adaptive_build_ms);
+  std::printf("%-18s | %12s | %10s | %12s | %10s\n", "phase (queries)",
+              "static ms/q", "static o%", "adaptive ms/q", "adapt o%");
+  size_t cursor = 512;  // measurement stream starts after the sample
+  for (int phase = 0; phase < 6; ++phase) {
+    const size_t kPhase = 300;
+    PhaseResult s = MeasurePhase(*static_idx, wl.queries, cursor, kPhase);
+    PhaseResult a = MeasurePhase(adaptive, wl.queries, cursor, kPhase);
+    std::printf("%6zu-%-11zu | %12.4f | %10.2f | %12.4f | %10.2f\n",
+                cursor - 512, cursor - 512 + kPhase, s.wall_ms,
+                s.verified_pct, a.wall_ms, a.verified_pct);
+    cursor += kPhase;
+  }
+  std::printf("\nstatic clusters=%zu, adaptive clusters=%zu (after %llu "
+              "queries, %llu splits)\n",
+              static_idx->cluster_count(), adaptive.cluster_count(),
+              static_cast<unsigned long long>(adaptive.total_queries()),
+              static_cast<unsigned long long>(
+                  adaptive.reorg_stats().splits));
+  return 0;
+}

@@ -1,0 +1,130 @@
+#include "harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/timer.h"
+
+namespace accl::bench {
+
+namespace {
+
+double EnvScale() {
+  const char* s = std::getenv("ACCL_SCALE");
+  if (s == nullptr) return 1.0;
+  const double v = std::atof(s);
+  return v > 0 ? v : 1.0;
+}
+
+CompetitorResult Measure(SpatialIndex& idx, const std::vector<Query>& queries,
+                         size_t first, size_t count, uint64_t db_size) {
+  CompetitorResult r;
+  r.name = idx.name();
+  ExperimentStats stats;
+  std::vector<ObjectId> out;
+  QueryMetrics m;
+  for (size_t i = 0; i < count; ++i) {
+    const Query& q = queries[(first + i) % queries.size()];
+    out.clear();
+    WallTimer t;
+    idx.Execute(q, &out, &m);
+    stats.AddQuery(m, t.ElapsedMs(), db_size);
+  }
+  r.wall_ms_per_query = stats.wall_ms.mean();
+  r.sim_ms_per_query = stats.sim_ms.mean();
+  r.groups_total = m.groups_total;
+  r.explored_pct = stats.explored_ratio.mean() * 100.0;
+  r.objects_pct = stats.verified_ratio.mean() * 100.0;
+  r.avg_results = stats.result_count.mean();
+  return r;
+}
+
+}  // namespace
+
+size_t EnvCount(const char* name, size_t def, bool scaled) {
+  size_t v = def;
+  if (const char* s = std::getenv(name)) {
+    const long long parsed = std::atoll(s);
+    if (parsed > 0) v = static_cast<size_t>(parsed);
+  } else if (scaled) {
+    v = static_cast<size_t>(static_cast<double>(def) * EnvScale());
+  }
+  return v == 0 ? 1 : v;
+}
+
+StaticCompetitors BuildStatic(const Dataset& ds, const HarnessOptions& opt) {
+  StaticCompetitors sc;
+  if (opt.include_seqscan) {
+    sc.ss = std::make_unique<SeqScan>(ds.nd, opt.scenario);
+    for (size_t i = 0; i < ds.size(); ++i) sc.ss->Insert(ds.ids[i], ds.box(i));
+  }
+  if (opt.include_rstar) {
+    RStarConfig rcfg = opt.rstar;
+    rcfg.nd = ds.nd;
+    rcfg.scenario = opt.scenario;
+    sc.rs = std::make_unique<RStarTree>(rcfg);
+    for (size_t i = 0; i < ds.size(); ++i) sc.rs->Insert(ds.ids[i], ds.box(i));
+  }
+  return sc;
+}
+
+std::vector<CompetitorResult> RunExperiment(const Dataset& ds,
+                                            const std::vector<Query>& queries,
+                                            const HarnessOptions& opt,
+                                            StaticCompetitors* shared) {
+  std::vector<CompetitorResult> results;
+  const uint64_t n = ds.size();
+
+  StaticCompetitors local;
+  if (shared == nullptr) {
+    local = BuildStatic(ds, opt);
+    shared = &local;
+  }
+  if (shared->ss) {
+    results.push_back(
+        Measure(*shared->ss, queries, opt.warmup, opt.measure, n));
+  }
+  if (shared->rs) {
+    results.push_back(
+        Measure(*shared->rs, queries, opt.warmup, opt.measure, n));
+  }
+
+  {
+    AdaptiveConfig acfg = opt.adaptive;
+    acfg.nd = ds.nd;
+    acfg.scenario = opt.scenario;
+    AdaptiveIndex ac(acfg);
+    for (size_t i = 0; i < ds.size(); ++i) ac.Insert(ds.ids[i], ds.box(i));
+    // Convergence phase: the structure adapts to the query distribution.
+    std::vector<ObjectId> out;
+    for (size_t i = 0; i < opt.warmup; ++i) {
+      out.clear();
+      ac.Execute(queries[i % queries.size()], &out);
+    }
+    results.push_back(Measure(ac, queries, opt.warmup, opt.measure, n));
+  }
+  return results;
+}
+
+void PrintTableHeader(const char* x_name, bool disk) {
+  std::printf("%-10s | %-4s | %12s | %12s | %8s | %7s | %7s | %9s\n", x_name,
+              "idx", disk ? "sim ms/q" : "wall ms/q", "model ms/q", "groups",
+              "expl.%", "objs.%", "avg.res");
+  std::printf("%.*s\n", 95,
+              "---------------------------------------------------------------"
+              "--------------------------------");
+}
+
+void PrintResultsRow(const std::string& x_label,
+                     const std::vector<CompetitorResult>& results, bool disk) {
+  for (const CompetitorResult& r : results) {
+    std::printf("%-10s | %-4s | %12.4f | %12.4f | %8llu | %7.2f | %7.2f | %9.1f\n",
+                x_label.c_str(), r.name.c_str(),
+                disk ? r.sim_ms_per_query : r.wall_ms_per_query,
+                r.sim_ms_per_query,
+                static_cast<unsigned long long>(r.groups_total),
+                r.explored_pct, r.objects_pct, r.avg_results);
+  }
+}
+
+}  // namespace accl::bench

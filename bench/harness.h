@@ -1,0 +1,85 @@
+// Shared experiment driver for the paper-reproduction benchmarks.
+//
+// Each bench binary regenerates one table/figure of the paper: it builds the
+// three competitors (Sequential Scan, R*-tree, Adaptive Clustering), lets AC
+// converge on a warm-up prefix of the query stream (the paper triggers a
+// reorganization every 100 queries and reports stability in <10 passes),
+// then measures the tail and prints rows in the same format as the paper's
+// charts/tables: average query execution time, number of explored
+// clusters/nodes, and ratios of explored groups and verified objects.
+//
+// Scale: defaults are laptop-sized; set ACCL_SCALE=<float> to multiply
+// dataset sizes (1.0 = defaults; the paper's 2M-object runs need ~40x).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/adaptive_index.h"
+#include "cost/cost_model.h"
+#include "rstar/rstar_tree.h"
+#include "seqscan/seq_scan.h"
+#include "workload/dataset.h"
+#include "workload/query_gen.h"
+
+namespace accl::bench {
+
+/// Reads a size_t from the environment (`def` when unset), scaled by
+/// ACCL_SCALE when `scaled` is true.
+size_t EnvCount(const char* name, size_t def, bool scaled = true);
+
+/// One competitor's aggregate measurements over the measurement phase.
+struct CompetitorResult {
+  std::string name;
+  double wall_ms_per_query = 0.0;  ///< measured wall time
+  double sim_ms_per_query = 0.0;   ///< cost-model time (the disk charts)
+  uint64_t groups_total = 0;       ///< clusters (AC) / nodes (RS) / 1 (SS)
+  double explored_pct = 0.0;       ///< avg % of groups explored
+  double objects_pct = 0.0;        ///< avg % of DB objects verified
+  double avg_results = 0.0;
+};
+
+/// Experiment knobs.
+struct HarnessOptions {
+  StorageScenario scenario = StorageScenario::kMemory;
+  size_t warmup = 1500;   ///< AC convergence queries (cycled if needed)
+  size_t measure = 200;   ///< measured queries
+  bool include_rstar = true;
+  bool include_seqscan = true;
+  /// AdaptiveIndex configuration (nd overwritten from the dataset).
+  AdaptiveConfig adaptive;
+  /// R*-tree configuration (nd/scenario overwritten).
+  RStarConfig rstar;
+};
+
+/// SS and R* do not depend on the query distribution, so sweeps over query
+/// workloads (e.g. the Fig. 7 selectivity sweep) build them once per
+/// dataset and reuse them; AC is rebuilt per workload because its structure
+/// is the experiment.
+struct StaticCompetitors {
+  std::unique_ptr<SeqScan> ss;
+  std::unique_ptr<RStarTree> rs;
+};
+
+/// Builds the query-independent competitors for `ds`.
+StaticCompetitors BuildStatic(const Dataset& ds, const HarnessOptions& opt);
+
+/// Runs the experiment and returns one result per competitor, in the order
+/// SS, RS, AC (present competitors only). When `shared` is non-null its
+/// prebuilt indexes are used instead of building fresh ones.
+std::vector<CompetitorResult> RunExperiment(const Dataset& ds,
+                                            const std::vector<Query>& queries,
+                                            const HarnessOptions& opt,
+                                            StaticCompetitors* shared = nullptr);
+
+/// Pretty-prints a chart block: one row per x-value and competitor column.
+void PrintResultsRow(const std::string& x_label,
+                     const std::vector<CompetitorResult>& results,
+                     bool disk_scenario);
+
+/// Prints the table header matching the paper's embedded tables.
+void PrintTableHeader(const char* x_name, bool disk_scenario);
+
+}  // namespace accl::bench

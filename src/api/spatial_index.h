@@ -1,0 +1,42 @@
+// Common interface implemented by all three competitors evaluated in the
+// paper: Adaptive Clustering (AC), R*-tree (RS), and Sequential Scan (SS).
+// Benchmarks and correctness tests are written against this interface.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "api/metrics.h"
+#include "api/types.h"
+#include "geometry/query.h"
+
+namespace accl {
+
+/// Abstract spatial index over multidimensional extended objects.
+class SpatialIndex {
+ public:
+  virtual ~SpatialIndex() = default;
+
+  /// Short display name ("AC", "RS", "SS").
+  virtual const char* name() const = 0;
+
+  /// Dimensionality of the indexed space.
+  virtual Dim dims() const = 0;
+
+  /// Inserts an object. `id` must be unique among live objects.
+  virtual void Insert(ObjectId id, BoxView box) = 0;
+
+  /// Removes the object with the given id. Returns false if absent.
+  virtual bool Erase(ObjectId id) = 0;
+
+  /// Executes a spatial selection; appends matching ids to `*out` (order
+  /// unspecified). When `metrics` is non-null it is overwritten with this
+  /// query's counters.
+  virtual void Execute(const Query& q, std::vector<ObjectId>* out,
+                       QueryMetrics* metrics = nullptr) = 0;
+
+  /// Number of live objects.
+  virtual size_t size() const = 0;
+};
+
+}  // namespace accl

@@ -1,0 +1,28 @@
+// Fundamental identifiers and constants shared by all index implementations.
+#pragma once
+
+#include <cstdint>
+
+namespace accl {
+
+/// Identifier of a spatial object (4 bytes, as in the paper's data layout).
+using ObjectId = uint32_t;
+
+/// Sentinel "no object".
+inline constexpr ObjectId kInvalidObject = 0xFFFFFFFFu;
+
+/// Dimension index type. The paper evaluates 16..40 dimensions; we support
+/// up to 65535.
+using Dim = uint32_t;
+
+/// The normalized data domain: every coordinate lies in [kDomainMin, kDomainMax].
+inline constexpr float kDomainMin = 0.0f;
+inline constexpr float kDomainMax = 1.0f;
+
+/// Bytes occupied by one stored object with `nd` dimensions: a 4-byte id plus
+/// two 4-byte interval limits per dimension (paper §7.1, Data Representation).
+inline constexpr uint64_t ObjectBytes(Dim nd) {
+  return 4ull + 8ull * static_cast<uint64_t>(nd);
+}
+
+}  // namespace accl

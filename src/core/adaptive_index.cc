@@ -1,0 +1,464 @@
+#include "core/adaptive_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geometry/predicates.h"
+#include "util/check.h"
+
+namespace accl {
+
+AdaptiveIndex::AdaptiveIndex(const AdaptiveConfig& cfg)
+    : cfg_(cfg),
+      model_(CostModel::Make(
+          cfg.scenario, cfg.nd, cfg.sys,
+          // Symmetric-case candidate count per cluster (paper footnote 3).
+          static_cast<double>(cfg.nd) * cfg.division_factor *
+              (cfg.division_factor + 1) / 2.0)) {
+  ACCL_CHECK(cfg_.nd > 0);
+  ACCL_CHECK(cfg_.division_factor >= 2);
+  ACCL_CHECK(cfg_.reserve_fraction >= 0.0 && cfg_.reserve_fraction < 1.0);
+  root_ = NewCluster(Signature(cfg_.nd), kNoCluster);
+}
+
+AdaptiveIndex::~AdaptiveIndex() = default;
+
+ClusterId AdaptiveIndex::NewCluster(Signature sig, ClusterId parent) {
+  ClusterId id;
+  auto c = std::make_unique<Cluster>(0, std::move(sig), cfg_.nd,
+                                     cfg_.reserve_fraction);
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+    clusters_[id] = std::move(c);
+  } else {
+    id = static_cast<ClusterId>(clusters_.size());
+    clusters_.push_back(std::move(c));
+  }
+  Cluster* cl = cluster(id);
+  cl->id = id;
+  cl->parent = parent;
+  cl->w0 = total_weight_;
+  cl->candidates = std::make_unique<CandidateSet>(
+      cl->sig, cfg_.division_factor, total_weight_);
+  if (parent != kNoCluster) cluster(parent)->children.push_back(id);
+  ++live_clusters_;
+  return id;
+}
+
+void AdaptiveIndex::FreeCluster(ClusterId id) {
+  Cluster* c = cluster(id);
+  ACCL_CHECK(c != nullptr);
+  ACCL_CHECK(c->children.empty());
+  ACCL_CHECK(c->size() == 0);
+  if (c->parent != kNoCluster) {
+    auto& siblings = cluster(c->parent)->children;
+    auto it = std::find(siblings.begin(), siblings.end(), id);
+    ACCL_CHECK(it != siblings.end());
+    siblings.erase(it);
+  }
+  clusters_[id].reset();
+  free_ids_.push_back(id);
+  --live_clusters_;
+}
+
+void AdaptiveIndex::Insert(ObjectId id, BoxView box) {
+  ACCL_CHECK(box.dims() == cfg_.nd);
+  ACCL_CHECK(owner_.find(id) == owner_.end());
+  // Paper Fig. 4: among the clusters whose signature accepts the object,
+  // place it in the one with the lowest access probability.
+  ClusterId best = kNoCluster;
+  double best_p = std::numeric_limits<double>::infinity();
+  for (const auto& up : clusters_) {
+    if (!up) continue;
+    if (!up->sig.MatchesObject(box)) continue;
+    const double p = AccessProbOf(*up);
+    if (p < best_p) {
+      best_p = p;
+      best = up->id;
+    }
+  }
+  ACCL_CHECK(best != kNoCluster);  // the root accepts everything
+  Cluster* b = cluster(best);
+  b->objects.Append(id, box);
+  b->candidates->AccountObject(box, +1.0);
+  owner_.emplace(id, best);
+  ++object_count_;
+}
+
+bool AdaptiveIndex::Erase(ObjectId id) {
+  auto it = owner_.find(id);
+  if (it == owner_.end()) return false;
+  Cluster* c = cluster(it->second);
+  const size_t slot = c->objects.Find(id);
+  ACCL_CHECK(slot != static_cast<size_t>(-1));
+  c->candidates->AccountObject(c->objects.box(slot), -1.0);
+  c->objects.RemoveAt(slot);
+  owner_.erase(it);
+  --object_count_;
+  return true;
+}
+
+void AdaptiveIndex::Execute(const Query& q, std::vector<ObjectId>* out,
+                            QueryMetrics* metrics) {
+  ACCL_CHECK(q.dims() == cfg_.nd);
+  QueryMetrics local;
+  QueryMetrics* m = metrics ? metrics : &local;
+  m->Clear();
+  m->groups_total = live_clusters_;
+  // Every signature is checked (paper Fig. 5 step 2): charge A per cluster.
+  m->sim_time_ms += model_.A * static_cast<double>(live_clusters_);
+
+  const BoxView qv = q.box.view();
+  for (const auto& up : clusters_) {
+    if (!up) continue;
+    Cluster* c = up.get();
+    if (!c->sig.AdmitsQuery(q)) continue;
+
+    // Explore the cluster: every member is checked individually.
+    ++m->groups_explored;
+    const size_t n = c->size();
+    m->sim_time_ms += model_.B;  // exploration setup (+ seek on disk)
+    if (cfg_.scenario == StorageScenario::kDisk) {
+      ++m->disk_seeks;
+      m->disk_bytes += c->objects.live_bytes();
+      m->sim_time_ms += cfg_.sys.disk_ms_per_byte *
+                        static_cast<double>(c->objects.live_bytes());
+    }
+    uint64_t cluster_dims = 0;
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t dims_checked = 0;
+      if (SatisfiesCounting(c->objects.box(i), qv, q.rel, &dims_checked)) {
+        out->push_back(c->objects.id(i));
+        ++m->result_count;
+      }
+      cluster_dims += dims_checked;
+    }
+    m->dims_checked += cluster_dims;
+    m->objects_verified += n;
+    m->bytes_verified += c->objects.live_bytes();
+    // CPU verification charged for the bytes actually compared (early exit
+    // on the first failing dimension), matching the Sequential Scan
+    // accounting so the competitors are charged identically per check.
+    m->sim_time_ms += cfg_.sys.verify_ms_per_byte *
+                      static_cast<double>(4ull * n + 8ull * cluster_dims);
+
+    // Update performance indicators (paper Fig. 5 steps 7-10).
+    c->q += 1.0;
+    c->candidates->AccountQuery(q);
+  }
+
+  ++total_queries_;
+  total_weight_ += 1.0;
+  if (cfg_.stats_halving_period != 0 &&
+      total_queries_ % cfg_.stats_halving_period == 0) {
+    HalveAllStats();
+  }
+  if (cfg_.reorg_period != 0 && total_queries_ % cfg_.reorg_period == 0) {
+    Reorganize();
+  }
+}
+
+void AdaptiveIndex::HalveAllStats() {
+  total_weight_ *= 0.5;
+  for (const auto& up : clusters_) {
+    if (!up) continue;
+    up->q *= 0.5;
+    up->w0 *= 0.5;
+    up->candidates->Halve();
+  }
+}
+
+void AdaptiveIndex::Reorganize() {
+  ++reorg_stats_.passes;
+  reorg_stats_.last_pass_splits = 0;
+  reorg_stats_.last_pass_merges = 0;
+
+  std::vector<ClusterId> snapshot;
+  snapshot.reserve(live_clusters_);
+  for (const auto& up : clusters_) {
+    if (up) snapshot.push_back(up->id);
+  }
+
+  // Paper Fig. 1, applied to every materialized cluster: merge if
+  // profitable, otherwise try to split.
+  for (ClusterId id : snapshot) {
+    Cluster* c = cluster(id);
+    if (c == nullptr) continue;  // merged away earlier in this pass
+    if (!c->is_root()) {
+      Cluster* a = cluster(c->parent);
+      // An emptied cluster costs A + pB for nothing; fold it eagerly.
+      const bool empty = c->size() == 0 && c->children.empty();
+      const bool observable =
+          c->ObservationWindow(total_weight_) >= cfg_.min_observation &&
+          a->ObservationWindow(total_weight_) >= cfg_.min_observation;
+      if (empty || (observable &&
+                    model_.MergeBenefit(AccessProbOf(*c), AccessProbOf(*a),
+                                        static_cast<double>(c->size())) > 0)) {
+        MergeCluster(id);
+        ++reorg_stats_.merges;
+        ++reorg_stats_.last_pass_merges;
+        continue;
+      }
+    }
+    const size_t created = TryClusterSplit(id);
+    reorg_stats_.last_pass_splits += created;
+  }
+}
+
+void AdaptiveIndex::MergeCluster(ClusterId cid) {
+  Cluster* c = cluster(cid);
+  ACCL_CHECK(!c->is_root());
+  Cluster* a = cluster(c->parent);
+  // Paper Fig. 2: move all objects to the parent, updating the parent's
+  // candidate indicators; reparent children; drop the cluster.
+  const size_t n = c->size();
+  for (size_t i = 0; i < n; ++i) {
+    const BoxView b = c->objects.box(i);
+    const ObjectId oid = c->objects.id(i);
+    ACCL_DCHECK(a->sig.MatchesObject(b));
+    a->objects.Append(oid, b);
+    a->candidates->AccountObject(b, +1.0);
+    owner_[oid] = a->id;
+  }
+  c->objects.Clear();
+  for (ClusterId ch : c->children) {
+    cluster(ch)->parent = a->id;
+    a->children.push_back(ch);
+  }
+  c->children.clear();
+  FreeCluster(cid);
+}
+
+size_t AdaptiveIndex::TryClusterSplit(ClusterId cid) {
+  Cluster* c = cluster(cid);
+  if (c->ObservationWindow(total_weight_) < cfg_.min_observation) return 0;
+
+  size_t created = 0;
+  // Paper Fig. 3: greedily materialize the most profitable candidate, then
+  // recompute (moved objects change the indicators of other candidates).
+  for (;;) {
+    if (live_clusters_ >= cfg_.max_clusters) break;
+    const CandidateSet& cs = *c->candidates;
+    const double cand_window = total_weight_ - cs.created_weight();
+    if (cand_window < cfg_.min_observation) break;
+    const double p_c = AccessProbOf(*c);
+
+    double best_beta = 0.0;
+    size_t best = static_cast<size_t>(-1);
+    for (size_t i = 0; i < cs.size(); ++i) {
+      const CandidateSet::Candidate& cd = cs.at(i);
+      if (cd.n < static_cast<double>(cfg_.min_split_objects)) continue;
+      const double p_s = (cd.q + 1.0) / (cand_window + 1.0);
+      // Hysteresis: require a significant probability gap, not just a
+      // marginally positive benefit (see AdaptiveConfig).
+      if (p_s > cfg_.split_probability_ratio * p_c) continue;
+      const double beta = model_.MaterializationBenefit(p_c, p_s, cd.n);
+      if (beta <= cfg_.min_split_benefit_ms) continue;
+      if (beta > best_beta) {
+        best_beta = beta;
+        best = i;
+      }
+    }
+    if (best == static_cast<size_t>(-1)) break;
+    MaterializeCandidate(cid, best);
+    c = cluster(cid);
+    ++created;
+    ++reorg_stats_.splits;
+  }
+  if (created > 0) c->objects.Compact();
+  return created;
+}
+
+ClusterId AdaptiveIndex::MaterializeCandidate(ClusterId cid, size_t ci) {
+  Cluster* c = cluster(cid);
+  const Signature child_sig = c->candidates->MakeSignature(c->sig, ci);
+  ACCL_DCHECK(child_sig.RefinedFrom(c->sig));
+  // Copy the candidate's indicators before they are superseded.
+  const CandidateSet::Candidate cand = c->candidates->at(ci);
+  const double cand_w0 = c->candidates->created_weight();
+
+  const ClusterId did = NewCluster(child_sig, cid);
+  c = cluster(cid);  // the cluster table may have grown
+  Cluster* d = cluster(did);
+  // The candidate's query statistics become the new cluster's: they measure
+  // exactly the access probability the materialized cluster will have.
+  d->q = cand.q;
+  d->w0 = cand_w0;
+
+  // Move qualifying objects (paper Fig. 3 steps 5-6 and 9-11). Iterating
+  // backwards keeps unvisited slots stable across swap-removals.
+  for (size_t i = c->objects.size(); i-- > 0;) {
+    const BoxView b = c->objects.box(i);
+    if (!d->sig.MatchesObject(b)) continue;
+    const ObjectId oid = c->objects.id(i);
+    d->objects.Append(oid, b);
+    d->candidates->AccountObject(b, +1.0);
+    c->candidates->AccountObject(b, -1.0);
+    owner_[oid] = did;
+    c->objects.RemoveAt(i);
+  }
+  d->objects.Compact();
+  return did;
+}
+
+ClusterId AdaptiveIndex::OwnerOf(ObjectId id) const {
+  auto it = owner_.find(id);
+  return it == owner_.end() ? kNoCluster : it->second;
+}
+
+double AdaptiveIndex::ExpectedQueryTimeMs() const {
+  double t = 0.0;
+  for (const auto& up : clusters_) {
+    if (!up) continue;
+    t += model_.ClusterTime(AccessProbOf(*up),
+                            static_cast<double>(up->size()));
+  }
+  return t;
+}
+
+std::vector<AdaptiveIndex::ClusterInfo> AdaptiveIndex::GetClusterInfos()
+    const {
+  std::vector<ClusterInfo> infos;
+  infos.reserve(live_clusters_);
+  for (const auto& up : clusters_) {
+    if (!up) continue;
+    ClusterInfo ci;
+    ci.id = up->id;
+    ci.parent = up->parent;
+    ci.objects = up->size();
+    ci.access_prob = AccessProbOf(*up);
+    ci.candidates = up->candidates->size();
+    ci.utilization = up->objects.utilization();
+    ci.depth = 0;
+    for (ClusterId p = up->parent; p != kNoCluster;
+         p = cluster(p)->parent) {
+      ++ci.depth;
+    }
+    infos.push_back(ci);
+  }
+  return infos;
+}
+
+void AdaptiveIndex::CheckInvariants() const {
+  size_t live = 0;
+  size_t objects = 0;
+  for (const auto& up : clusters_) {
+    if (!up) continue;
+    ++live;
+    const Cluster& c = *up;
+    objects += c.size();
+    if (c.is_root()) {
+      ACCL_CHECK(c.id == root_);
+      ACCL_CHECK(c.sig.IsRoot());
+    } else {
+      const Cluster* a = cluster(c.parent);
+      ACCL_CHECK(a != nullptr);
+      ACCL_CHECK(std::count(a->children.begin(), a->children.end(), c.id) ==
+                 1);
+      ACCL_CHECK(c.sig.RefinedFrom(a->sig));
+    }
+    for (ClusterId ch : c.children) {
+      ACCL_CHECK(cluster(ch) != nullptr);
+      ACCL_CHECK(cluster(ch)->parent == c.id);
+    }
+    // Every member matches the signature and the ownership map agrees.
+    for (size_t i = 0; i < c.size(); ++i) {
+      ACCL_CHECK(c.sig.MatchesObject(c.objects.box(i)));
+      auto it = owner_.find(c.objects.id(i));
+      ACCL_CHECK(it != owner_.end());
+      ACCL_CHECK(it->second == c.id);
+    }
+    // Candidate object counts must equal a fresh recount.
+    CandidateSet fresh(c.sig, cfg_.division_factor, 0.0);
+    for (size_t i = 0; i < c.size(); ++i) {
+      fresh.AccountObject(c.objects.box(i), +1.0);
+    }
+    ACCL_CHECK(fresh.size() == c.candidates->size());
+    for (size_t i = 0; i < fresh.size(); ++i) {
+      ACCL_CHECK(std::fabs(fresh.at(i).n - c.candidates->at(i).n) < 1e-6);
+    }
+  }
+  ACCL_CHECK(live == live_clusters_);
+  ACCL_CHECK(objects == object_count_);
+  ACCL_CHECK(owner_.size() == object_count_);
+}
+
+std::vector<ClusterImage> AdaptiveIndex::DumpClusters() const {
+  std::vector<ClusterImage> images;
+  images.reserve(live_clusters_);
+  for (const auto& up : clusters_) {
+    if (!up) continue;
+    ClusterImage img;
+    img.id = up->id;
+    img.parent = up->parent;
+    img.sig = up->sig;
+    const size_t n = up->size();
+    img.ids.assign(up->objects.ids().begin(), up->objects.ids().end());
+    const size_t stride = 2 * static_cast<size_t>(cfg_.nd);
+    img.coords.assign(up->objects.coords_data(),
+                      up->objects.coords_data() + n * stride);
+    images.push_back(std::move(img));
+  }
+  return images;
+}
+
+std::unique_ptr<AdaptiveIndex> AdaptiveIndex::FromImages(
+    const AdaptiveConfig& cfg, const std::vector<ClusterImage>& images) {
+  auto idx = std::make_unique<AdaptiveIndex>(cfg);
+  // Discard the default root; rebuild the table exactly as imaged.
+  idx->clusters_.clear();
+  idx->free_ids_.clear();
+  idx->live_clusters_ = 0;
+  idx->root_ = kNoCluster;
+  idx->owner_.clear();
+  idx->object_count_ = 0;
+
+  ClusterId max_id = 0;
+  for (const ClusterImage& img : images) max_id = std::max(max_id, img.id);
+  idx->clusters_.resize(static_cast<size_t>(max_id) + 1);
+
+  for (const ClusterImage& img : images) {
+    ACCL_CHECK(img.sig.dims() == cfg.nd);
+    ACCL_CHECK(!idx->clusters_[img.id]);
+    auto c = std::make_unique<Cluster>(img.id, img.sig, cfg.nd,
+                                       cfg.reserve_fraction);
+    c->parent = img.parent;
+    c->candidates =
+        std::make_unique<CandidateSet>(c->sig, cfg.division_factor, 0.0);
+    const size_t stride = 2 * static_cast<size_t>(cfg.nd);
+    ACCL_CHECK(img.coords.size() == img.ids.size() * stride);
+    for (size_t i = 0; i < img.ids.size(); ++i) {
+      const BoxView b(img.coords.data() + i * stride, cfg.nd);
+      ACCL_CHECK(c->sig.MatchesObject(b));
+      c->objects.Append(img.ids[i], b);
+      c->candidates->AccountObject(b, +1.0);
+      auto [it, fresh] = idx->owner_.emplace(img.ids[i], img.id);
+      ACCL_CHECK(fresh);
+      (void)it;
+      ++idx->object_count_;
+    }
+    ++idx->live_clusters_;
+    idx->clusters_[img.id] = std::move(c);
+  }
+
+  for (ClusterId id = 0; id <= max_id; ++id) {
+    if (!idx->clusters_[id]) {
+      idx->free_ids_.push_back(id);
+      continue;
+    }
+    Cluster* c = idx->clusters_[id].get();
+    if (c->parent == kNoCluster) {
+      ACCL_CHECK(idx->root_ == kNoCluster);
+      idx->root_ = id;
+    } else {
+      ACCL_CHECK(idx->clusters_[c->parent] != nullptr);
+      idx->clusters_[c->parent]->children.push_back(id);
+    }
+  }
+  ACCL_CHECK(idx->root_ != kNoCluster);
+  return idx;
+}
+
+}  // namespace accl

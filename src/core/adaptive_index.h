@@ -1,0 +1,196 @@
+// AdaptiveIndex — the paper's contribution: cost-based adaptive clustering of
+// multidimensional extended objects (paper §3).
+//
+// The collection starts as a single *root cluster* accepting any object.
+// Every query explores all materialized clusters whose signatures admit it
+// and updates their performance indicators (and those of their virtual
+// candidate subclusters). Periodically — every `reorg_period` queries — the
+// structure is reorganized: each cluster is either merged back into its
+// parent (merging benefit function, eq. 5), kept, or split by greedily
+// materializing its most profitable candidate subclusters (materialization
+// benefit function, eq. 3). Both decisions come from the cost model
+// T = A + p(B + nC) parameterized by the storage scenario, so the structure
+// adapts to the data distribution, the query distribution, and the
+// hardware — and degrades gracefully to a Sequential-Scan-equivalent single
+// cluster when clustering cannot pay off.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "api/spatial_index.h"
+#include "core/cluster.h"
+#include "cost/cost_model.h"
+
+namespace accl {
+
+/// Tuning knobs for AdaptiveIndex. Defaults follow the paper (§6, §7.1).
+struct AdaptiveConfig {
+  Dim nd = 16;
+  StorageScenario scenario = StorageScenario::kMemory;
+  SystemParams sys = SystemParams::Paper();
+
+  /// Domain division factor f of the clustering function (paper uses 4).
+  uint32_t division_factor = 4;
+  /// A reorganization pass runs every this many queries (paper: 100).
+  /// 0 disables automatic reorganization (call Reorganize() manually).
+  uint32_t reorg_period = 100;
+  /// Free places reserved at cluster (re)location: 20-30 % in the paper.
+  double reserve_fraction = 0.25;
+  /// Minimum observation window (queries since creation) before a cluster's
+  /// or candidate's statistics may drive a split/merge decision.
+  double min_observation = 32.0;
+  /// Minimum objects a candidate must hold to be worth materializing.
+  size_t min_split_objects = 2;
+  /// Hysteresis against estimation noise: a candidate is only materialized
+  /// when its estimated access probability is at most this fraction of the
+  /// owner's. Without the gap requirement, candidates whose true
+  /// probability equals the cluster's get split on upward noise in the
+  /// estimate and merged back when it corrects, oscillating forever.
+  double split_probability_ratio = 0.75;
+  /// Absolute materialization-benefit floor [ms/query]. Benefits within
+  /// estimation noise of zero (a few-object candidate saving microseconds)
+  /// would otherwise keep materializing and merging at the margin; the
+  /// floor makes reorganization reach a true fixed point. Negligible
+  /// relative to disk-scenario benefits (seeks are milliseconds).
+  double min_split_benefit_ms = 5e-4;
+  /// Every this many queries all statistics are halved, giving a sliding
+  /// window that tracks query-distribution change. 0 = never decay.
+  uint32_t stats_halving_period = 4096;
+  /// Hard cap on materialized clusters (safety valve).
+  size_t max_clusters = 1u << 20;
+};
+
+/// Aggregate reorganization counters for introspection and tests.
+struct ReorgStats {
+  uint64_t passes = 0;          ///< Reorganize() invocations
+  uint64_t splits = 0;          ///< candidate materializations
+  uint64_t merges = 0;          ///< cluster-into-parent merges
+  uint64_t last_pass_splits = 0;
+  uint64_t last_pass_merges = 0;
+};
+
+/// Serializable image of one cluster (used by storage/persist).
+struct ClusterImage {
+  ClusterId id = 0;
+  ClusterId parent = kNoCluster;
+  Signature sig;
+  std::vector<ObjectId> ids;
+  std::vector<float> coords;  // stride 2*nd
+};
+
+/// The adaptive cost-based clustering index.
+class AdaptiveIndex : public SpatialIndex {
+ public:
+  explicit AdaptiveIndex(const AdaptiveConfig& cfg);
+  ~AdaptiveIndex() override;
+
+  AdaptiveIndex(const AdaptiveIndex&) = delete;
+  AdaptiveIndex& operator=(const AdaptiveIndex&) = delete;
+
+  // ---- SpatialIndex interface ----
+  const char* name() const override { return "AC"; }
+  Dim dims() const override { return cfg_.nd; }
+  void Insert(ObjectId id, BoxView box) override;
+  bool Erase(ObjectId id) override;
+  void Execute(const Query& q, std::vector<ObjectId>* out,
+               QueryMetrics* metrics = nullptr) override;
+  size_t size() const override { return object_count_; }
+
+  // ---- Introspection & control ----
+  const AdaptiveConfig& config() const { return cfg_; }
+  const CostModel& cost_model() const { return model_; }
+
+  /// Number of materialized clusters (including the root).
+  size_t cluster_count() const { return live_clusters_; }
+
+  /// Runs one reorganization pass over all materialized clusters
+  /// (paper Fig. 1 applied to each cluster).
+  void Reorganize();
+
+  /// Total queries executed (drives periodic reorganization).
+  uint64_t total_queries() const { return total_queries_; }
+
+  const ReorgStats& reorg_stats() const { return reorg_stats_; }
+
+  /// Expected average query time under the cost model, summing
+  /// T_c = A + p_c (B + n_c C) over materialized clusters. This is the
+  /// quantity the clustering minimizes; it can never exceed the equivalent
+  /// single-cluster (Sequential Scan) figure once reorganization has
+  /// converged with fresh statistics.
+  double ExpectedQueryTimeMs() const;
+
+  /// Host cluster of a live object, or kNoCluster when the id is unknown.
+  ClusterId OwnerOf(ObjectId id) const;
+
+  /// Per-cluster snapshot for diagnostics, tests and examples.
+  struct ClusterInfo {
+    ClusterId id;
+    ClusterId parent;
+    size_t objects;
+    double access_prob;
+    size_t candidates;
+    double utilization;
+    uint32_t depth;
+  };
+  std::vector<ClusterInfo> GetClusterInfos() const;
+
+  /// Structural invariants (tree shape, signature refinement, object
+  /// residency). Aborts via ACCL_CHECK on violation; cheap enough for tests.
+  void CheckInvariants() const;
+
+  /// Dumps all clusters for persistence.
+  std::vector<ClusterImage> DumpClusters() const;
+
+  /// Rebuilds an index from persisted images (statistics start fresh, as
+  /// the paper's recovery section allows). Object/cluster relationships and
+  /// signatures are restored exactly.
+  static std::unique_ptr<AdaptiveIndex> FromImages(
+      const AdaptiveConfig& cfg, const std::vector<ClusterImage>& images);
+
+ private:
+  Cluster* cluster(ClusterId id) { return clusters_[id].get(); }
+  const Cluster* cluster(ClusterId id) const { return clusters_[id].get(); }
+
+  ClusterId NewCluster(Signature sig, ClusterId parent);
+  void FreeCluster(ClusterId id);
+
+  /// paper Fig. 2. Moves all objects of `c` into its parent, reparents
+  /// children, removes `c`.
+  void MergeCluster(ClusterId c);
+
+  /// paper Fig. 3. Greedily materializes profitable candidates of `c`.
+  /// Returns the number of clusters created.
+  size_t TryClusterSplit(ClusterId c);
+
+  /// Materializes candidate `ci` of cluster `c`; returns the new cluster.
+  ClusterId MaterializeCandidate(ClusterId c, size_t ci);
+
+  double AccessProbOf(const Cluster& c) const {
+    return c.AccessProb(total_weight_);
+  }
+
+  void HalveAllStats();
+
+  AdaptiveConfig cfg_;
+  CostModel model_;
+
+  std::vector<std::unique_ptr<Cluster>> clusters_;
+  std::vector<ClusterId> free_ids_;
+  size_t live_clusters_ = 0;
+  ClusterId root_ = kNoCluster;
+
+  /// Host cluster of each live object.
+  std::unordered_map<ObjectId, ClusterId> owner_;
+  size_t object_count_ = 0;
+
+  uint64_t total_queries_ = 0;
+  double total_weight_ = 0.0;  ///< decayed query count
+
+  ReorgStats reorg_stats_;
+};
+
+}  // namespace accl

@@ -1,0 +1,3 @@
+#include "core/cluster.h"
+
+// Cluster is a plain aggregate; logic lives in core/adaptive_index.cc.

@@ -1,0 +1,59 @@
+// A materialized database cluster (paper §3.1): a group of objects accessed
+// and checked together during spatial selections, described by a signature
+// and carrying performance indicators (exploring-query count, object count)
+// plus the statistics of its virtual candidate subclusters.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/clustering_function.h"
+#include "core/signature.h"
+#include "storage/slot_array.h"
+
+namespace accl {
+
+/// Index of a cluster inside AdaptiveIndex's cluster table.
+using ClusterId = uint32_t;
+inline constexpr ClusterId kNoCluster = 0xFFFFFFFFu;
+
+/// One materialized cluster.
+struct Cluster {
+  Cluster(ClusterId id_in, Signature sig_in, Dim nd, double reserve_fraction)
+      : id(id_in), sig(std::move(sig_in)), objects(nd, reserve_fraction) {}
+
+  ClusterId id;
+  ClusterId parent = kNoCluster;
+  std::vector<ClusterId> children;
+
+  Signature sig;
+  SlotArray objects;
+
+  /// Decayed count of queries that explored this cluster.
+  double q = 0.0;
+  /// Global decayed query weight when the cluster was created; the access
+  /// probability is estimated as q / (current_weight - w0).
+  double w0 = 0.0;
+
+  /// Virtual candidate subclusters with their performance indicators.
+  std::unique_ptr<CandidateSet> candidates;
+
+  bool is_root() const { return parent == kNoCluster; }
+  size_t size() const { return objects.size(); }
+
+  /// Estimated access probability over the observation window.
+  /// `total_weight` is the current global decayed query weight. Uses a
+  /// +1 Laplace prior so fresh clusters do not claim probability zero.
+  double AccessProb(double total_weight) const {
+    const double denom = total_weight - w0;
+    return (q + 1.0) / (denom + 1.0);
+  }
+
+  /// Queries observed since creation (the probability denominator).
+  double ObservationWindow(double total_weight) const {
+    return total_weight - w0;
+  }
+};
+
+}  // namespace accl

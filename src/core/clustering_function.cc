@@ -1,0 +1,178 @@
+#include "core/clustering_function.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace accl {
+
+VarInterval Piece(const VarInterval& v, uint32_t j, uint32_t f) {
+  ACCL_DCHECK(j < f);
+  const double lo = v.lo;
+  const double w = (static_cast<double>(v.hi) - lo) / f;
+  VarInterval p;
+  p.lo = static_cast<float>(lo + w * j);
+  if (j + 1 == f) {
+    p.hi = v.hi;
+    p.hi_closed = v.hi_closed;
+  } else {
+    p.hi = static_cast<float>(lo + w * (j + 1));
+    p.hi_closed = false;
+  }
+  return p;
+}
+
+int PieceIndex(const VarInterval& v, uint32_t f, float x) {
+  if (!v.Contains(x)) return -1;
+  const double w = (static_cast<double>(v.hi) - v.lo) / f;
+  int idx;
+  if (w <= 0.0) {
+    idx = 0;
+  } else {
+    idx = static_cast<int>((x - v.lo) / w);
+    if (idx >= static_cast<int>(f)) idx = static_cast<int>(f) - 1;
+    if (idx < 0) idx = 0;
+  }
+  // Float rounding can put x just across a boundary; nudge to the piece that
+  // actually contains it.
+  if (!Piece(v, idx, f).Contains(x)) {
+    if (idx + 1 < static_cast<int>(f) && Piece(v, idx + 1, f).Contains(x)) {
+      ++idx;
+    } else if (idx > 0 && Piece(v, idx - 1, f).Contains(x)) {
+      --idx;
+    }
+  }
+  ACCL_DCHECK(Piece(v, idx, f).Contains(x));
+  return idx;
+}
+
+CandidateSet::CandidateSet(const Signature& sig, uint32_t f,
+                           double created_weight, float min_width)
+    : f_(f), w0_(created_weight) {
+  // AccountQuery uses 32-bit piece masks; the paper uses f = 4.
+  ACCL_CHECK(f >= 2 && f <= 32);
+  const Dim nd = sig.dims();
+  dims_.resize(nd);
+  lookup_.assign(static_cast<size_t>(nd) * f * f, -1);
+  for (Dim d = 0; d < nd; ++d) {
+    DimInfo& di = dims_[d];
+    di.start_var = sig.start_var(d);
+    di.end_var = sig.end_var(d);
+    di.first = static_cast<int32_t>(static_cast<size_t>(d) * f * f);
+    // A dimension already narrowed below min_width cannot discriminate
+    // further; skip it. Both variation intervals must be divisible, since a
+    // zero-width piece could contain no value at all.
+    if (di.start_var.width() < min_width || di.end_var.width() < min_width) {
+      continue;
+    }
+    di.divided = true;
+    di.bounds_first = static_cast<int32_t>(piece_bounds_.size());
+    for (uint32_t j = 0; j <= f; ++j) {
+      piece_bounds_.push_back(j == f ? di.start_var.hi
+                                     : Piece(di.start_var, j, f).lo);
+    }
+    for (uint32_t j = 0; j <= f; ++j) {
+      piece_bounds_.push_back(j == f ? di.end_var.hi
+                                     : Piece(di.end_var, j, f).lo);
+    }
+    for (uint32_t ia = 0; ia < f; ++ia) {
+      const VarInterval pa = Piece(di.start_var, ia, f);
+      for (uint32_t ib = 0; ib < f; ++ib) {
+        const VarInterval pb = Piece(di.end_var, ib, f);
+        // Feasible iff an object with a <= b can have a in pa and b in pb:
+        // the start piece must begin strictly before the end piece ends.
+        // With identical variation intervals this excludes ia > ib, giving
+        // the paper's f(f+1)/2 symmetric count.
+        if (!(pa.lo < pb.hi)) continue;
+        Candidate c;
+        c.dim = static_cast<uint16_t>(d);
+        c.ia = static_cast<uint8_t>(ia);
+        c.ib = static_cast<uint8_t>(ib);
+        lookup_[di.first + ia * f + ib] =
+            static_cast<int32_t>(cands_.size());
+        cands_.push_back(c);
+      }
+    }
+  }
+}
+
+void CandidateSet::AccountObject(BoxView o, double delta) {
+  const Dim nd = static_cast<Dim>(dims_.size());
+  ACCL_DCHECK(o.dims() == nd);
+  for (Dim d = 0; d < nd; ++d) {
+    const DimInfo& di = dims_[d];
+    if (!di.divided) continue;
+    const int ia = PieceIndex(di.start_var, f_, o.lo(d));
+    const int ib = PieceIndex(di.end_var, f_, o.hi(d));
+    ACCL_DCHECK(ia >= 0 && ib >= 0);
+    const int32_t ci = lookup_[di.first + ia * static_cast<int>(f_) + ib];
+    if (ci >= 0) {
+      cands_[ci].n += delta;
+      if (cands_[ci].n < 0) cands_[ci].n = 0;  // float drift guard
+    }
+  }
+}
+
+void CandidateSet::AccountQuery(const Query& query) {
+  // Candidates differ from the owner in exactly one dimension, so a
+  // candidate is admitted iff its pieces pass the per-dimension admission
+  // test for that dimension. Precompute, per divided dimension, which start
+  // pieces and end pieces pass; then sweep the candidate list once.
+  const Dim nd = static_cast<Dim>(dims_.size());
+  ACCL_DCHECK(query.dims() == nd);
+  // Bitmask per dim: bit j of start_ok / end_ok. Piece boundaries were
+  // cached at construction; piece j spans [bounds[j], bounds[j+1]].
+  thread_local std::vector<uint32_t> start_ok, end_ok;
+  start_ok.assign(nd, 0);
+  end_ok.assign(nd, 0);
+  const Box& qb = query.box;
+  for (Dim d = 0; d < nd; ++d) {
+    const DimInfo& di = dims_[d];
+    if (!di.divided) continue;
+    const float* sb = piece_bounds_.data() + di.bounds_first;
+    const float* eb = sb + (f_ + 1);
+    uint32_t sm = 0, em = 0;
+    for (uint32_t j = 0; j < f_; ++j) {
+      bool s_ok = false, e_ok = false;
+      switch (query.rel) {
+        case Relation::kIntersects:
+          s_ok = sb[j] <= qb.hi(d);      // piece lo vs query hi
+          e_ok = eb[j + 1] >= qb.lo(d);  // piece hi vs query lo
+          break;
+        case Relation::kContainedBy:
+          s_ok = sb[j + 1] >= qb.lo(d);
+          e_ok = eb[j] <= qb.hi(d);
+          break;
+        case Relation::kEncloses:
+          s_ok = sb[j] <= qb.lo(d);
+          e_ok = eb[j + 1] >= qb.hi(d);
+          break;
+      }
+      if (s_ok) sm |= (1u << j);
+      if (e_ok) em |= (1u << j);
+    }
+    start_ok[d] = sm;
+    end_ok[d] = em;
+  }
+  for (Candidate& c : cands_) {
+    if ((start_ok[c.dim] >> c.ia) & 1u) {
+      if ((end_ok[c.dim] >> c.ib) & 1u) c.q += 1.0;
+    }
+  }
+}
+
+Signature CandidateSet::MakeSignature(const Signature& owner, size_t i) const {
+  ACCL_DCHECK(i < cands_.size());
+  const Candidate& c = cands_[i];
+  const DimInfo& di = dims_[c.dim];
+  Signature s = owner;
+  s.set(c.dim, Piece(di.start_var, c.ia, f_), Piece(di.end_var, c.ib, f_));
+  return s;
+}
+
+void CandidateSet::Halve() {
+  w0_ *= 0.5;
+  for (Candidate& c : cands_) c.q *= 0.5;
+}
+
+}  // namespace accl

@@ -1,0 +1,104 @@
+// The clustering function (paper §4.2) and candidate subcluster bookkeeping.
+//
+// Given a cluster signature, each dimension's pair of variation intervals is
+// divided into `f` subintervals (f = division factor). Every feasible
+// combination (start-piece ia, end-piece ib) on a single dimension — other
+// dimensions unchanged — yields one *candidate subcluster*. A combination is
+// feasible iff some object (a <= b) can fall in it, i.e. the start piece
+// begins strictly before the end piece ends. When the two variation
+// intervals are identical this leaves exactly f(f+1)/2 candidates (paper
+// footnote 3); in general up to f^2 per dimension, hence between
+// Nd*f(f+1)/2 and Nd*f^2 candidates per cluster — linear in Nd.
+//
+// Candidates are *virtual*: only their (dim, ia, ib) key and two performance
+// indicators are stored — the number of member objects matching them (n,
+// maintained incrementally on insert/move) and the number of exploring
+// queries matching them (q, counted while the owning cluster is explored).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/signature.h"
+#include "geometry/query.h"
+
+namespace accl {
+
+/// The j-th of `f` equal pieces of a variation interval. Pieces are
+/// half-open except the last, which inherits the parent's closedness.
+VarInterval Piece(const VarInterval& v, uint32_t j, uint32_t f);
+
+/// Index of the piece of `v` (divided into `f`) containing `x`, or -1 when x
+/// lies outside `v`. Robust to float rounding at piece boundaries: the
+/// result always satisfies Piece(v, idx, f).Contains(x).
+int PieceIndex(const VarInterval& v, uint32_t f, float x);
+
+/// The set of candidate subclusters of one cluster, with their performance
+/// indicators and fast (dim, piece) lookup.
+class CandidateSet {
+ public:
+  struct Candidate {
+    uint16_t dim;
+    uint8_t ia;  ///< start-piece index
+    uint8_t ib;  ///< end-piece index
+    double n = 0.0;  ///< objects of the owning cluster matching the candidate
+    double q = 0.0;  ///< (decayed) count of exploring queries matching it
+  };
+
+  /// Builds the candidates of `sig` with division factor `f`.
+  /// `created_weight` is the global decayed query weight at creation time;
+  /// access probabilities are estimated over queries seen since then.
+  /// Dimensions whose variation intervals are narrower than `min_width` are
+  /// not divided further (they cannot productively discriminate).
+  CandidateSet(const Signature& sig, uint32_t f, double created_weight,
+               float min_width = 1e-5f);
+
+  uint32_t division_factor() const { return f_; }
+  double created_weight() const { return w0_; }
+  size_t size() const { return cands_.size(); }
+  const Candidate& at(size_t i) const { return cands_[i]; }
+  const std::vector<Candidate>& candidates() const { return cands_; }
+
+  /// Adjusts candidate object counts for one object entering (delta=+1) or
+  /// leaving (delta=-1) the owning cluster. The object must match the
+  /// owning cluster's signature.
+  void AccountObject(BoxView o, double delta);
+
+  /// Increments q for every candidate whose signature admits `query`.
+  /// Called exactly when the owning cluster is explored.
+  void AccountQuery(const Query& query);
+
+  /// Materializes candidate `i`'s signature from the owning signature.
+  Signature MakeSignature(const Signature& owner, size_t i) const;
+
+  /// Halves all statistics (sliding-window decay), including the creation
+  /// weight so probability denominators stay consistent.
+  void Halve();
+
+  /// Mutable access for the index's split bookkeeping.
+  Candidate& at_mutable(size_t i) { return cands_[i]; }
+
+ private:
+  struct DimInfo {
+    VarInterval start_var;
+    VarInterval end_var;
+    int32_t first = -1;  ///< base into lookup_: f*f slots
+    bool divided = false;
+    /// Cached piece boundaries (AccountQuery is on the per-query hot path):
+    /// start piece j = [start_lo[j], start_lo[j+1]) etc.; arrays hold f+1
+    /// boundaries each, flattened into piece_bounds_ at 2*(f+1) per dim.
+    int32_t bounds_first = -1;
+  };
+
+  uint32_t f_;
+  double w0_;
+  std::vector<Candidate> cands_;
+  std::vector<DimInfo> dims_;
+  /// lookup_[dims_[d].first + ia*f + ib] = candidate index or -1.
+  std::vector<int32_t> lookup_;
+  /// Flattened piece boundaries per divided dim: f+1 start boundaries then
+  /// f+1 end boundaries.
+  std::vector<float> piece_bounds_;
+};
+
+}  // namespace accl

@@ -1,0 +1,117 @@
+#include "core/signature.h"
+
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace accl {
+
+std::string VarInterval::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[%g,%g%c", lo, hi, hi_closed ? ']' : ')');
+  return buf;
+}
+
+Signature::Signature(Dim nd)
+    : nd_(nd), v_(2 * static_cast<size_t>(nd), VarInterval{}) {
+  ACCL_CHECK(nd > 0);
+}
+
+bool Signature::MatchesObject(BoxView o) const {
+  ACCL_DCHECK(o.dims() == nd_);
+  for (Dim d = 0; d < nd_; ++d) {
+    if (!v_[2 * d].Contains(o.lo(d))) return false;
+    if (!v_[2 * d + 1].Contains(o.hi(d))) return false;
+  }
+  return true;
+}
+
+bool Signature::AdmitsQuery(const Query& q) const {
+  ACCL_DCHECK(q.dims() == nd_);
+  const Box& qb = q.box;
+  switch (q.rel) {
+    case Relation::kIntersects:
+      for (Dim d = 0; d < nd_; ++d) {
+        if (v_[2 * d].lo > qb.hi(d) || v_[2 * d + 1].hi < qb.lo(d)) {
+          return false;
+        }
+      }
+      return true;
+    case Relation::kContainedBy:
+      for (Dim d = 0; d < nd_; ++d) {
+        if (v_[2 * d].hi < qb.lo(d) || v_[2 * d + 1].lo > qb.hi(d)) {
+          return false;
+        }
+      }
+      return true;
+    case Relation::kEncloses:
+      for (Dim d = 0; d < nd_; ++d) {
+        if (v_[2 * d].lo > qb.lo(d) || v_[2 * d + 1].hi < qb.hi(d)) {
+          return false;
+        }
+      }
+      return true;
+  }
+  return false;
+}
+
+bool Signature::IsRoot() const {
+  for (const VarInterval& vi : v_) {
+    if (!vi.IsFullDomain()) return false;
+  }
+  return true;
+}
+
+bool Signature::RefinedFrom(const Signature& outer) const {
+  if (outer.nd_ != nd_) return false;
+  for (size_t i = 0; i < v_.size(); ++i) {
+    const VarInterval& in = v_[i];
+    const VarInterval& out = outer.v_[i];
+    // Every x accepted by `in` must be accepted by `out`.
+    if (in.lo < out.lo) return false;
+    if (in.hi > out.hi) return false;
+    if (in.hi == out.hi && in.hi_closed && !out.hi_closed) return false;
+  }
+  return true;
+}
+
+std::string Signature::ToString() const {
+  std::string s = "{";
+  for (Dim d = 0; d < nd_; ++d) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%sd%u %s:%s", d ? ", " : "", d,
+                  start_var(d).ToString().c_str(),
+                  end_var(d).ToString().c_str());
+    s += buf;
+  }
+  s += "}";
+  return s;
+}
+
+void Signature::Serialize(ByteWriter* w) const {
+  w->PutU32(nd_);
+  for (const VarInterval& vi : v_) {
+    w->PutF32(vi.lo);
+    w->PutF32(vi.hi);
+    w->PutU8(vi.hi_closed ? 1 : 0);
+  }
+}
+
+bool Signature::Deserialize(ByteReader* r, Signature* out) {
+  uint32_t nd = 0;
+  if (!r->GetU32(&nd) || nd == 0 || nd > 65535) return false;
+  Signature s(nd);
+  for (Dim d = 0; d < nd; ++d) {
+    VarInterval sv, ev;
+    uint8_t c1 = 0, c2 = 0;
+    if (!r->GetF32(&sv.lo) || !r->GetF32(&sv.hi) || !r->GetU8(&c1)) return false;
+    sv.hi_closed = c1 != 0;
+    if (!r->GetF32(&ev.lo) || !r->GetF32(&ev.hi) || !r->GetU8(&c2)) return false;
+    ev.hi_closed = c2 != 0;
+    s.set(d, sv, ev);
+  }
+  *out = std::move(s);
+  return true;
+}
+
+}  // namespace accl

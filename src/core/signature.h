@@ -1,0 +1,110 @@
+// Cluster signatures (paper §4.1).
+//
+// A signature describes, per dimension, an *interval of variation* for the
+// start of member intervals ([amin, amax]) and one for the end
+// ([bmin, bmax]):
+//
+//   sigma = { d_i  [amin_i, amax_i] : [bmin_i, bmax_i] }_{i=1..Nd}
+//
+// An object o = { d_i [a_i, b_i] } matches the signature iff every a_i falls
+// in the i-th start variation interval and every b_i in the i-th end
+// variation interval. Variation intervals produced by domain division are
+// half-open [lo, hi) except the last piece, which is closed (Example 3's
+// "[0.1875, 0.2500]"); the flag `hi_closed` encodes this.
+//
+// The signature answers two questions (paper §3.1): can an object become a
+// member, and must the cluster be explored for a given query. The latter is
+// a *necessary* condition derived per relation, so exploration is
+// conservative (never misses a match).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "api/types.h"
+#include "geometry/box.h"
+#include "geometry/query.h"
+#include "util/serialize.h"
+
+namespace accl {
+
+/// One interval of variation: [lo, hi) or [lo, hi] when hi_closed.
+struct VarInterval {
+  float lo = kDomainMin;
+  float hi = kDomainMax;
+  bool hi_closed = true;
+
+  bool Contains(float x) const {
+    return x >= lo && (x < hi || (hi_closed && x <= hi));
+  }
+
+  float width() const { return hi - lo; }
+
+  bool IsFullDomain() const {
+    return lo == kDomainMin && hi == kDomainMax && hi_closed;
+  }
+
+  bool operator==(const VarInterval& o) const {
+    return lo == o.lo && hi == o.hi && hi_closed == o.hi_closed;
+  }
+
+  std::string ToString() const;
+};
+
+/// Per-dimension pair of variation intervals for starts and ends.
+class Signature {
+ public:
+  Signature() = default;
+
+  /// The root signature: full domain everywhere (accepts any object).
+  explicit Signature(Dim nd);
+
+  Dim dims() const { return nd_; }
+
+  /// Variation interval of interval *starts* in dimension d ([amin, amax]).
+  const VarInterval& start_var(Dim d) const { return v_[2 * d]; }
+  /// Variation interval of interval *ends* in dimension d ([bmin, bmax]).
+  const VarInterval& end_var(Dim d) const { return v_[2 * d + 1]; }
+
+  void set(Dim d, VarInterval start, VarInterval end) {
+    v_[2 * d] = start;
+    v_[2 * d + 1] = end;
+  }
+
+  /// Membership test: all starts/ends inside the variation intervals.
+  bool MatchesObject(BoxView o) const;
+
+  /// Necessary condition for the cluster to contain an object standing in
+  /// relation `q.rel` to the query object; clusters whose signature fails
+  /// this are skipped (paper §3.6).
+  ///
+  /// Derivations (per dimension, object start a in [amin,amax], end b in
+  /// [bmin,bmax]):
+  ///   intersects:   a <= q.hi and b >= q.lo possible  =>  amin <= q.hi && bmax >= q.lo
+  ///   contained-by: a >= q.lo and b <= q.hi possible  =>  amax >= q.lo && bmin <= q.hi
+  ///   encloses:     a <= q.lo and b >= q.hi possible  =>  amin <= q.lo && bmax >= q.hi
+  bool AdmitsQuery(const Query& q) const;
+
+  /// True iff every variation interval is the full domain (root signature).
+  bool IsRoot() const;
+
+  /// True iff every object matching `*this` also matches `outer` — the
+  /// "backward compatibility" property the clustering function guarantees
+  /// between a candidate subcluster and its parent (paper §3.3).
+  bool RefinedFrom(const Signature& outer) const;
+
+  bool operator==(const Signature& o) const {
+    return nd_ == o.nd_ && v_ == o.v_;
+  }
+
+  std::string ToString() const;
+
+  void Serialize(ByteWriter* w) const;
+  static bool Deserialize(ByteReader* r, Signature* out);
+
+ private:
+  Dim nd_ = 0;
+  std::vector<VarInterval> v_;  // [start0, end0, start1, end1, ...]
+};
+
+}  // namespace accl

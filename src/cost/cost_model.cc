@@ -1,0 +1,42 @@
+#include "cost/cost_model.h"
+
+#include <cstdio>
+
+namespace accl {
+
+const char* StorageScenarioName(StorageScenario s) {
+  switch (s) {
+    case StorageScenario::kMemory:
+      return "memory";
+    case StorageScenario::kDisk:
+      return "disk";
+  }
+  return "?";
+}
+
+CostModel CostModel::Make(StorageScenario scenario, Dim nd,
+                          const SystemParams& sys,
+                          double candidates_per_cluster) {
+  CostModel m;
+  m.scenario = scenario;
+  const double obj_bytes = static_cast<double>(ObjectBytes(nd));
+  m.A = sys.sig_check_ms_per_dim * static_cast<double>(nd);
+  m.B = sys.explore_setup_ms +
+        sys.stat_update_ms_per_candidate * candidates_per_cluster;
+  m.C = sys.verify_ms_per_byte * obj_bytes;
+  if (scenario == StorageScenario::kDisk) {
+    // B' = B + disk head positioning; C' = C + per-object transfer.
+    m.B += sys.disk_access_ms;
+    m.C += sys.disk_ms_per_byte * obj_bytes;
+  }
+  return m;
+}
+
+std::string CostModel::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "CostModel(%s A=%.3g B=%.3g C=%.3g ms)",
+                StorageScenarioName(scenario), A, B, C);
+  return buf;
+}
+
+}  // namespace accl

@@ -1,0 +1,42 @@
+#include "geometry/box.h"
+
+#include <cstdio>
+
+namespace accl {
+
+Box::Box(const std::vector<Interval>& ivs) {
+  coords_.reserve(ivs.size() * 2);
+  for (const Interval& iv : ivs) {
+    ACCL_CHECK(iv.lo <= iv.hi);
+    coords_.push_back(iv.lo);
+    coords_.push_back(iv.hi);
+  }
+}
+
+Box::Box(BoxView v) {
+  coords_.assign(v.data(), v.data() + 2 * static_cast<size_t>(v.dims()));
+}
+
+Box Box::FullDomain(Dim nd) {
+  Box b(nd);
+  for (Dim d = 0; d < nd; ++d) b.set(d, kDomainMin, kDomainMax);
+  return b;
+}
+
+Box Box::Point(const std::vector<float>& pt) {
+  Box b(static_cast<Dim>(pt.size()));
+  for (Dim d = 0; d < b.dims(); ++d) b.set(d, pt[d], pt[d]);
+  return b;
+}
+
+std::string Box::ToString() const {
+  std::string s;
+  for (Dim d = 0; d < dims(); ++d) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s[%g,%g]", d ? "x" : "", lo(d), hi(d));
+    s += buf;
+  }
+  return s;
+}
+
+}  // namespace accl

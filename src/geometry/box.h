@@ -1,0 +1,100 @@
+// Multidimensional extended objects (hyper-rectangles).
+//
+// Coordinates are stored flat as [lo0, hi0, lo1, hi1, ...] so that large
+// collections can live in contiguous memory — the paper stores each cluster's
+// objects sequentially to exploit cache lines / sequential disk transfer, and
+// our cluster storage keeps the same layout.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/types.h"
+#include "geometry/interval.h"
+#include "util/check.h"
+
+namespace accl {
+
+/// Non-owning view of one hyper-rectangle: `2*nd` floats laid out
+/// [lo0, hi0, lo1, hi1, ...]. Cheap to copy; valid only while the underlying
+/// buffer lives.
+class BoxView {
+ public:
+  BoxView() : data_(nullptr), nd_(0) {}
+  BoxView(const float* data, Dim nd) : data_(data), nd_(nd) {}
+
+  Dim dims() const { return nd_; }
+  const float* data() const { return data_; }
+  bool empty() const { return data_ == nullptr; }
+
+  float lo(Dim d) const { return data_[2 * d]; }
+  float hi(Dim d) const { return data_[2 * d + 1]; }
+  Interval interval(Dim d) const { return Interval(lo(d), hi(d)); }
+
+  /// Product of side lengths.
+  double Volume() const {
+    double v = 1.0;
+    for (Dim d = 0; d < nd_; ++d) v *= static_cast<double>(hi(d) - lo(d));
+    return v;
+  }
+
+  /// Sum of side lengths (the R*-tree "margin").
+  double Margin() const {
+    double m = 0.0;
+    for (Dim d = 0; d < nd_; ++d) m += static_cast<double>(hi(d) - lo(d));
+    return m;
+  }
+
+ private:
+  const float* data_;
+  Dim nd_;
+};
+
+/// Owning hyper-rectangle. Used at API boundaries, in tests, and for query
+/// objects; bulk data lives in flat arrays instead.
+class Box {
+ public:
+  Box() = default;
+
+  /// A degenerate box at the origin of an `nd`-dimensional space.
+  explicit Box(Dim nd) : coords_(2 * static_cast<size_t>(nd), 0.0f) {}
+
+  /// Builds from explicit per-dimension intervals.
+  explicit Box(const std::vector<Interval>& ivs);
+
+  /// Copies the contents of a view.
+  explicit Box(BoxView v);
+
+  /// The full domain [0,1]^nd.
+  static Box FullDomain(Dim nd);
+
+  /// A zero-extent box (point). `pt.size()` gives the dimensionality.
+  static Box Point(const std::vector<float>& pt);
+
+  Dim dims() const { return static_cast<Dim>(coords_.size() / 2); }
+  float lo(Dim d) const { return coords_[2 * d]; }
+  float hi(Dim d) const { return coords_[2 * d + 1]; }
+  void set(Dim d, float lo, float hi) {
+    ACCL_DCHECK(lo <= hi);
+    coords_[2 * d] = lo;
+    coords_[2 * d + 1] = hi;
+  }
+  Interval interval(Dim d) const { return Interval(lo(d), hi(d)); }
+
+  BoxView view() const { return BoxView(coords_.data(), dims()); }
+  const float* data() const { return coords_.data(); }
+  float* mutable_data() { return coords_.data(); }
+
+  double Volume() const { return view().Volume(); }
+
+  /// "[0.1,0.2]x[0.3,0.4]" rendering for logs and test failures.
+  std::string ToString() const;
+
+  bool operator==(const Box& o) const { return coords_ == o.coords_; }
+
+ private:
+  std::vector<float> coords_;
+};
+
+}  // namespace accl

@@ -1,0 +1,43 @@
+// One-dimensional closed interval [lo, hi] — the building block of
+// multidimensional extended objects ("hyper-intervals" in the paper).
+#pragma once
+
+#include <algorithm>
+
+#include "api/types.h"
+#include "util/check.h"
+
+namespace accl {
+
+/// Closed interval [lo, hi] with lo <= hi, both in the normalized domain.
+struct Interval {
+  float lo = 0.0f;
+  float hi = 0.0f;
+
+  Interval() = default;
+  Interval(float l, float h) : lo(l), hi(h) { ACCL_DCHECK(l <= h); }
+
+  float length() const { return hi - lo; }
+  float center() const { return 0.5f * (lo + hi); }
+
+  /// Point membership (closed on both ends).
+  bool Contains(float x) const { return lo <= x && x <= hi; }
+
+  /// [lo,hi] ∩ [o.lo,o.hi] ≠ ∅ (touching endpoints count as intersecting,
+  /// consistent with closed intervals).
+  bool Intersects(const Interval& o) const { return lo <= o.hi && o.lo <= hi; }
+
+  /// True iff `o` lies entirely within this interval (this ⊇ o).
+  bool ContainsInterval(const Interval& o) const {
+    return lo <= o.lo && o.hi <= hi;
+  }
+
+  /// Length of the overlap with `o` (0 when disjoint).
+  float OverlapLength(const Interval& o) const {
+    return std::max(0.0f, std::min(hi, o.hi) - std::max(lo, o.lo));
+  }
+
+  bool operator==(const Interval& o) const { return lo == o.lo && hi == o.hi; }
+};
+
+}  // namespace accl

@@ -1,0 +1,65 @@
+#include "geometry/predicates.h"
+
+#include "util/check.h"
+
+namespace accl {
+
+const char* RelationName(Relation r) {
+  switch (r) {
+    case Relation::kIntersects:
+      return "intersects";
+    case Relation::kContainedBy:
+      return "contained-by";
+    case Relation::kEncloses:
+      return "encloses";
+  }
+  return "?";
+}
+
+namespace {
+
+// One dimension of each relation. All comparisons are on closed intervals.
+inline bool DimOk(float olo, float ohi, float qlo, float qhi, Relation rel) {
+  switch (rel) {
+    case Relation::kIntersects:
+      return olo <= qhi && qlo <= ohi;
+    case Relation::kContainedBy:
+      return qlo <= olo && ohi <= qhi;
+    case Relation::kEncloses:
+      return olo <= qlo && qhi <= ohi;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Satisfies(BoxView obj, BoxView query, Relation rel) {
+  ACCL_DCHECK(obj.dims() == query.dims());
+  const Dim nd = obj.dims();
+  const float* o = obj.data();
+  const float* q = query.data();
+  for (Dim d = 0; d < nd; ++d) {
+    if (!DimOk(o[2 * d], o[2 * d + 1], q[2 * d], q[2 * d + 1], rel)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SatisfiesCounting(BoxView obj, BoxView query, Relation rel,
+                       uint32_t* dims_checked) {
+  ACCL_DCHECK(obj.dims() == query.dims());
+  const Dim nd = obj.dims();
+  const float* o = obj.data();
+  const float* q = query.data();
+  for (Dim d = 0; d < nd; ++d) {
+    if (!DimOk(o[2 * d], o[2 * d + 1], q[2 * d], q[2 * d + 1], rel)) {
+      *dims_checked = d + 1;
+      return false;
+    }
+  }
+  *dims_checked = nd;
+  return true;
+}
+
+}  // namespace accl

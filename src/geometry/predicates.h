@@ -1,0 +1,46 @@
+// Spatial relations between a query object and database objects.
+//
+// The paper's spatial selections: intersection, containment ("find objects
+// contained in the query"), enclosure ("find objects enclosing the query"),
+// with point-enclosing as the degenerate enclosure case.
+#pragma once
+
+#include <cstdint>
+
+#include "geometry/box.h"
+
+namespace accl {
+
+/// The spatial relation requested between the query object Q and a database
+/// object O for O to belong to the answer set.
+enum class Relation : uint8_t {
+  kIntersects = 0,  ///< O ∩ Q ≠ ∅
+  kContainedBy,     ///< O ⊆ Q (containment query)
+  kEncloses,        ///< O ⊇ Q (enclosure query; point-enclosing when Q is a point)
+};
+
+const char* RelationName(Relation r);
+
+/// True iff `obj` stands in relation `rel` to `query`. Both boxes must have
+/// the same dimensionality.
+bool Satisfies(BoxView obj, BoxView query, Relation rel);
+
+/// As Satisfies(), but additionally reports how many dimensions were compared
+/// before the verdict (early exit on the first failing dimension). This is
+/// the per-object verification cost the paper's footnote 4 discusses: for
+/// unselective queries, more attributes must be checked on average.
+bool SatisfiesCounting(BoxView obj, BoxView query, Relation rel,
+                       uint32_t* dims_checked);
+
+/// Convenience wrappers.
+inline bool Intersects(BoxView a, BoxView b) {
+  return Satisfies(a, b, Relation::kIntersects);
+}
+inline bool ContainedBy(BoxView inner, BoxView outer) {
+  return Satisfies(inner, outer, Relation::kContainedBy);
+}
+inline bool Encloses(BoxView outer, BoxView inner) {
+  return Satisfies(outer, inner, Relation::kEncloses);
+}
+
+}  // namespace accl

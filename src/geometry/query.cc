@@ -1,0 +1,12 @@
+#include "geometry/query.h"
+
+namespace accl {
+
+std::string Query::ToString() const {
+  std::string s = RelationName(rel);
+  s += " ";
+  s += box.ToString();
+  return s;
+}
+
+}  // namespace accl

@@ -1,0 +1,45 @@
+// A spatial query: a query object plus the requested spatial relation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/predicates.h"
+
+namespace accl {
+
+/// Spatial selection as defined in the paper's §3.6: the query specifies the
+/// query object and the spatial relation (intersection, containment, or
+/// enclosure) requested between the query object and the database objects in
+/// the answer set.
+struct Query {
+  Box box;
+  Relation rel = Relation::kIntersects;
+
+  Query() = default;
+  Query(Box b, Relation r) : box(std::move(b)), rel(r) {}
+
+  Dim dims() const { return box.dims(); }
+
+  /// True iff database object `obj` belongs to the answer set.
+  bool Matches(BoxView obj) const { return Satisfies(obj, box.view(), rel); }
+
+  static Query Intersection(Box b) {
+    return Query(std::move(b), Relation::kIntersects);
+  }
+  static Query Containment(Box b) {
+    return Query(std::move(b), Relation::kContainedBy);
+  }
+  static Query Enclosure(Box b) {
+    return Query(std::move(b), Relation::kEncloses);
+  }
+  /// Point-enclosing query: all objects containing the point.
+  static Query PointEnclosing(const std::vector<float>& pt) {
+    return Query(Box::Point(pt), Relation::kEncloses);
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace accl

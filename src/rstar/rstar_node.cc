@@ -1,0 +1,96 @@
+#include "rstar/rstar_node.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace accl {
+
+void UnionInto(BoxView b, float* acc) {
+  const Dim nd = b.dims();
+  for (Dim d = 0; d < nd; ++d) {
+    acc[2 * d] = std::min(acc[2 * d], b.lo(d));
+    acc[2 * d + 1] = std::max(acc[2 * d + 1], b.hi(d));
+  }
+}
+
+double UnionVolume(BoxView a, BoxView b) {
+  double v = 1.0;
+  const Dim nd = a.dims();
+  for (Dim d = 0; d < nd; ++d) {
+    const double lo = std::min(a.lo(d), b.lo(d));
+    const double hi = std::max(a.hi(d), b.hi(d));
+    v *= hi - lo;
+  }
+  return v;
+}
+
+double OverlapVolume(BoxView a, BoxView b) {
+  double v = 1.0;
+  const Dim nd = a.dims();
+  for (Dim d = 0; d < nd; ++d) {
+    const double lo = std::max(a.lo(d), b.lo(d));
+    const double hi = std::min(a.hi(d), b.hi(d));
+    if (hi <= lo) return 0.0;
+    v *= hi - lo;
+  }
+  return v;
+}
+
+double UnionMargin(BoxView a, BoxView b) {
+  double m = 0.0;
+  const Dim nd = a.dims();
+  for (Dim d = 0; d < nd; ++d) {
+    const double lo = std::min(a.lo(d), b.lo(d));
+    const double hi = std::max(a.hi(d), b.hi(d));
+    m += hi - lo;
+  }
+  return m;
+}
+
+void RNode::Add(BoxView b, uint32_t ref) {
+  ACCL_DCHECK(b.dims() == nd_);
+  mbbs_.insert(mbbs_.end(), b.data(),
+               b.data() + 2 * static_cast<size_t>(nd_));
+  refs_.push_back(ref);
+}
+
+void RNode::SetMbb(size_t i, BoxView b) {
+  ACCL_DCHECK(i < size());
+  std::memcpy(mbbs_.data() + 2 * static_cast<size_t>(nd_) * i, b.data(),
+              2 * static_cast<size_t>(nd_) * sizeof(float));
+}
+
+void RNode::RemoveAt(size_t i) {
+  ACCL_DCHECK(i < size());
+  const size_t last = size() - 1;
+  const size_t stride = 2 * static_cast<size_t>(nd_);
+  if (i != last) {
+    refs_[i] = refs_[last];
+    std::memcpy(mbbs_.data() + i * stride, mbbs_.data() + last * stride,
+                stride * sizeof(float));
+  }
+  refs_.pop_back();
+  mbbs_.resize(mbbs_.size() - stride);
+}
+
+void RNode::Clear() {
+  mbbs_.clear();
+  refs_.clear();
+}
+
+Box RNode::ComputeMbb() const {
+  ACCL_CHECK(!refs_.empty());
+  Box acc(mbb(0));
+  for (size_t i = 1; i < size(); ++i) UnionInto(mbb(i), acc.mutable_data());
+  return acc;
+}
+
+size_t RNode::FindRef(uint32_t ref) const {
+  auto it = std::find(refs_.begin(), refs_.end(), ref);
+  return it == refs_.end() ? static_cast<size_t>(-1)
+                           : static_cast<size_t>(it - refs_.begin());
+}
+
+}  // namespace accl

@@ -1,0 +1,68 @@
+// Nodes of the R*-tree baseline (Beckmann, Kriegel, Schneider, Seeger 1990),
+// the paper's main competitor. Entries are stored flat (MBB stride 2*nd)
+// exactly like the paper sizes them: 16 KB pages, entry = 8*nd + 4 bytes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "api/types.h"
+#include "geometry/box.h"
+
+namespace accl {
+
+using NodeId = uint32_t;
+inline constexpr NodeId kNoNode = 0xFFFFFFFFu;
+
+/// Widens `acc` (flat 2*nd floats) to include `b`.
+void UnionInto(BoxView b, float* acc);
+
+/// Volume of the union MBB of `a` and `b`.
+double UnionVolume(BoxView a, BoxView b);
+
+/// Volume of the intersection of `a` and `b` (0 when disjoint).
+double OverlapVolume(BoxView a, BoxView b);
+
+/// Margin (sum of side lengths) of the union MBB of `a` and `b`.
+double UnionMargin(BoxView a, BoxView b);
+
+/// One R*-tree node: a page of entries. Leaf entries reference ObjectIds;
+/// internal entries reference child NodeIds.
+class RNode {
+ public:
+  RNode(Dim nd, uint32_t level) : nd_(nd), level_(level) {}
+
+  Dim dims() const { return nd_; }
+  uint32_t level() const { return level_; }  ///< 0 = leaf
+  bool is_leaf() const { return level_ == 0; }
+  size_t size() const { return refs_.size(); }
+
+  BoxView mbb(size_t i) const {
+    return BoxView(mbbs_.data() + 2 * static_cast<size_t>(nd_) * i, nd_);
+  }
+  uint32_t ref(size_t i) const { return refs_[i]; }
+
+  void Add(BoxView b, uint32_t ref);
+
+  /// Replaces entry i's MBB (after a child's extent changed).
+  void SetMbb(size_t i, BoxView b);
+
+  /// Swap-removes entry i.
+  void RemoveAt(size_t i);
+
+  void Clear();
+
+  /// Union of all entry MBBs. Node must be non-empty.
+  Box ComputeMbb() const;
+
+  /// Index of the entry referencing `ref`, or SIZE_MAX.
+  size_t FindRef(uint32_t ref) const;
+
+ private:
+  Dim nd_;
+  uint32_t level_;
+  std::vector<float> mbbs_;  // stride 2*nd
+  std::vector<uint32_t> refs_;
+};
+
+}  // namespace accl

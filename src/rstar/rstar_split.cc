@@ -1,0 +1,119 @@
+#include "rstar/rstar_split.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "rstar/rstar_node.h"
+#include "util/check.h"
+
+namespace accl {
+
+namespace {
+
+// Accumulated MBB over a prefix/suffix of a sorted order; we precompute
+// prefix and suffix unions so each distribution is O(nd).
+struct RunningBoxes {
+  // prefix[i] = union of entries order[0..i]; suffix[i] = union of
+  // order[i..n-1]. Flat storage, stride 2*nd.
+  std::vector<float> prefix;
+  std::vector<float> suffix;
+  Dim nd;
+
+  RunningBoxes(const std::vector<BoxView>& entries,
+               const std::vector<size_t>& order) {
+    const size_t n = order.size();
+    nd = entries[0].dims();
+    const size_t stride = 2 * static_cast<size_t>(nd);
+    prefix.resize(n * stride);
+    suffix.resize(n * stride);
+    for (size_t i = 0; i < n; ++i) {
+      const BoxView b = entries[order[i]];
+      std::copy(b.data(), b.data() + stride, prefix.begin() + i * stride);
+      if (i > 0) {
+        UnionInto(BoxView(prefix.data() + (i - 1) * stride, nd),
+                  prefix.data() + i * stride);
+      }
+    }
+    for (size_t i = n; i-- > 0;) {
+      const BoxView b = entries[order[i]];
+      std::copy(b.data(), b.data() + stride, suffix.begin() + i * stride);
+      if (i + 1 < n) {
+        UnionInto(BoxView(suffix.data() + (i + 1) * stride, nd),
+                  suffix.data() + i * stride);
+      }
+    }
+  }
+
+  BoxView Prefix(size_t i) const {
+    return BoxView(prefix.data() + i * 2 * static_cast<size_t>(nd), nd);
+  }
+  BoxView Suffix(size_t i) const {
+    return BoxView(suffix.data() + i * 2 * static_cast<size_t>(nd), nd);
+  }
+};
+
+double MarginOf(BoxView b) { return b.Margin(); }
+
+}  // namespace
+
+SplitPartition ChooseSplit(const std::vector<BoxView>& entries,
+                           size_t min_entries) {
+  const size_t n = entries.size();
+  ACCL_CHECK(n >= 2 * min_entries);
+  const Dim nd = entries[0].dims();
+
+  // For each axis and each of the two sort keys (lower value, upper value),
+  // sum the margins of all legal distributions; keep the best axis/key.
+  double best_axis_margin = std::numeric_limits<double>::infinity();
+  std::vector<size_t> best_order;
+  std::vector<size_t> order(n);
+
+  for (Dim d = 0; d < nd; ++d) {
+    for (int key = 0; key < 2; ++key) {
+      std::iota(order.begin(), order.end(), size_t{0});
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        const float ka = key == 0 ? entries[a].lo(d) : entries[a].hi(d);
+        const float kb = key == 0 ? entries[b].lo(d) : entries[b].hi(d);
+        if (ka != kb) return ka < kb;
+        // Secondary key keeps the sort total for deterministic splits.
+        return (key == 0 ? entries[a].hi(d) < entries[b].hi(d)
+                         : entries[a].lo(d) < entries[b].lo(d));
+      });
+      RunningBoxes rb(entries, order);
+      double margin_sum = 0.0;
+      for (size_t k = min_entries; k + min_entries <= n; ++k) {
+        margin_sum += MarginOf(rb.Prefix(k - 1)) + MarginOf(rb.Suffix(k));
+      }
+      if (margin_sum < best_axis_margin) {
+        best_axis_margin = margin_sum;
+        best_order = order;
+      }
+    }
+  }
+
+  // ChooseSplitIndex along the winning order: minimum overlap volume between
+  // the two groups; ties resolved by minimum combined volume.
+  RunningBoxes rb(entries, best_order);
+  double best_overlap = std::numeric_limits<double>::infinity();
+  double best_volume = std::numeric_limits<double>::infinity();
+  size_t best_k = min_entries;
+  for (size_t k = min_entries; k + min_entries <= n; ++k) {
+    const BoxView g1 = rb.Prefix(k - 1);
+    const BoxView g2 = rb.Suffix(k);
+    const double ov = OverlapVolume(g1, g2);
+    const double vol = g1.Volume() + g2.Volume();
+    if (ov < best_overlap || (ov == best_overlap && vol < best_volume)) {
+      best_overlap = ov;
+      best_volume = vol;
+      best_k = k;
+    }
+  }
+
+  SplitPartition part;
+  part.group1.assign(best_order.begin(), best_order.begin() + best_k);
+  part.group2.assign(best_order.begin() + best_k, best_order.end());
+  return part;
+}
+
+}  // namespace accl

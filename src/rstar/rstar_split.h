@@ -1,0 +1,26 @@
+// R*-tree split: ChooseSplitAxis by minimum margin sum over all
+// distributions, then ChooseSplitIndex by minimum overlap (ties broken by
+// minimum combined volume). Operates on an overfull node's entries and
+// returns the partition.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/box.h"
+
+namespace accl {
+
+/// Output of the split decision: entry indices for each group.
+struct SplitPartition {
+  std::vector<size_t> group1;
+  std::vector<size_t> group2;
+};
+
+/// Chooses the R* split of `entries` (each a BoxView of the same
+/// dimensionality). `min_entries` is m: every distribution keeps at least m
+/// entries per group. `entries.size()` must be at least 2*m.
+SplitPartition ChooseSplit(const std::vector<BoxView>& entries,
+                           size_t min_entries);
+
+}  // namespace accl

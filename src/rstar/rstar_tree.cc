@@ -1,0 +1,456 @@
+#include "rstar/rstar_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "geometry/predicates.h"
+#include "rstar/rstar_split.h"
+#include "util/check.h"
+
+namespace accl {
+
+namespace {
+
+// Node-level pruning: necessary condition on a node MBB for the subtree to
+// possibly contain an answer object.
+//  - intersects:   some object intersecting Q must itself intersect Q, and
+//    it lies inside the MBB, so the MBB intersects Q.
+//  - contained-by: an object inside Q lies inside MBB∩Q, so MBB meets Q.
+//  - encloses:     an object enclosing Q lies inside the MBB, so the MBB
+//    encloses Q as well.
+inline bool NodeAdmits(BoxView mbb, const Query& q) {
+  switch (q.rel) {
+    case Relation::kIntersects:
+    case Relation::kContainedBy:
+      return Satisfies(mbb, q.box.view(), Relation::kIntersects);
+    case Relation::kEncloses:
+      return Satisfies(mbb, q.box.view(), Relation::kEncloses);
+  }
+  return false;
+}
+
+}  // namespace
+
+RStarTree::RStarTree(const RStarConfig& cfg) : cfg_(cfg) {
+  ACCL_CHECK(cfg_.nd > 0);
+  const size_t entry_bytes = 8 * static_cast<size_t>(cfg_.nd) + 4;
+  max_entries_ = cfg_.max_entries_override != 0
+                     ? cfg_.max_entries_override
+                     : std::max<size_t>(8, cfg_.page_bytes / entry_bytes);
+  min_entries_ = std::max<size_t>(
+      2, static_cast<size_t>(std::floor(static_cast<double>(max_entries_) *
+                                        cfg_.min_fill_fraction)));
+  ACCL_CHECK(2 * min_entries_ <= max_entries_ + 1);
+  reinsert_count_ = std::max<size_t>(
+      1, static_cast<size_t>(std::floor(static_cast<double>(max_entries_) *
+                                        cfg_.reinsert_fraction)));
+  // After removing the reinsert set the node must keep >= m entries.
+  reinsert_count_ = std::min(reinsert_count_, max_entries_ + 1 - min_entries_);
+  root_ = NewNode(0);
+  reinserted_levels_.assign(1, false);
+}
+
+RStarTree::~RStarTree() = default;
+
+NodeId RStarTree::NewNode(uint32_t level) {
+  NodeId id;
+  auto n = std::make_unique<RNode>(cfg_.nd, level);
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+    nodes_[id] = std::move(n);
+  } else {
+    id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(std::move(n));
+  }
+  ++live_nodes_;
+  return id;
+}
+
+void RStarTree::FreeNode(NodeId id) {
+  ACCL_CHECK(nodes_[id] != nullptr);
+  nodes_[id].reset();
+  free_ids_.push_back(id);
+  --live_nodes_;
+}
+
+uint32_t RStarTree::height() const { return node(root_)->level() + 1; }
+
+double RStarTree::AverageUtilization() const {
+  size_t entries = 0;
+  for (const auto& n : nodes_) {
+    if (n) entries += n->size();
+  }
+  return live_nodes_ == 0
+             ? 0.0
+             : static_cast<double>(entries) /
+                   (static_cast<double>(live_nodes_) *
+                    static_cast<double>(max_entries_));
+}
+
+size_t RStarTree::PickChild(const RNode* n, BoxView b,
+                            bool children_are_leaves) const {
+  const size_t sz = n->size();
+  ACCL_DCHECK(sz > 0);
+  struct Cand {
+    size_t i;
+    double enl;
+    double area;
+  };
+  std::vector<Cand> cands;
+  cands.reserve(sz);
+  for (size_t i = 0; i < sz; ++i) {
+    const BoxView e = n->mbb(i);
+    const double area = e.Volume();
+    cands.push_back({i, UnionVolume(e, b) - area, area});
+  }
+  if (!children_are_leaves) {
+    // CS: minimum area enlargement, ties by minimum area.
+    const Cand* best = &cands[0];
+    for (const Cand& c : cands) {
+      if (c.enl < best->enl || (c.enl == best->enl && c.area < best->area)) {
+        best = &c;
+      }
+    }
+    return best->i;
+  }
+  // Leaf level: minimum *overlap* enlargement among the top candidates by
+  // area enlargement (R* nearly-optimal pruning), ties by area enlargement
+  // then by area.
+  std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& c) {
+    if (a.enl != c.enl) return a.enl < c.enl;
+    return a.area < c.area;
+  });
+  const size_t k = std::min(cfg_.overlap_candidates, sz);
+  size_t best_i = cands[0].i;
+  double best_ov = std::numeric_limits<double>::infinity();
+  double best_enl = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  const size_t stride = 2 * static_cast<size_t>(cfg_.nd);
+  std::vector<float> u(stride);
+  for (size_t c = 0; c < k; ++c) {
+    const size_t i = cands[c].i;
+    const BoxView e = n->mbb(i);
+    std::copy(e.data(), e.data() + stride, u.begin());
+    UnionInto(b, u.data());
+    const BoxView uv(u.data(), cfg_.nd);
+    double ov = 0.0;
+    for (size_t j = 0; j < sz; ++j) {
+      if (j == i) continue;
+      ov += OverlapVolume(uv, n->mbb(j)) - OverlapVolume(e, n->mbb(j));
+    }
+    if (ov < best_ov ||
+        (ov == best_ov &&
+         (cands[c].enl < best_enl ||
+          (cands[c].enl == best_enl && cands[c].area < best_area)))) {
+      best_ov = ov;
+      best_enl = cands[c].enl;
+      best_area = cands[c].area;
+      best_i = i;
+    }
+  }
+  return best_i;
+}
+
+void RStarTree::RefreshPath(const std::vector<NodeId>& path, NodeId child) {
+  NodeId ch = child;
+  for (size_t i = path.size(); i-- > 0;) {
+    RNode* p = node(path[i]);
+    const size_t ei = p->FindRef(ch);
+    ACCL_DCHECK(ei != static_cast<size_t>(-1));
+    p->SetMbb(ei, node(ch)->ComputeMbb().view());
+    ch = path[i];
+  }
+}
+
+std::vector<RStarTree::TakenEntry> RStarTree::TakeFarthest(NodeId nid) {
+  RNode* n = node(nid);
+  const Box nb = n->ComputeMbb();
+  const Dim nd = cfg_.nd;
+  // Squared distance between entry center and node center.
+  std::vector<std::pair<double, size_t>> dist(n->size());
+  for (size_t i = 0; i < n->size(); ++i) {
+    const BoxView e = n->mbb(i);
+    double d2 = 0.0;
+    for (Dim d = 0; d < nd; ++d) {
+      const double dd = 0.5 * (e.lo(d) + e.hi(d)) - 0.5 * (nb.lo(d) + nb.hi(d));
+      d2 += dd * dd;
+    }
+    dist[i] = {d2, i};
+  }
+  std::sort(dist.begin(), dist.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  // The reinsert_count_ farthest entries, reinserted closest-first
+  // ("close reinsert").
+  std::vector<size_t> take_idx;
+  take_idx.reserve(reinsert_count_);
+  std::vector<TakenEntry> taken;
+  taken.reserve(reinsert_count_);
+  for (size_t c = reinsert_count_; c-- > 0;) {  // ascending distance
+    const size_t i = dist[c].second;
+    taken.push_back({Box(node(nid)->mbb(i)), node(nid)->ref(i)});
+    take_idx.push_back(i);
+  }
+  // Remove by descending slot index so swap-removal does not disturb the
+  // remaining victims.
+  std::sort(take_idx.begin(), take_idx.end(), std::greater<size_t>());
+  for (size_t i : take_idx) node(nid)->RemoveAt(i);
+  return taken;
+}
+
+NodeId RStarTree::SplitNode(NodeId cur) {
+  RNode* n = node(cur);
+  std::vector<BoxView> entries;
+  entries.reserve(n->size());
+  for (size_t i = 0; i < n->size(); ++i) entries.push_back(n->mbb(i));
+  const SplitPartition part = ChooseSplit(entries, min_entries_);
+
+  // Copy out both groups before clearing the node (views alias its storage).
+  std::vector<TakenEntry> g1, g2;
+  g1.reserve(part.group1.size());
+  g2.reserve(part.group2.size());
+  for (size_t i : part.group1) g1.push_back({Box(n->mbb(i)), n->ref(i)});
+  for (size_t i : part.group2) g2.push_back({Box(n->mbb(i)), n->ref(i)});
+
+  const NodeId nn = NewNode(n->level());
+  n = node(cur);  // table may have grown
+  n->Clear();
+  for (const TakenEntry& e : g1) n->Add(e.box.view(), e.ref);
+  RNode* n2 = node(nn);
+  for (const TakenEntry& e : g2) n2->Add(e.box.view(), e.ref);
+  return nn;
+}
+
+void RStarTree::InsertAtLevel(BoxView b, uint32_t ref, uint32_t target_level) {
+  // Descend to the target level, choosing subtrees the R* way.
+  std::vector<NodeId> path;
+  NodeId nid = root_;
+  while (node(nid)->level() > target_level) {
+    path.push_back(nid);
+    const bool leaves = node(nid)->level() == 1;
+    const size_t ci = PickChild(node(nid), b, leaves);
+    nid = node(nid)->ref(ci);
+  }
+  ACCL_CHECK(node(nid)->level() == target_level);
+  node(nid)->Add(b, ref);
+
+  // Overflow treatment, bottom-up.
+  NodeId cur = nid;
+  size_t pi = path.size();  // ancestors path[0..pi-1] remain unprocessed
+  while (node(cur)->size() > max_entries_) {
+    const uint32_t lvl = node(cur)->level();
+    if (cur != root_ && !reinserted_levels_[lvl]) {
+      // Forced reinsert: once per level per top-level insertion.
+      reinserted_levels_[lvl] = true;
+      ++forced_reinsertions_;
+      std::vector<TakenEntry> taken = TakeFarthest(cur);
+      RefreshPath({path.begin(), path.begin() + pi}, cur);
+      for (const TakenEntry& te : taken) {
+        InsertAtLevel(te.box.view(), te.ref, lvl);
+      }
+      return;
+    }
+    const NodeId nn = SplitNode(cur);
+    ++splits_;
+    if (cur == root_) {
+      const NodeId nr = NewNode(lvl + 1);
+      node(nr)->Add(node(cur)->ComputeMbb().view(), cur);
+      node(nr)->Add(node(nn)->ComputeMbb().view(), nn);
+      root_ = nr;
+      reinserted_levels_.resize(node(nr)->level() + 1, false);
+      return;
+    }
+    const NodeId parent = path[pi - 1];
+    const size_t ei = node(parent)->FindRef(cur);
+    ACCL_DCHECK(ei != static_cast<size_t>(-1));
+    node(parent)->SetMbb(ei, node(cur)->ComputeMbb().view());
+    node(parent)->Add(node(nn)->ComputeMbb().view(), nn);
+    cur = parent;
+    --pi;
+  }
+  RefreshPath({path.begin(), path.begin() + pi}, cur);
+}
+
+void RStarTree::Insert(ObjectId id, BoxView box) {
+  ACCL_CHECK(box.dims() == cfg_.nd);
+  reinserted_levels_.assign(node(root_)->level() + 1, false);
+  InsertAtLevel(box, id, 0);
+  ++object_count_;
+}
+
+namespace {
+
+// DFS for the leaf holding `id`; fills `path` with the ancestors.
+bool FindLeafRec(const std::vector<std::unique_ptr<RNode>>& nodes, NodeId nid,
+                 ObjectId id, std::vector<NodeId>* path, NodeId* leaf) {
+  const RNode* n = nodes[nid].get();
+  if (n->is_leaf()) {
+    if (n->FindRef(id) != static_cast<size_t>(-1)) {
+      *leaf = nid;
+      return true;
+    }
+    return false;
+  }
+  path->push_back(nid);
+  for (size_t i = 0; i < n->size(); ++i) {
+    if (FindLeafRec(nodes, n->ref(i), id, path, leaf)) return true;
+  }
+  path->pop_back();
+  return false;
+}
+
+void CollectLeafEntries(const std::vector<std::unique_ptr<RNode>>& nodes,
+                        NodeId nid,
+                        std::vector<RStarTree::TakenEntry>* out,
+                        std::vector<NodeId>* subtree) {
+  const RNode* n = nodes[nid].get();
+  subtree->push_back(nid);
+  if (n->is_leaf()) {
+    for (size_t i = 0; i < n->size(); ++i) {
+      out->push_back({Box(n->mbb(i)), n->ref(i)});
+    }
+    return;
+  }
+  for (size_t i = 0; i < n->size(); ++i) {
+    CollectLeafEntries(nodes, n->ref(i), out, subtree);
+  }
+}
+
+}  // namespace
+
+bool RStarTree::Erase(ObjectId id) {
+  std::vector<NodeId> path;
+  NodeId leaf = kNoNode;
+  if (!FindLeafRec(nodes_, root_, id, &path, &leaf)) return false;
+  node(leaf)->RemoveAt(node(leaf)->FindRef(id));
+  --object_count_;
+
+  // Condense: dissolve underfull nodes bottom-up, reinserting their leaf
+  // payloads afterwards (simpler than level-wise orphan reinsertion and
+  // immune to root-height changes).
+  std::vector<TakenEntry> orphans;
+  NodeId cur = leaf;
+  size_t pi = path.size();
+  while (cur != root_) {
+    const NodeId parent = path[pi - 1];
+    if (node(cur)->size() < min_entries_) {
+      const size_t ei = node(parent)->FindRef(cur);
+      ACCL_DCHECK(ei != static_cast<size_t>(-1));
+      node(parent)->RemoveAt(ei);
+      std::vector<NodeId> subtree;
+      CollectLeafEntries(nodes_, cur, &orphans, &subtree);
+      for (NodeId nid : subtree) FreeNode(nid);
+    } else {
+      const size_t ei = node(parent)->FindRef(cur);
+      node(parent)->SetMbb(ei, node(cur)->ComputeMbb().view());
+    }
+    cur = parent;
+    --pi;
+  }
+  // Shrink the root while it is a one-way internal node.
+  while (!node(root_)->is_leaf() && node(root_)->size() == 1) {
+    const NodeId old = root_;
+    root_ = node(root_)->ref(0);
+    FreeNode(old);
+  }
+  if (!node(root_)->is_leaf() && node(root_)->size() == 0) {
+    // Cannot happen: internal nodes lose whole children only via the
+    // condense path, which never empties the root without shrinking it.
+    ACCL_CHECK(false);
+  }
+  for (const TakenEntry& te : orphans) {
+    reinserted_levels_.assign(node(root_)->level() + 1, false);
+    InsertAtLevel(te.box.view(), te.ref, 0);
+  }
+  return true;
+}
+
+void RStarTree::Execute(const Query& q, std::vector<ObjectId>* out,
+                        QueryMetrics* metrics) {
+  ACCL_CHECK(q.dims() == cfg_.nd);
+  QueryMetrics local;
+  QueryMetrics* m = metrics ? metrics : &local;
+  m->Clear();
+  m->groups_total = live_nodes_;
+
+  const BoxView qv = q.box.view();
+  const uint64_t entry_bytes = 8ull * cfg_.nd + 4ull;
+  std::vector<NodeId> stack;
+  stack.push_back(root_);
+  while (!stack.empty()) {
+    const NodeId nid = stack.back();
+    stack.pop_back();
+    const RNode* n = node(nid);
+    ++m->groups_explored;
+    // Every node access is a random page read in the disk scenario.
+    if (cfg_.scenario == StorageScenario::kDisk) {
+      ++m->disk_seeks;
+      m->disk_bytes += cfg_.page_bytes;
+      m->sim_time_ms +=
+          cfg_.sys.disk_access_ms +
+          cfg_.sys.disk_ms_per_byte * static_cast<double>(cfg_.page_bytes);
+    }
+    if (n->is_leaf()) {
+      for (size_t i = 0; i < n->size(); ++i) {
+        uint32_t dims_checked = 0;
+        if (SatisfiesCounting(n->mbb(i), qv, q.rel, &dims_checked)) {
+          out->push_back(n->ref(i));
+          ++m->result_count;
+        }
+        m->dims_checked += dims_checked;
+      }
+      m->objects_verified += n->size();
+      m->bytes_verified += n->size() * ObjectBytes(cfg_.nd);
+      m->sim_time_ms += cfg_.sys.verify_ms_per_byte *
+                        static_cast<double>(n->size() * entry_bytes);
+    } else {
+      for (size_t i = 0; i < n->size(); ++i) {
+        if (NodeAdmits(n->mbb(i), q)) {
+          stack.push_back(n->ref(i));
+        }
+      }
+      m->sim_time_ms += cfg_.sys.verify_ms_per_byte *
+                        static_cast<double>(n->size() * entry_bytes);
+    }
+  }
+}
+
+void RStarTree::CheckNode(NodeId nid, const float* expected_mbb,
+                          uint32_t expected_level,
+                          size_t* objects_seen) const {
+  const RNode* n = node(nid);
+  ACCL_CHECK(n != nullptr);
+  ACCL_CHECK(n->level() == expected_level);
+  if (nid != root_) {
+    ACCL_CHECK(n->size() >= min_entries_);
+  }
+  ACCL_CHECK(n->size() <= max_entries_);
+  if (expected_mbb != nullptr) {
+    const Box actual = n->ComputeMbb();
+    for (Dim d = 0; d < cfg_.nd; ++d) {
+      ACCL_CHECK(actual.lo(d) == expected_mbb[2 * d]);
+      ACCL_CHECK(actual.hi(d) == expected_mbb[2 * d + 1]);
+    }
+  }
+  if (n->is_leaf()) {
+    *objects_seen += n->size();
+    return;
+  }
+  for (size_t i = 0; i < n->size(); ++i) {
+    CheckNode(n->ref(i), n->mbb(i).data(), expected_level - 1, objects_seen);
+  }
+}
+
+void RStarTree::CheckInvariants() const {
+  size_t objects_seen = 0;
+  if (object_count_ == 0 && node(root_)->is_leaf() &&
+      node(root_)->size() == 0) {
+    return;  // empty tree
+  }
+  CheckNode(root_, nullptr, node(root_)->level(), &objects_seen);
+  ACCL_CHECK(objects_seen == object_count_);
+}
+
+}  // namespace accl

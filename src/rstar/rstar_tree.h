@@ -1,0 +1,131 @@
+// R*-tree (Beckmann et al., SIGMOD 1990) — the paper's main competitor.
+//
+// Full dynamic implementation: ChooseSubtree with minimum overlap
+// enlargement at the leaf level (nearly-optimal candidate pruning),
+// minimum area enlargement above; forced reinsertion of the 30 % farthest
+// entries on first overflow per level per insertion; margin-driven split
+// axis selection with overlap-driven split index; deletion with tree
+// condensation and orphan reinsertion.
+//
+// Node capacity follows the paper's experimental setup: a page size of
+// 16 KB and entries of 8*nd + 4 bytes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "api/spatial_index.h"
+#include "cost/cost_model.h"
+#include "rstar/rstar_node.h"
+
+namespace accl {
+
+/// Construction parameters for the R*-tree.
+struct RStarConfig {
+  Dim nd = 16;
+  /// Node page size in bytes (paper: 16 KB).
+  size_t page_bytes = 16384;
+  /// Minimum fill m as a fraction of capacity M (R*: 40 %).
+  double min_fill_fraction = 0.4;
+  /// Fraction of entries force-reinserted on overflow (R*: 30 %).
+  double reinsert_fraction = 0.3;
+  /// Candidates considered for the overlap-enlargement test (R* "nearly
+  /// optimal" pruning; 32 in the original).
+  size_t overlap_candidates = 32;
+  /// When non-zero, overrides the page-derived capacity (tests use small
+  /// fanouts to exercise deep trees).
+  size_t max_entries_override = 0;
+  StorageScenario scenario = StorageScenario::kMemory;
+  SystemParams sys = SystemParams::Paper();
+};
+
+/// The R*-tree competitor.
+class RStarTree : public SpatialIndex {
+ public:
+  explicit RStarTree(const RStarConfig& cfg);
+  ~RStarTree() override;
+
+  RStarTree(const RStarTree&) = delete;
+  RStarTree& operator=(const RStarTree&) = delete;
+
+  // ---- SpatialIndex interface ----
+  const char* name() const override { return "RS"; }
+  Dim dims() const override { return cfg_.nd; }
+  void Insert(ObjectId id, BoxView box) override;
+  bool Erase(ObjectId id) override;
+  void Execute(const Query& q, std::vector<ObjectId>* out,
+               QueryMetrics* metrics = nullptr) override;
+  size_t size() const override { return object_count_; }
+
+  // ---- Introspection ----
+  const RStarConfig& config() const { return cfg_; }
+  size_t node_count() const { return live_nodes_; }
+  uint32_t height() const;  ///< number of levels (1 = root is a leaf)
+  size_t max_entries() const { return max_entries_; }
+  size_t min_entries() const { return min_entries_; }
+  uint64_t forced_reinsertions() const { return forced_reinsertions_; }
+  uint64_t splits() const { return splits_; }
+
+  /// Average node fill (entries / capacity) across all nodes.
+  double AverageUtilization() const;
+
+  /// Verifies structural invariants: entry MBBs tight over children, level
+  /// consistency, fill bounds. Aborts via ACCL_CHECK on violation.
+  void CheckInvariants() const;
+
+  /// An entry lifted out of a node (forced reinsert, splits, condensation).
+  struct TakenEntry {
+    Box box;
+    uint32_t ref;
+  };
+
+ private:
+  RNode* node(NodeId id) { return nodes_[id].get(); }
+  const RNode* node(NodeId id) const { return nodes_[id].get(); }
+
+  NodeId NewNode(uint32_t level);
+  void FreeNode(NodeId id);
+
+  /// R* ChooseSubtree step at one node whose children sit at
+  /// `target_level`: index of the entry to descend into.
+  size_t PickChild(const RNode* n, BoxView b, bool children_are_target) const;
+
+  /// Inserts an entry at `target_level`, handling overflow (forced
+  /// reinsert / split) and MBB adjustment.
+  void InsertAtLevel(BoxView b, uint32_t ref, uint32_t target_level);
+
+  /// Splits overfull node `cur`; returns the new sibling.
+  NodeId SplitNode(NodeId cur);
+
+  /// Removes the `reinsert_count_` entries farthest from the node's center;
+  /// returns them sorted closest-first (R* close reinsert).
+  std::vector<TakenEntry> TakeFarthest(NodeId nid);
+
+  /// Recomputes the parent-entry MBBs for `child` along `path` (deepest
+  /// ancestor last).
+  void RefreshPath(const std::vector<NodeId>& path, NodeId child);
+
+  void CheckNode(NodeId nid, const float* expected_mbb, uint32_t expected_level,
+                 size_t* objects_seen) const;
+
+  RStarConfig cfg_;
+  size_t max_entries_;
+  size_t min_entries_;
+  size_t reinsert_count_;
+
+  std::vector<std::unique_ptr<RNode>> nodes_;
+  std::vector<NodeId> free_ids_;
+  size_t live_nodes_ = 0;
+  NodeId root_ = kNoNode;
+  size_t object_count_ = 0;
+
+  /// Per-level flags: has forced reinsert already run at this level during
+  /// the current top-level insertion? (R* OverflowTreatment.)
+  std::vector<bool> reinserted_levels_;
+
+  uint64_t forced_reinsertions_ = 0;
+  uint64_t splits_ = 0;
+};
+
+}  // namespace accl

@@ -1,0 +1,86 @@
+#include "sdi/subscription_engine.h"
+
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace accl {
+
+Event Event::Point(std::vector<float> normalized_point) {
+  Event e;
+  e.is_point = true;
+  e.box = Box::Point(normalized_point);
+  return e;
+}
+
+Event Event::Range(Box normalized_box) {
+  Event e;
+  e.is_point = false;
+  e.box = std::move(normalized_box);
+  return e;
+}
+
+SubscriptionEngine::SubscriptionEngine(AttributeSchema schema,
+                                       EngineOptions options)
+    : schema_(std::move(schema)), options_(options) {
+  ACCL_CHECK(schema_.dims() > 0);
+  options_.index.nd = schema_.dims();
+  index_ = std::make_unique<AdaptiveIndex>(options_.index);
+}
+
+SubscriptionId SubscriptionEngine::Subscribe(
+    const std::vector<AttributeRange>& ranges) {
+  Box box;
+  if (!schema_.MakeBox(ranges, &box)) return kInvalidObject;
+  return SubscribeBox(box);
+}
+
+SubscriptionId SubscriptionEngine::SubscribeBox(const Box& box) {
+  ACCL_CHECK(box.dims() == schema_.dims());
+  const SubscriptionId id = next_id_++;
+  index_->Insert(id, box.view());
+  return id;
+}
+
+bool SubscriptionEngine::Unsubscribe(SubscriptionId id) {
+  return index_->Erase(id);
+}
+
+void SubscriptionEngine::Match(const Event& event,
+                               std::vector<SubscriptionId>* out) {
+  Match(event, options_.default_policy, out);
+}
+
+void SubscriptionEngine::Match(const Event& event, MatchPolicy policy,
+                               std::vector<SubscriptionId>* out) {
+  // Point events are enclosure queries under either policy (a point
+  // intersects a subscription iff the subscription encloses it).
+  const Relation rel = event.is_point || policy == MatchPolicy::kCovering
+                           ? Relation::kEncloses
+                           : Relation::kIntersects;
+  Query q(event.box, rel);
+  QueryMetrics m;
+  WallTimer t;
+  index_->Execute(q, out, &m);
+  stats_.match_latency_ms.Add(t.ElapsedMs());
+  ++stats_.events_processed;
+  stats_.matches_per_event.Add(static_cast<double>(m.result_count));
+  stats_.verified_per_event.Add(static_cast<double>(m.objects_verified));
+}
+
+bool SubscriptionEngine::MakePointEvent(
+    const std::vector<AttributeValue>& values, Event* out) const {
+  std::vector<float> pt;
+  if (!schema_.MakePoint(values, &pt)) return false;
+  *out = Event::Point(std::move(pt));
+  return true;
+}
+
+bool SubscriptionEngine::MakeRangeEvent(
+    const std::vector<AttributeRange>& ranges, Event* out) const {
+  Box box;
+  if (!schema_.MakeBox(ranges, &box)) return false;
+  *out = Event::Range(std::move(box));
+  return true;
+}
+
+}  // namespace accl

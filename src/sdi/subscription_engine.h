@@ -1,0 +1,115 @@
+// Selective Dissemination of Information engine — the paper's motivating
+// application (§1): a publish/subscribe notification system where
+// subscriptions define range intervals over attributes and incoming events
+// (offers) must be matched against the whole subscription database with low
+// latency.
+//
+// The engine wraps the adaptive clustering index with an attribute schema,
+// subscription lifecycle management, the two event kinds the paper
+// describes (point events and range events), and running statistics.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/schema.h"
+#include "core/adaptive_index.h"
+#include "util/summary.h"
+
+namespace accl {
+
+/// Identifier handed out for registered subscriptions.
+using SubscriptionId = ObjectId;
+
+/// How range events select subscriptions.
+enum class MatchPolicy : uint8_t {
+  /// Notify subscriptions whose ranges intersect the event's ranges — the
+  /// paper's spatial range query ("consult the set of alternative offers
+  /// that are close to their wishes").
+  kIntersecting = 0,
+  /// Notify only subscriptions whose ranges fully cover the event's ranges
+  /// (the event satisfies every constraint of the subscription) — the
+  /// enclosure query; point events degenerate to point-enclosing.
+  kCovering,
+};
+
+/// An incoming publication.
+struct Event {
+  /// Point event: one value per attribute. Built via
+  /// AttributeSchema::MakePoint or SubscriptionEngine::MakePointEvent.
+  static Event Point(std::vector<float> normalized_point);
+  /// Range event ("3 to 5 rooms, 600$-900$").
+  static Event Range(Box normalized_box);
+
+  bool is_point = true;
+  Box box;  ///< degenerate for point events
+};
+
+/// Aggregate engine statistics.
+struct EngineStats {
+  uint64_t events_processed = 0;
+  Summary matches_per_event;
+  Summary verified_per_event;
+  Summary match_latency_ms;
+};
+
+/// Tuning for the engine; forwards the index knobs.
+struct EngineOptions {
+  AdaptiveConfig index;  ///< nd overwritten from the schema
+  MatchPolicy default_policy = MatchPolicy::kCovering;
+};
+
+/// The subscription database and matcher.
+class SubscriptionEngine {
+ public:
+  /// Schema must be fully defined before constructing the engine.
+  explicit SubscriptionEngine(AttributeSchema schema,
+                              EngineOptions options = {});
+
+  const AttributeSchema& schema() const { return schema_; }
+
+  /// Registers a subscription given by range predicates (unspecified
+  /// attributes are unconstrained). Returns the new id, or kInvalidObject
+  /// when a predicate is malformed.
+  SubscriptionId Subscribe(const std::vector<AttributeRange>& ranges);
+
+  /// Registers a pre-built normalized subscription box.
+  SubscriptionId SubscribeBox(const Box& box);
+
+  /// Removes a subscription. Returns false when unknown.
+  bool Unsubscribe(SubscriptionId id);
+
+  size_t subscription_count() const { return index_->size(); }
+
+  /// Matches an event against the database; appends notified subscription
+  /// ids to `*out`. Uses the engine's default policy unless overridden.
+  void Match(const Event& event, std::vector<SubscriptionId>* out);
+  void Match(const Event& event, MatchPolicy policy,
+             std::vector<SubscriptionId>* out);
+
+  /// Convenience: builds a point event from attribute values. Returns
+  /// false when values do not cover the schema exactly.
+  bool MakePointEvent(const std::vector<AttributeValue>& values,
+                      Event* out) const;
+
+  /// Convenience: builds a range event from predicates.
+  bool MakeRangeEvent(const std::vector<AttributeRange>& ranges,
+                      Event* out) const;
+
+  const EngineStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = EngineStats(); }
+
+  /// The underlying index (for diagnostics: cluster counts, reorg stats).
+  const AdaptiveIndex& index() const { return *index_; }
+
+ private:
+  AttributeSchema schema_;
+  EngineOptions options_;
+  std::unique_ptr<AdaptiveIndex> index_;
+  SubscriptionId next_id_ = 0;
+  EngineStats stats_;
+};
+
+}  // namespace accl

@@ -1,0 +1,426 @@
+#include "storage/paged_store.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "util/check.h"
+#include "util/serialize.h"
+
+namespace accl {
+
+namespace {
+
+constexpr uint32_t kFileMagic = 0x41434346u;  // "ACCF"
+constexpr uint32_t kFileVersion = 1;
+constexpr uint64_t kHeaderBytes = 4096;
+constexpr uint64_t kNoDirectory = ~0ull;
+
+struct FileHeader {
+  uint32_t magic;
+  uint32_t version;
+  uint32_t page_bytes;
+  uint32_t pad;
+  uint64_t page_count;
+  uint64_t dir_first;
+  uint64_t dir_pages;
+  uint64_t dir_bytes;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------- PagedFile
+
+PagedFile::~PagedFile() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+static bool WriteHeaderTo(std::FILE* f, const FileHeader& h) {
+  uint8_t block[kHeaderBytes] = {};
+  std::memcpy(block, &h, sizeof(h));
+  if (std::fseek(f, 0, SEEK_SET) != 0) return false;
+  return std::fwrite(block, 1, sizeof(block), f) == sizeof(block);
+}
+
+std::unique_ptr<PagedFile> PagedFile::Create(const std::string& path,
+                                             uint32_t page_bytes) {
+  if (page_bytes < 64) return nullptr;
+  std::FILE* f = std::fopen(path.c_str(), "wb+");
+  if (f == nullptr) return nullptr;
+  FileHeader h{kFileMagic, kFileVersion, page_bytes, 0, 0, kNoDirectory, 0, 0};
+  if (!WriteHeaderTo(f, h)) {
+    std::fclose(f);
+    return nullptr;
+  }
+  auto pf = std::unique_ptr<PagedFile>(new PagedFile());
+  pf->file_ = f;
+  pf->page_bytes_ = page_bytes;
+  return pf;
+}
+
+std::unique_ptr<PagedFile> PagedFile::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  if (f == nullptr) return nullptr;
+  FileHeader h{};
+  if (std::fread(&h, sizeof(h), 1, f) != 1 || h.magic != kFileMagic ||
+      h.version != kFileVersion || h.page_bytes < 64) {
+    std::fclose(f);
+    return nullptr;
+  }
+  auto pf = std::unique_ptr<PagedFile>(new PagedFile());
+  pf->file_ = f;
+  pf->page_bytes_ = h.page_bytes;
+  pf->page_count_ = h.page_count;
+  pf->dir_first_ = h.dir_first;
+  pf->dir_pages_ = h.dir_pages;
+  pf->dir_bytes_ = h.dir_bytes;
+  // All pages start free; the directory loader re-marks live runs.
+  if (h.page_count > 0) pf->free_runs_.push_back({0, h.page_count});
+  return pf;
+}
+
+bool PagedFile::PersistHeader() {
+  FileHeader h{kFileMagic, kFileVersion, page_bytes_,  0,
+               page_count_, dir_first_,  dir_pages_,   dir_bytes_};
+  if (!WriteHeaderTo(file_, h)) return false;
+  return std::fflush(file_) == 0;
+}
+
+bool PagedFile::SetDirectory(uint64_t first, uint64_t pages, uint64_t bytes) {
+  dir_first_ = first;
+  dir_pages_ = pages;
+  dir_bytes_ = bytes;
+  return PersistHeader();
+}
+
+bool PagedFile::GetDirectory(uint64_t* first, uint64_t* pages,
+                             uint64_t* bytes) const {
+  if (dir_first_ == kNoDirectory) return false;
+  *first = dir_first_;
+  *pages = dir_pages_;
+  *bytes = dir_bytes_;
+  return true;
+}
+
+bool PagedFile::MarkAllocated(uint64_t first, uint64_t n) {
+  if (n == 0) return true;
+  for (size_t i = 0; i < free_runs_.size(); ++i) {
+    FreeRunRec& r = free_runs_[i];
+    if (first >= r.first && first + n <= r.first + r.count) {
+      const FreeRunRec before{r.first, first - r.first};
+      const FreeRunRec after{first + n, r.first + r.count - (first + n)};
+      free_runs_.erase(free_runs_.begin() + static_cast<long>(i));
+      if (after.count > 0) free_runs_.insert(free_runs_.begin() + i, after);
+      if (before.count > 0) free_runs_.insert(free_runs_.begin() + i, before);
+      pages_in_use_ += n;
+      return true;
+    }
+  }
+  return false;  // overlaps a live run or exceeds the file
+}
+
+uint64_t PagedFile::AllocateRun(uint64_t n) {
+  ACCL_CHECK(n > 0);
+  // First fit over freed runs.
+  for (size_t i = 0; i < free_runs_.size(); ++i) {
+    if (free_runs_[i].count >= n) {
+      const uint64_t first = free_runs_[i].first;
+      free_runs_[i].first += n;
+      free_runs_[i].count -= n;
+      if (free_runs_[i].count == 0) {
+        free_runs_.erase(free_runs_.begin() + static_cast<long>(i));
+      }
+      pages_in_use_ += n;
+      return first;
+    }
+  }
+  const uint64_t first = page_count_;
+  page_count_ += n;
+  pages_in_use_ += n;
+  // Extend the file so reads of fresh pages succeed.
+  const uint64_t new_size = kHeaderBytes + page_count_ * page_bytes_;
+  ACCL_CHECK(ftruncate(fileno(file_), static_cast<off_t>(new_size)) == 0);
+  return first;
+}
+
+void PagedFile::FreeRun(uint64_t first_page, uint64_t n) {
+  if (n == 0) return;
+  ACCL_CHECK(first_page + n <= page_count_);
+  ACCL_CHECK(pages_in_use_ >= n);
+  pages_in_use_ -= n;
+  free_runs_.push_back({first_page, n});
+  // Coalesce neighbours to limit fragmentation.
+  std::sort(free_runs_.begin(), free_runs_.end(),
+            [](const FreeRunRec& a, const FreeRunRec& b) {
+              return a.first < b.first;
+            });
+  std::vector<FreeRunRec> merged;
+  for (const FreeRunRec& r : free_runs_) {
+    if (!merged.empty() &&
+        merged.back().first + merged.back().count == r.first) {
+      merged.back().count += r.count;
+    } else {
+      merged.push_back(r);
+    }
+  }
+  free_runs_.swap(merged);
+}
+
+bool PagedFile::ReadAt(uint64_t first_page, uint64_t off, void* out,
+                       uint64_t len) {
+  const uint64_t byte0 = first_page * page_bytes_ + off;
+  if (byte0 + len > page_count_ * page_bytes_) return false;
+  if (std::fseek(file_, static_cast<long>(kHeaderBytes + byte0), SEEK_SET) !=
+      0) {
+    return false;
+  }
+  return len == 0 || std::fread(out, 1, len, file_) == len;
+}
+
+bool PagedFile::WriteAt(uint64_t first_page, uint64_t off, const void* data,
+                        uint64_t len) {
+  const uint64_t byte0 = first_page * page_bytes_ + off;
+  if (byte0 + len > page_count_ * page_bytes_) return false;
+  if (std::fseek(file_, static_cast<long>(kHeaderBytes + byte0), SEEK_SET) !=
+      0) {
+    return false;
+  }
+  return len == 0 || std::fwrite(data, 1, len, file_) == len;
+}
+
+bool PagedFile::Sync() {
+  if (std::fflush(file_) != 0) return false;
+  return fsync(fileno(file_)) == 0;
+}
+
+// --------------------------------------------------------- ClusterFileStore
+
+ClusterFileStore::ClusterFileStore(std::unique_ptr<PagedFile> file, Dim nd,
+                                   double reserve_fraction, SimDisk* disk)
+    : file_(std::move(file)),
+      nd_(nd),
+      reserve_fraction_(reserve_fraction),
+      disk_(disk) {
+  ACCL_CHECK(file_ != nullptr);
+  ACCL_CHECK(nd_ > 0);
+}
+
+size_t ClusterFileStore::cluster_count() const { return entries_.size(); }
+
+uint64_t ClusterFileStore::RunBytes(uint64_t capacity) const {
+  // [u64 object count][capacity ids][capacity coord records]
+  return 8 + capacity * (4 + 8ull * nd_);
+}
+
+uint64_t ClusterFileStore::RunPages(uint64_t capacity) const {
+  const uint64_t bytes = RunBytes(capacity);
+  return (bytes + file_->page_bytes() - 1) / file_->page_bytes();
+}
+
+ClusterFileStore::Entry* ClusterFileStore::Find(ClusterId id) {
+  for (Entry& e : entries_) {
+    if (e.id == id) return &e;
+  }
+  return nullptr;
+}
+
+bool ClusterFileStore::WriteObjects(const Entry& e, size_t first_slot,
+                                    const ObjectId* ids, const float* coords,
+                                    size_t n) {
+  if (n == 0) return true;
+  const uint64_t ids_off = 8 + first_slot * 4ull;
+  const uint64_t coords_off =
+      8 + e.capacity * 4ull + first_slot * 8ull * nd_;
+  if (!file_->WriteAt(e.first_page, ids_off, ids, n * 4ull)) return false;
+  if (!file_->WriteAt(e.first_page, coords_off, coords, n * 8ull * nd_)) {
+    return false;
+  }
+  if (disk_ != nullptr) {
+    disk_->Seek();
+    disk_->Transfer(n * (4ull + 8ull * nd_));
+  }
+  return true;
+}
+
+bool ClusterFileStore::Put(const ClusterImage& image) {
+  const uint64_t n = image.ids.size();
+  Entry* e = Find(image.id);
+  if (e != nullptr && n <= e->capacity) {
+    // Rewrite in place.
+    e->sig = image.sig;
+    e->objects = n;
+    if (!file_->WriteAt(e->first_page, 0, &n, 8)) return false;
+    return WriteObjects(*e, 0, image.ids.data(), image.coords.data(),
+                        static_cast<size_t>(n));
+  }
+  // Fresh run with reserve places.
+  uint64_t cap = static_cast<uint64_t>(
+      std::ceil(static_cast<double>(n) * (1.0 + reserve_fraction_)));
+  cap = std::max<uint64_t>(cap, 8);
+  const uint64_t pages = RunPages(cap);
+  // Use every object place the page run can hold.
+  cap = (pages * file_->page_bytes() - 8) / (4ull + 8ull * nd_);
+  const uint64_t first = file_->AllocateRun(pages);
+  Entry fresh;
+  fresh.id = image.id;
+  fresh.parent = image.parent;
+  fresh.sig = image.sig;
+  fresh.first_page = first;
+  fresh.pages = pages;
+  fresh.objects = n;
+  fresh.capacity = cap;
+  if (!file_->WriteAt(first, 0, &n, 8)) return false;
+  if (!WriteObjects(fresh, 0, image.ids.data(), image.coords.data(),
+                    static_cast<size_t>(n))) {
+    return false;
+  }
+  if (e != nullptr) {
+    file_->FreeRun(e->first_page, e->pages);
+    ++relocations_;
+    *e = fresh;
+  } else {
+    entries_.push_back(fresh);
+  }
+  return true;
+}
+
+bool ClusterFileStore::Append(ClusterId id, ObjectId oid,
+                              const float* coords) {
+  Entry* e = Find(id);
+  if (e == nullptr) return false;
+  if (e->objects >= e->capacity) {
+    // Relocate via read-modify-write with a fresh reserve.
+    ClusterImage img;
+    if (!Get(id, &img)) return false;
+    img.ids.push_back(oid);
+    img.coords.insert(img.coords.end(), coords, coords + 2 * nd_);
+    return Put(img);
+  }
+  const size_t slot = static_cast<size_t>(e->objects);
+  if (!WriteObjects(*e, slot, &oid, coords, 1)) return false;
+  ++e->objects;
+  return file_->WriteAt(e->first_page, 0, &e->objects, 8);
+}
+
+bool ClusterFileStore::Get(ClusterId id, ClusterImage* out) {
+  Entry* e = Find(id);
+  if (e == nullptr) return false;
+  uint64_t n = 0;
+  if (!file_->ReadAt(e->first_page, 0, &n, 8)) return false;
+  if (n != e->objects || n > e->capacity) return false;  // corruption
+  out->id = e->id;
+  out->parent = e->parent;
+  out->sig = e->sig;
+  out->ids.resize(n);
+  out->coords.resize(n * 2 * static_cast<size_t>(nd_));
+  if (n != 0) {
+    if (!file_->ReadAt(e->first_page, 8, out->ids.data(), n * 4ull)) {
+      return false;
+    }
+    if (!file_->ReadAt(e->first_page, 8 + e->capacity * 4ull,
+                       out->coords.data(), n * 8ull * nd_)) {
+      return false;
+    }
+  }
+  if (disk_ != nullptr) disk_->SequentialRead(8 + n * (4ull + 8ull * nd_));
+  return true;
+}
+
+bool ClusterFileStore::Remove(ClusterId id) {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].id == id) {
+      file_->FreeRun(entries_[i].first_page, entries_[i].pages);
+      entries_.erase(entries_.begin() + static_cast<long>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+double ClusterFileStore::utilization() const {
+  uint64_t used = 0, cap = 0;
+  for (const Entry& e : entries_) {
+    used += e.objects;
+    cap += e.capacity;
+  }
+  return cap == 0 ? 1.0 : static_cast<double>(used) / static_cast<double>(cap);
+}
+
+bool ClusterFileStore::SaveDirectory() {
+  ByteWriter w;
+  w.PutU32(nd_);
+  w.PutU32(static_cast<uint32_t>(entries_.size()));
+  for (const Entry& e : entries_) {
+    w.PutU32(e.id);
+    w.PutU32(e.parent);
+    e.sig.Serialize(&w);
+    w.PutU64(e.first_page);
+    w.PutU64(e.pages);
+    w.PutU64(e.objects);
+  }
+  // Replace any previous directory run.
+  uint64_t old_first = 0, old_pages = 0, old_bytes = 0;
+  if (file_->GetDirectory(&old_first, &old_pages, &old_bytes)) {
+    file_->FreeRun(old_first, old_pages);
+  }
+  const uint64_t dir_pages = std::max<uint64_t>(
+      1, (w.size() + file_->page_bytes() - 1) / file_->page_bytes());
+  const uint64_t dir_first = file_->AllocateRun(dir_pages);
+  if (!file_->WriteAt(dir_first, 0, w.bytes().data(), w.size())) return false;
+  return file_->SetDirectory(dir_first, dir_pages, w.size());
+}
+
+std::unique_ptr<ClusterFileStore> ClusterFileStore::Load(
+    std::unique_ptr<PagedFile> file, SimDisk* disk) {
+  uint64_t dir_first = 0, dir_pages = 0, dir_bytes = 0;
+  if (!file->GetDirectory(&dir_first, &dir_pages, &dir_bytes)) return nullptr;
+  std::vector<uint8_t> bytes(dir_bytes);
+  // The directory run itself must be marked used before reading.
+  if (!file->MarkAllocated(dir_first, dir_pages)) return nullptr;
+  if (!file->ReadAt(dir_first, 0, bytes.data(), dir_bytes)) return nullptr;
+  ByteReader r(bytes);
+  uint32_t nd = 0, count = 0;
+  if (!r.GetU32(&nd) || nd == 0) return nullptr;
+  if (!r.GetU32(&count)) return nullptr;
+  auto store = std::make_unique<ClusterFileStore>(std::move(file), nd, 0.25,
+                                                  disk);
+  for (uint32_t i = 0; i < count; ++i) {
+    Entry e;
+    if (!r.GetU32(&e.id)) return nullptr;
+    if (!r.GetU32(&e.parent)) return nullptr;
+    if (!Signature::Deserialize(&r, &e.sig)) return nullptr;
+    if (e.sig.dims() != nd) return nullptr;
+    if (!r.GetU64(&e.first_page)) return nullptr;
+    if (!r.GetU64(&e.pages)) return nullptr;
+    if (!r.GetU64(&e.objects)) return nullptr;
+    e.capacity = (e.pages * store->file_->page_bytes() - 8) /
+                 (4ull + 8ull * nd);
+    if (e.objects > e.capacity) return nullptr;
+    if (!store->file_->MarkAllocated(e.first_page, e.pages)) return nullptr;
+    store->entries_.push_back(std::move(e));
+  }
+  return store;
+}
+
+bool ClusterFileStore::PutAll(const AdaptiveIndex& index) {
+  for (const ClusterImage& img : index.DumpClusters()) {
+    if (!Put(img)) return false;
+  }
+  return true;
+}
+
+bool ClusterFileStore::GetAll(std::vector<ClusterImage>* out) {
+  out->clear();
+  out->reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    ClusterImage img;
+    if (!Get(e.id, &img)) return false;
+    out->push_back(std::move(img));
+  }
+  return true;
+}
+
+}  // namespace accl

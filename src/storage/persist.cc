@@ -1,0 +1,86 @@
+#include "storage/persist.h"
+
+#include "util/serialize.h"
+
+namespace accl {
+
+namespace {
+
+void WriteCluster(const ClusterImage& img, ByteWriter* w) {
+  w->PutU32(img.id);
+  w->PutU32(img.parent);
+  img.sig.Serialize(w);
+  w->PutU64(img.ids.size());
+  if (!img.ids.empty()) {
+    w->PutBytes(img.ids.data(), img.ids.size() * sizeof(ObjectId));
+    w->PutBytes(img.coords.data(), img.coords.size() * sizeof(float));
+  }
+}
+
+bool ReadCluster(ByteReader* r, Dim nd, ClusterImage* img) {
+  if (!r->GetU32(&img->id)) return false;
+  if (!r->GetU32(&img->parent)) return false;
+  if (!Signature::Deserialize(r, &img->sig)) return false;
+  if (img->sig.dims() != nd) return false;
+  uint64_t n = 0;
+  if (!r->GetU64(&n)) return false;
+  img->ids.resize(n);
+  img->coords.resize(n * 2 * static_cast<size_t>(nd));
+  if (n != 0) {
+    if (!r->GetBytes(img->ids.data(), n * sizeof(ObjectId))) return false;
+    if (!r->GetBytes(img->coords.data(), img->coords.size() * sizeof(float))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool SaveIndexImage(const AdaptiveIndex& index, const std::string& path) {
+  const std::vector<ClusterImage> images = index.DumpClusters();
+
+  // Body: cluster records, offsets collected for the directory.
+  ByteWriter body;
+  std::vector<uint64_t> offsets;
+  offsets.reserve(images.size());
+  for (const ClusterImage& img : images) {
+    offsets.push_back(body.size());
+    WriteCluster(img, &body);
+  }
+
+  // Header + one-block directory + body.
+  ByteWriter out;
+  out.PutU32(PersistFormat::kMagic);
+  out.PutU32(PersistFormat::kVersion);
+  out.PutU32(index.dims());
+  out.PutU32(static_cast<uint32_t>(images.size()));
+  for (uint64_t off : offsets) out.PutU64(off);
+  out.PutBytes(body.bytes().data(), body.size());
+  return WriteFile(path, out.bytes());
+}
+
+std::unique_ptr<AdaptiveIndex> LoadIndexImage(const std::string& path,
+                                              const AdaptiveConfig& cfg) {
+  std::vector<uint8_t> bytes;
+  if (!ReadFile(path, &bytes)) return nullptr;
+  ByteReader r(bytes);
+  uint32_t magic = 0, version = 0, nd = 0, count = 0;
+  if (!r.GetU32(&magic) || magic != PersistFormat::kMagic) return nullptr;
+  if (!r.GetU32(&version) || version != PersistFormat::kVersion) return nullptr;
+  if (!r.GetU32(&nd) || nd != cfg.nd) return nullptr;
+  if (!r.GetU32(&count)) return nullptr;
+  // The directory is validated but navigation is sequential here; a paging
+  // implementation would seek straight to the recorded offsets.
+  std::vector<uint64_t> offsets(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!r.GetU64(&offsets[i])) return nullptr;
+  }
+  std::vector<ClusterImage> images(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!ReadCluster(&r, nd, &images[i])) return nullptr;
+  }
+  return AdaptiveIndex::FromImages(cfg, images);
+}
+
+}  // namespace accl

@@ -1,0 +1,32 @@
+// Fail recovery for the disk-based scenario (paper §6).
+//
+// Cluster signatures are stored together with the member objects, and a
+// one-block directory indicates the position of each cluster in the file.
+// Performance indicators are NOT persisted — as the paper notes, fresh
+// statistics can be gathered after recovery — so a loaded index has exact
+// structure (signatures, hierarchy, membership) but empty statistics.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/adaptive_index.h"
+
+namespace accl {
+
+/// On-disk image layout constants.
+struct PersistFormat {
+  static constexpr uint32_t kMagic = 0x4143434Cu;  // "ACCL"
+  static constexpr uint32_t kVersion = 1;
+};
+
+/// Serializes the index image to `path`. Returns false on I/O failure.
+bool SaveIndexImage(const AdaptiveIndex& index, const std::string& path);
+
+/// Restores an index previously saved with SaveIndexImage. The
+/// dimensionality recorded in the file must match `cfg.nd`. Returns nullptr
+/// on I/O failure or corruption.
+std::unique_ptr<AdaptiveIndex> LoadIndexImage(const std::string& path,
+                                              const AdaptiveConfig& cfg);
+
+}  // namespace accl

@@ -1,0 +1,4 @@
+#include "storage/sim_disk.h"
+
+// Header-only today; this translation unit anchors the target and keeps the
+// door open for out-of-line additions (e.g. trace recording).

@@ -1,0 +1,32 @@
+// Lightweight invariant checking used across the library.
+//
+// ACCL_CHECK is always-on (library invariants that must hold even in release
+// builds: violating them means data corruption). ACCL_DCHECK compiles out in
+// NDEBUG builds and guards hot-path assertions.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace accl {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "ACCL_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace accl
+
+#define ACCL_CHECK(expr)                                \
+  do {                                                  \
+    if (!(expr)) ::accl::CheckFailed(#expr, __FILE__, __LINE__); \
+  } while (0)
+
+#ifdef NDEBUG
+#define ACCL_DCHECK(expr) \
+  do {                    \
+  } while (0)
+#else
+#define ACCL_DCHECK(expr) ACCL_CHECK(expr)
+#endif

@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generation.
+//
+// All synthetic workloads in the reproduction are seeded, so experiments are
+// exactly repeatable. We use xoshiro256++ (Blackman & Vigna), seeded through
+// SplitMix64, which is fast, high quality, and has a tiny state — important
+// because workload generation is itself benchmarked.
+#pragma once
+
+#include <cstdint>
+
+namespace accl {
+
+/// 64-bit SplitMix64 step; used for seeding and as a cheap hash.
+uint64_t SplitMix64(uint64_t* state);
+
+/// xoshiro256++ generator with convenience helpers for the value ranges the
+/// workload generators need. Deterministic for a given seed.
+class Rng {
+ public:
+  /// Seeds the four words of state from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform float in [0, 1).
+  float NextFloat();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  /// Bernoulli trial with probability p.
+  bool NextBool(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace accl

@@ -1,0 +1,31 @@
+#include "util/serialize.h"
+
+#include <cstdio>
+
+namespace accl {
+
+bool ReadFile(const std::string& path, std::vector<uint8_t>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fseek(f, 0, SEEK_END);
+  long sz = std::ftell(f);
+  if (sz < 0) {
+    std::fclose(f);
+    return false;
+  }
+  std::fseek(f, 0, SEEK_SET);
+  out->resize(static_cast<size_t>(sz));
+  size_t got = sz ? std::fread(out->data(), 1, out->size(), f) : 0;
+  std::fclose(f);
+  return got == out->size();
+}
+
+bool WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  size_t put = bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  int rc = std::fclose(f);
+  return put == bytes.size() && rc == 0;
+}
+
+}  // namespace accl

@@ -1,0 +1,54 @@
+#include "util/summary.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace accl {
+
+void Summary::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void Summary::Merge(const Summary& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+void Summary::Reset() { *this = Summary(); }
+
+double Summary::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+std::string Summary::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "n=%zu mean=%.6g [%.6g,%.6g]", count_,
+                mean(), min(), max());
+  return buf;
+}
+
+}  // namespace accl

@@ -1,0 +1,43 @@
+// Streaming summary statistics (count / mean / min / max / stddev) used by
+// the benchmark harness and by the adaptive index's internal accounting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace accl {
+
+/// Welford-style running summary. Numerically stable; O(1) space.
+class Summary {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Merges another summary into this one.
+  void Merge(const Summary& other);
+
+  /// Removes all observations.
+  void Reset();
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  /// Short human-readable rendering, e.g. "n=100 mean=1.23 [0.5,4.2]".
+  std::string ToString() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace accl

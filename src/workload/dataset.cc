@@ -1,0 +1,14 @@
+#include "workload/dataset.h"
+
+#include "util/check.h"
+
+namespace accl {
+
+void Dataset::Append(ObjectId id, BoxView b) {
+  ACCL_CHECK(b.dims() == nd);
+  ids.push_back(id);
+  coords.insert(coords.end(), b.data(),
+                b.data() + 2 * static_cast<size_t>(nd));
+}
+
+}  // namespace accl

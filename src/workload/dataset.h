@@ -1,0 +1,33 @@
+// Flat in-memory collection of multidimensional extended objects used to
+// drive the experiments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "api/types.h"
+#include "geometry/box.h"
+
+namespace accl {
+
+/// A generated database: ids plus flat coordinates (stride 2*nd).
+struct Dataset {
+  Dim nd = 0;
+  std::vector<ObjectId> ids;
+  std::vector<float> coords;
+
+  size_t size() const { return ids.size(); }
+
+  BoxView box(size_t i) const {
+    return BoxView(coords.data() + 2 * static_cast<size_t>(nd) * i, nd);
+  }
+
+  /// Total bytes in the paper's storage layout.
+  uint64_t bytes() const {
+    return static_cast<uint64_t>(size()) * ObjectBytes(nd);
+  }
+
+  void Append(ObjectId id, BoxView b);
+};
+
+}  // namespace accl

@@ -1,0 +1,88 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace accl {
+
+namespace {
+
+// Draws one interval with the given extent bounds; position uniform among
+// in-domain placements.
+inline void DrawInterval(Rng& rng, float min_extent, float max_extent,
+                         float* lo, float* hi) {
+  const float len =
+      min_extent + (max_extent - min_extent) * rng.NextFloat();
+  const float start = (1.0f - len) * rng.NextFloat();
+  *lo = start;
+  *hi = std::min(start + len, kDomainMax);
+}
+
+}  // namespace
+
+Dataset GenerateUniform(const UniformSpec& spec) {
+  ACCL_CHECK(spec.nd > 0);
+  ACCL_CHECK(spec.min_extent >= 0.0f && spec.max_extent <= 1.0f);
+  ACCL_CHECK(spec.min_extent <= spec.max_extent);
+  Dataset ds;
+  ds.nd = spec.nd;
+  ds.ids.reserve(spec.count);
+  ds.coords.reserve(spec.count * 2 * static_cast<size_t>(spec.nd));
+  Rng rng(spec.seed);
+  for (size_t i = 0; i < spec.count; ++i) {
+    ds.ids.push_back(static_cast<ObjectId>(i));
+    for (Dim d = 0; d < spec.nd; ++d) {
+      float lo, hi;
+      DrawInterval(rng, spec.min_extent, spec.max_extent, &lo, &hi);
+      ds.coords.push_back(lo);
+      ds.coords.push_back(hi);
+    }
+  }
+  return ds;
+}
+
+Dataset GenerateSkewed(const SkewedSpec& spec) {
+  ACCL_CHECK(spec.nd > 0);
+  ACCL_CHECK(spec.selective_fraction >= 0.0 && spec.selective_fraction <= 1.0);
+  ACCL_CHECK(spec.selectivity_ratio >= 1.0);
+  Dataset ds;
+  ds.nd = spec.nd;
+  ds.ids.reserve(spec.count);
+  ds.coords.reserve(spec.count * 2 * static_cast<size_t>(spec.nd));
+  Rng rng(spec.seed);
+  const size_t n_selective = static_cast<size_t>(
+      static_cast<double>(spec.nd) * spec.selective_fraction + 0.5);
+  std::vector<Dim> dims(spec.nd);
+  for (Dim d = 0; d < spec.nd; ++d) dims[d] = d;
+  std::vector<bool> selective(spec.nd);
+  for (size_t i = 0; i < spec.count; ++i) {
+    // Fisher-Yates prefix: pick the selective subset for this object.
+    for (size_t k = 0; k < n_selective; ++k) {
+      size_t j = k + rng.NextBelow(dims.size() - k);
+      std::swap(dims[k], dims[j]);
+    }
+    std::fill(selective.begin(), selective.end(), false);
+    for (size_t k = 0; k < n_selective; ++k) selective[dims[k]] = true;
+
+    ds.ids.push_back(static_cast<ObjectId>(i));
+    const float ratio = static_cast<float>(1.0 / spec.selectivity_ratio);
+    for (Dim d = 0; d < spec.nd; ++d) {
+      float min_e = spec.min_extent;
+      float max_e = spec.max_extent;
+      if (selective[d]) {
+        min_e *= ratio;
+        max_e *= ratio;
+      }
+      float lo, hi;
+      DrawInterval(rng, min_e, max_e, &lo, &hi);
+      ds.coords.push_back(lo);
+      ds.coords.push_back(hi);
+    }
+  }
+  return ds;
+}
+
+}  // namespace accl

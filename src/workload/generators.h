@@ -1,0 +1,49 @@
+// Synthetic data generators matching the paper's §7 workloads.
+//
+// Uniform workload: interval sizes and positions uniformly distributed in
+// every dimension.
+//
+// Skewed workload: "for each database object, we randomly choose a quarter of
+// dimensions that are two times more selective than the rest" — i.e. for a
+// random subset of dimensions the object's intervals are drawn a factor
+// `selectivity_ratio` shorter.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/dataset.h"
+
+namespace accl {
+
+/// Parameters for the uniform workload generator.
+struct UniformSpec {
+  Dim nd = 16;
+  size_t count = 100000;
+  uint64_t seed = 1;
+  /// Object extent per dimension is drawn uniformly in
+  /// [min_extent, max_extent]; position uniform among placements that keep
+  /// the interval inside [0,1].
+  float min_extent = 0.0f;
+  float max_extent = 0.25f;
+};
+
+/// Generates `spec.count` objects with ids 0..count-1.
+Dataset GenerateUniform(const UniformSpec& spec);
+
+/// Parameters for the skewed workload generator.
+struct SkewedSpec {
+  Dim nd = 16;
+  size_t count = 100000;
+  uint64_t seed = 1;
+  float min_extent = 0.0f;
+  float max_extent = 0.25f;
+  /// Fraction of dimensions (chosen per object) that are more selective.
+  double selective_fraction = 0.25;
+  /// How much more selective: extents divided by this factor.
+  double selectivity_ratio = 2.0;
+};
+
+/// Generates the paper's skewed dataset.
+Dataset GenerateSkewed(const SkewedSpec& spec);
+
+}  // namespace accl

@@ -1,0 +1,124 @@
+#include "workload/query_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/predicates.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace accl {
+
+namespace {
+
+Query MakeBoxQuery(Rng& rng, Dim nd, Relation rel, double extent) {
+  Box b(nd);
+  for (Dim d = 0; d < nd; ++d) {
+    const float len = static_cast<float>(std::min(extent, 1.0));
+    const float start = (1.0f - len) * rng.NextFloat();
+    b.set(d, start, std::min(start + len, kDomainMax));
+  }
+  return Query(std::move(b), rel);
+}
+
+}  // namespace
+
+std::vector<Query> GenerateQueriesWithExtent(Dim nd, Relation rel,
+                                             size_t count, double extent,
+                                             uint64_t seed) {
+  std::vector<Query> qs;
+  qs.reserve(count);
+  Rng rng(seed);
+  for (size_t i = 0; i < count; ++i) {
+    qs.push_back(MakeBoxQuery(rng, nd, rel, extent));
+  }
+  return qs;
+}
+
+std::vector<Query> GenerateUnconstrainedQueries(Dim nd, Relation rel,
+                                                size_t count, uint64_t seed) {
+  std::vector<Query> qs;
+  qs.reserve(count);
+  Rng rng(seed);
+  for (size_t i = 0; i < count; ++i) {
+    Box b(nd);
+    for (Dim d = 0; d < nd; ++d) {
+      float a = rng.NextFloat();
+      float c = rng.NextFloat();
+      if (a > c) std::swap(a, c);
+      b.set(d, a, c);
+    }
+    qs.emplace_back(std::move(b), rel);
+  }
+  return qs;
+}
+
+std::vector<Query> GeneratePointQueries(Dim nd, size_t count, uint64_t seed) {
+  std::vector<Query> qs;
+  qs.reserve(count);
+  Rng rng(seed);
+  for (size_t i = 0; i < count; ++i) {
+    Box b(nd);
+    for (Dim d = 0; d < nd; ++d) {
+      float x = rng.NextFloat();
+      b.set(d, x, x);
+    }
+    qs.emplace_back(std::move(b), Relation::kEncloses);
+  }
+  return qs;
+}
+
+double MeasureSelectivity(const Dataset& data,
+                          const std::vector<Query>& queries,
+                          size_t sample_cap) {
+  if (data.size() == 0 || queries.empty()) return 0.0;
+  const size_t n = data.size();
+  const size_t sample = std::min(sample_cap, n);
+  // Deterministic stride sampling keeps calibration reproducible.
+  const size_t stride = std::max<size_t>(1, n / sample);
+  uint64_t checked = 0, matched = 0;
+  for (const Query& q : queries) {
+    for (size_t i = 0; i < n; i += stride) {
+      ++checked;
+      if (q.Matches(data.box(i))) ++matched;
+    }
+  }
+  return static_cast<double>(matched) / static_cast<double>(checked);
+}
+
+QueryWorkload GenerateCalibrated(const Dataset& data,
+                                 const QueryGenSpec& spec) {
+  ACCL_CHECK(data.nd > 0);
+  QueryWorkload wl;
+  wl.target_selectivity = spec.target_selectivity;
+
+  // Selectivity is monotone in the query extent: increasing for
+  // intersection and containment (bigger query window matches more), and
+  // decreasing for enclosure (fewer objects enclose a bigger query).
+  const bool increasing = spec.rel != Relation::kEncloses;
+  double lo = 0.0, hi = 1.0;
+  double extent = 0.5;
+  for (int step = 0; step < spec.calibration_steps; ++step) {
+    extent = 0.5 * (lo + hi);
+    auto probe =
+        GenerateQueriesWithExtent(data.nd, spec.rel, spec.calibration_queries,
+                                  extent, spec.seed ^ 0xC0FFEEull);
+    double sel = MeasureSelectivity(data, probe, spec.calibration_sample);
+    const bool need_bigger_sel = sel < spec.target_selectivity;
+    if (need_bigger_sel == increasing) {
+      lo = extent;
+    } else {
+      hi = extent;
+    }
+  }
+  extent = 0.5 * (lo + hi);
+
+  wl.extent = extent;
+  wl.queries = GenerateQueriesWithExtent(data.nd, spec.rel, spec.count,
+                                         extent, spec.seed);
+  wl.achieved_selectivity =
+      MeasureSelectivity(data, wl.queries, spec.calibration_sample);
+  return wl;
+}
+
+}  // namespace accl

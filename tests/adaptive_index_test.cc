@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "core/adaptive_index.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+#include "workload/query_gen.h"
+
+namespace accl {
+namespace {
+
+using testutil::BruteForce;
+using testutil::Load;
+using testutil::RandomBox;
+using testutil::RunQuery;
+
+AdaptiveConfig SmallConfig(Dim nd) {
+  AdaptiveConfig cfg;
+  cfg.nd = nd;
+  cfg.reorg_period = 50;
+  cfg.min_observation = 16;
+  cfg.stats_halving_period = 0;
+  return cfg;
+}
+
+TEST(AdaptiveIndex, StartsWithRootClusterOnly) {
+  AdaptiveIndex idx(SmallConfig(4));
+  EXPECT_EQ(idx.cluster_count(), 1u);
+  EXPECT_EQ(idx.size(), 0u);
+  EXPECT_STREQ(idx.name(), "AC");
+  EXPECT_EQ(idx.dims(), 4u);
+  idx.CheckInvariants();
+}
+
+TEST(AdaptiveIndex, InsertAndQuerySingle) {
+  AdaptiveIndex idx(SmallConfig(2));
+  Box b(2);
+  b.set(0, 0.2f, 0.4f);
+  b.set(1, 0.6f, 0.8f);
+  idx.Insert(42, b.view());
+  EXPECT_EQ(idx.size(), 1u);
+
+  auto hit = RunQuery(idx, Query::Intersection(b));
+  ASSERT_EQ(hit.size(), 1u);
+  EXPECT_EQ(hit[0], 42u);
+
+  Box far(2);
+  far.set(0, 0.9f, 1.0f);
+  far.set(1, 0.0f, 0.1f);
+  EXPECT_TRUE(RunQuery(idx, Query::Intersection(far)).empty());
+}
+
+TEST(AdaptiveIndex, EraseRemovesObject) {
+  AdaptiveIndex idx(SmallConfig(2));
+  Rng rng(3);
+  for (ObjectId i = 0; i < 100; ++i) {
+    idx.Insert(i, RandomBox(rng, 2, 0.2f).view());
+  }
+  EXPECT_TRUE(idx.Erase(50));
+  EXPECT_FALSE(idx.Erase(50));
+  EXPECT_FALSE(idx.Erase(1000));
+  EXPECT_EQ(idx.size(), 99u);
+  auto all = RunQuery(idx, Query::Intersection(Box::FullDomain(2)));
+  EXPECT_EQ(all.size(), 99u);
+  EXPECT_FALSE(std::binary_search(all.begin(), all.end(), 50u));
+  idx.CheckInvariants();
+}
+
+TEST(AdaptiveIndex, QueryMetricsPopulated) {
+  AdaptiveIndex idx(SmallConfig(2));
+  Rng rng(5);
+  for (ObjectId i = 0; i < 200; ++i) {
+    idx.Insert(i, RandomBox(rng, 2, 0.1f).view());
+  }
+  QueryMetrics m;
+  RunQuery(idx, Query::Intersection(Box::FullDomain(2)), &m);
+  EXPECT_EQ(m.groups_total, idx.cluster_count());
+  EXPECT_GE(m.groups_explored, 1u);
+  EXPECT_EQ(m.objects_verified, 200u);
+  EXPECT_EQ(m.result_count, 200u);
+  EXPECT_EQ(m.bytes_verified, 200u * ObjectBytes(2));
+  EXPECT_GT(m.sim_time_ms, 0.0);
+  EXPECT_EQ(m.disk_seeks, 0u);  // memory scenario
+}
+
+TEST(AdaptiveIndex, DiskScenarioChargesSeeks) {
+  AdaptiveConfig cfg = SmallConfig(2);
+  cfg.scenario = StorageScenario::kDisk;
+  AdaptiveIndex idx(cfg);
+  Rng rng(7);
+  for (ObjectId i = 0; i < 50; ++i) {
+    idx.Insert(i, RandomBox(rng, 2, 0.2f).view());
+  }
+  QueryMetrics m;
+  RunQuery(idx, Query::Intersection(Box::FullDomain(2)), &m);
+  EXPECT_EQ(m.disk_seeks, m.groups_explored);
+  EXPECT_EQ(m.disk_bytes, 50u * ObjectBytes(2));
+  // 15 ms seek dominates.
+  EXPECT_GE(m.sim_time_ms, 15.0);
+}
+
+TEST(AdaptiveIndex, CorrectAcrossRelationsSmall) {
+  AdaptiveIndex idx(SmallConfig(3));
+  UniformSpec spec;
+  spec.nd = 3;
+  spec.count = 500;
+  spec.seed = 11;
+  Dataset ds = GenerateUniform(spec);
+  Load(idx, ds);
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    Box qb = RandomBox(rng, 3, 0.6f);
+    for (Relation rel : {Relation::kIntersects, Relation::kContainedBy,
+                         Relation::kEncloses}) {
+      Query q(qb, rel);
+      EXPECT_EQ(RunQuery(idx, q), BruteForce(ds, q)) << q.ToString();
+    }
+  }
+}
+
+TEST(AdaptiveIndex, DuplicateIdAborts) {
+  AdaptiveIndex idx(SmallConfig(1));
+  Box b(1);
+  b.set(0, 0.1f, 0.2f);
+  idx.Insert(1, b.view());
+  EXPECT_DEATH(idx.Insert(1, b.view()), "ACCL_CHECK");
+}
+
+TEST(AdaptiveIndex, DimensionMismatchAborts) {
+  AdaptiveIndex idx(SmallConfig(2));
+  Box b(3);
+  EXPECT_DEATH(idx.Insert(1, b.view()), "ACCL_CHECK");
+}
+
+TEST(AdaptiveIndex, ExpectedQueryTimeSingleClusterMatchesFormula) {
+  AdaptiveConfig cfg = SmallConfig(4);
+  cfg.reorg_period = 0;  // keep a single cluster
+  AdaptiveIndex idx(cfg);
+  Rng rng(17);
+  for (ObjectId i = 0; i < 100; ++i) {
+    idx.Insert(i, RandomBox(rng, 4, 0.3f).view());
+  }
+  const CostModel& m = idx.cost_model();
+  // Root: p = (0+1)/(0+1) = 1 with no queries observed.
+  EXPECT_NEAR(idx.ExpectedQueryTimeMs(), m.ClusterTime(1.0, 100.0), 1e-9);
+}
+
+TEST(AdaptiveIndex, GetClusterInfosDescribesRoot) {
+  AdaptiveIndex idx(SmallConfig(2));
+  Rng rng(19);
+  for (ObjectId i = 0; i < 10; ++i) {
+    idx.Insert(i, RandomBox(rng, 2, 0.2f).view());
+  }
+  auto infos = idx.GetClusterInfos();
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].parent, kNoCluster);
+  EXPECT_EQ(infos[0].objects, 10u);
+  EXPECT_EQ(infos[0].depth, 0u);
+  EXPECT_GT(infos[0].candidates, 0u);
+}
+
+TEST(AdaptiveIndex, DumpAndRestoreRoundTrip) {
+  AdaptiveIndex idx(SmallConfig(3));
+  UniformSpec spec;
+  spec.nd = 3;
+  spec.count = 300;
+  spec.seed = 23;
+  Dataset ds = GenerateUniform(spec);
+  Load(idx, ds);
+  // Force some structure.
+  Rng rng(29);
+  for (int i = 0; i < 400; ++i) {
+    std::vector<ObjectId> out;
+    idx.Execute(Query::Intersection(RandomBox(rng, 3, 0.1f)), &out);
+  }
+  auto images = idx.DumpClusters();
+  auto restored = AdaptiveIndex::FromImages(idx.config(), images);
+  restored->CheckInvariants();
+  EXPECT_EQ(restored->size(), idx.size());
+  EXPECT_EQ(restored->cluster_count(), idx.cluster_count());
+  Rng rng2(31);
+  for (int i = 0; i < 30; ++i) {
+    Query q = Query::Intersection(RandomBox(rng2, 3, 0.4f));
+    EXPECT_EQ(RunQuery(*restored, q), RunQuery(idx, q));
+  }
+}
+
+TEST(AdaptiveIndex, EraseFromChildClusterMaintainsInvariants) {
+  AdaptiveConfig cfg = SmallConfig(2);
+  cfg.reorg_period = 25;
+  AdaptiveIndex idx(cfg);
+  UniformSpec spec;
+  spec.nd = 2;
+  spec.count = 2000;
+  spec.seed = 37;
+  Dataset ds = GenerateUniform(spec);
+  Load(idx, ds);
+  Rng rng(41);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<ObjectId> out;
+    idx.Execute(Query::Intersection(RandomBox(rng, 2, 0.05f)), &out);
+  }
+  // Erase a third of the objects, whatever cluster they live in.
+  for (ObjectId i = 0; i < 2000; i += 3) EXPECT_TRUE(idx.Erase(i));
+  idx.CheckInvariants();
+  auto all = RunQuery(idx, Query::Intersection(Box::FullDomain(2)));
+  EXPECT_EQ(all.size(), idx.size());
+}
+
+}  // namespace
+}  // namespace accl

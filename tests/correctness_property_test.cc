@@ -1,0 +1,198 @@
+// The central cross-implementation property suite: every index (Sequential
+// Scan, R*-tree, Adaptive Clustering) must return exactly the brute-force
+// answer set for every spatial relation, on uniform and skewed datasets,
+// across dimensionalities — including while the adaptive index is actively
+// reorganizing itself between queries.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/adaptive_index.h"
+#include "rstar/rstar_tree.h"
+#include "seqscan/seq_scan.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+#include "workload/query_gen.h"
+
+namespace accl {
+namespace {
+
+using testutil::BruteForce;
+using testutil::Load;
+using testutil::RandomBox;
+using testutil::RunQuery;
+
+enum class IndexKind { kSeqScan, kRStar, kAdaptive };
+enum class DataKind { kUniform, kSkewed };
+
+struct Case {
+  IndexKind index;
+  DataKind data;
+  Relation rel;
+  Dim nd;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<Case>& info) {
+  const Case& c = info.param;
+  std::string s;
+  s += c.index == IndexKind::kSeqScan ? "SS"
+       : c.index == IndexKind::kRStar ? "RS"
+                                      : "AC";
+  s += c.data == DataKind::kUniform ? "_uniform" : "_skewed";
+  switch (c.rel) {
+    case Relation::kIntersects:
+      s += "_intersects";
+      break;
+    case Relation::kContainedBy:
+      s += "_containedby";
+      break;
+    case Relation::kEncloses:
+      s += "_encloses";
+      break;
+  }
+  s += "_d" + std::to_string(c.nd);
+  return s;
+}
+
+std::unique_ptr<SpatialIndex> MakeIndex(IndexKind kind, Dim nd) {
+  switch (kind) {
+    case IndexKind::kSeqScan:
+      return std::make_unique<SeqScan>(nd);
+    case IndexKind::kRStar: {
+      RStarConfig cfg;
+      cfg.nd = nd;
+      cfg.max_entries_override = 16;  // deep trees on small data
+      return std::make_unique<RStarTree>(cfg);
+    }
+    case IndexKind::kAdaptive: {
+      AdaptiveConfig cfg;
+      cfg.nd = nd;
+      cfg.reorg_period = 20;  // reorganize aggressively mid-test
+      cfg.min_observation = 16;
+      return std::make_unique<AdaptiveIndex>(cfg);
+    }
+  }
+  return nullptr;
+}
+
+Dataset MakeData(DataKind kind, Dim nd, size_t count, uint64_t seed) {
+  if (kind == DataKind::kUniform) {
+    UniformSpec spec;
+    spec.nd = nd;
+    spec.count = count;
+    spec.seed = seed;
+    return GenerateUniform(spec);
+  }
+  SkewedSpec spec;
+  spec.nd = nd;
+  spec.count = count;
+  spec.seed = seed;
+  return GenerateSkewed(spec);
+}
+
+class IndexCorrectness : public ::testing::TestWithParam<Case> {};
+
+TEST_P(IndexCorrectness, MatchesBruteForceOracle) {
+  const Case c = GetParam();
+  const size_t count = 2000;
+  Dataset ds = MakeData(c.data, c.nd, count, 1000 + c.nd);
+  auto idx = MakeIndex(c.index, c.nd);
+  Load(*idx, ds);
+  ASSERT_EQ(idx->size(), count);
+
+  Rng rng(77 + static_cast<uint64_t>(c.rel) * 13 + c.nd);
+  for (int i = 0; i < 40; ++i) {
+    // Mix of extents so all selectivity regimes are hit; enclosure needs
+    // small queries to have non-empty answers.
+    const float extent =
+        c.rel == Relation::kEncloses ? 0.05f * rng.NextFloat()
+                                     : (i % 2 ? 0.6f : 0.1f) * rng.NextFloat();
+    Query q(RandomBox(rng, c.nd, extent), c.rel);
+    EXPECT_EQ(RunQuery(*idx, q), BruteForce(ds, q))
+        << "query " << i << ": " << q.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, IndexCorrectness,
+    ::testing::Values(
+        // Sequential Scan
+        Case{IndexKind::kSeqScan, DataKind::kUniform, Relation::kIntersects, 2},
+        Case{IndexKind::kSeqScan, DataKind::kSkewed, Relation::kContainedBy, 8},
+        Case{IndexKind::kSeqScan, DataKind::kUniform, Relation::kEncloses, 16},
+        // R*-tree
+        Case{IndexKind::kRStar, DataKind::kUniform, Relation::kIntersects, 2},
+        Case{IndexKind::kRStar, DataKind::kUniform, Relation::kIntersects, 8},
+        Case{IndexKind::kRStar, DataKind::kSkewed, Relation::kIntersects, 16},
+        Case{IndexKind::kRStar, DataKind::kUniform, Relation::kContainedBy, 4},
+        Case{IndexKind::kRStar, DataKind::kSkewed, Relation::kContainedBy, 8},
+        Case{IndexKind::kRStar, DataKind::kUniform, Relation::kEncloses, 4},
+        Case{IndexKind::kRStar, DataKind::kSkewed, Relation::kEncloses, 16},
+        // Adaptive Clustering
+        Case{IndexKind::kAdaptive, DataKind::kUniform, Relation::kIntersects, 2},
+        Case{IndexKind::kAdaptive, DataKind::kUniform, Relation::kIntersects, 8},
+        Case{IndexKind::kAdaptive, DataKind::kSkewed, Relation::kIntersects, 16},
+        Case{IndexKind::kAdaptive, DataKind::kUniform, Relation::kContainedBy, 4},
+        Case{IndexKind::kAdaptive, DataKind::kSkewed, Relation::kContainedBy, 8},
+        Case{IndexKind::kAdaptive, DataKind::kUniform, Relation::kEncloses, 4},
+        Case{IndexKind::kAdaptive, DataKind::kSkewed, Relation::kEncloses, 16}),
+    CaseName);
+
+// All three indexes must agree with each other on identical workloads after
+// the adaptive index has reorganized many times.
+TEST(IndexAgreement, ThreeWayAgreementUnderAdaptation) {
+  const Dim nd = 8;
+  Dataset ds = MakeData(DataKind::kSkewed, nd, 4000, 99);
+  SeqScan ss(nd);
+  RStarConfig rcfg;
+  rcfg.nd = nd;
+  rcfg.max_entries_override = 24;
+  RStarTree rs(rcfg);
+  AdaptiveConfig acfg;
+  acfg.nd = nd;
+  acfg.reorg_period = 50;
+  acfg.min_observation = 16;
+  AdaptiveIndex ac(acfg);
+  Load(ss, ds);
+  Load(rs, ds);
+  Load(ac, ds);
+
+  auto qs = GenerateQueriesWithExtent(nd, Relation::kIntersects, 400, 0.15, 7);
+  for (size_t i = 0; i < qs.size(); ++i) {
+    auto a = RunQuery(ss, qs[i]);
+    auto b = RunQuery(rs, qs[i]);
+    auto c = RunQuery(ac, qs[i]);
+    ASSERT_EQ(a, b) << "SS vs RS at query " << i;
+    ASSERT_EQ(a, c) << "SS vs AC at query " << i;
+  }
+  EXPECT_GT(ac.cluster_count(), 1u);  // adaptation actually happened
+}
+
+// Point-enclosing agreement (the paper's best case for AC).
+TEST(IndexAgreement, PointEnclosingThreeWay) {
+  const Dim nd = 6;
+  Dataset ds = MakeData(DataKind::kUniform, nd, 3000, 17);
+  SeqScan ss(nd);
+  AdaptiveConfig acfg;
+  acfg.nd = nd;
+  acfg.reorg_period = 40;
+  acfg.min_observation = 16;
+  AdaptiveIndex ac(acfg);
+  RStarConfig rcfg;
+  rcfg.nd = nd;
+  rcfg.max_entries_override = 16;
+  RStarTree rs(rcfg);
+  Load(ss, ds);
+  Load(ac, ds);
+  Load(rs, ds);
+  auto qs = GeneratePointQueries(nd, 300, 23);
+  for (const Query& q : qs) {
+    auto a = RunQuery(ss, q);
+    ASSERT_EQ(a, RunQuery(ac, q));
+    ASSERT_EQ(a, RunQuery(rs, q));
+  }
+}
+
+}  // namespace
+}  // namespace accl

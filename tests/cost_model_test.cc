@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.h"
+
+namespace accl {
+namespace {
+
+TEST(SystemParams, PaperTable2Values) {
+  SystemParams sys = SystemParams::Paper();
+  EXPECT_DOUBLE_EQ(sys.disk_access_ms, 15.0);
+  // 20 MB/s => 4.77e-5 ms/byte (paper Table 2).
+  EXPECT_NEAR(sys.disk_ms_per_byte, 4.77e-5, 1e-6);
+  // 300 MB/s => 3.18e-6 ms/byte.
+  EXPECT_NEAR(sys.verify_ms_per_byte, 3.18e-6, 1e-7);
+}
+
+TEST(CostModel, MemoryScenarioComposition) {
+  const Dim nd = 16;
+  SystemParams sys = SystemParams::Paper();
+  CostModel m = CostModel::Make(StorageScenario::kMemory, nd, sys);
+  EXPECT_DOUBLE_EQ(m.A, sys.sig_check_ms_per_dim * nd);
+  EXPECT_DOUBLE_EQ(m.B, sys.explore_setup_ms);
+  EXPECT_DOUBLE_EQ(m.C, sys.verify_ms_per_byte * ObjectBytes(nd));
+}
+
+TEST(CostModel, DiskScenarioAddsIOCharges) {
+  const Dim nd = 16;
+  SystemParams sys = SystemParams::Paper();
+  CostModel mem = CostModel::Make(StorageScenario::kMemory, nd, sys);
+  CostModel dsk = CostModel::Make(StorageScenario::kDisk, nd, sys);
+  EXPECT_DOUBLE_EQ(dsk.A, mem.A);
+  EXPECT_DOUBLE_EQ(dsk.B, mem.B + sys.disk_access_ms);
+  EXPECT_DOUBLE_EQ(dsk.C, mem.C + sys.disk_ms_per_byte * ObjectBytes(nd));
+}
+
+TEST(CostModel, ObjectBytesMatchesPaperLayout) {
+  // 4-byte id + two 4-byte limits per dimension.
+  EXPECT_EQ(ObjectBytes(16), 4u + 8u * 16u);
+  EXPECT_EQ(ObjectBytes(40), 4u + 8u * 40u);
+}
+
+TEST(CostModel, ClusterTimeEquation1) {
+  CostModel m;
+  m.A = 1.0;
+  m.B = 10.0;
+  m.C = 0.5;
+  // T = A + p(B + nC)
+  EXPECT_DOUBLE_EQ(m.ClusterTime(0.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(m.ClusterTime(1.0, 100.0), 1.0 + 10.0 + 50.0);
+  EXPECT_DOUBLE_EQ(m.ClusterTime(0.5, 10.0), 1.0 + 0.5 * (10.0 + 5.0));
+}
+
+// The derivation of eq. 3: beta(s,c) = T_c - (T_c' + T_s) with
+// p_c' = p_c and n_c' = n_c - n_s.
+TEST(CostModel, MaterializationBenefitMatchesDerivation) {
+  CostModel m;
+  m.A = 0.01;
+  m.B = 2.0;
+  m.C = 0.003;
+  const double p_c = 0.8, p_s = 0.2, n_c = 1000.0, n_s = 400.0;
+  const double t_before = m.ClusterTime(p_c, n_c);
+  const double t_after = m.ClusterTime(p_c, n_c - n_s) + m.ClusterTime(p_s, n_s);
+  EXPECT_NEAR(m.MaterializationBenefit(p_c, p_s, n_s), t_before - t_after,
+              1e-12);
+}
+
+// The derivation of eq. 5: mu(c,a) = (T_c + T_a) - T_a' with p_a' = p_a and
+// n_a' = n_a + n_c.
+TEST(CostModel, MergeBenefitMatchesDerivation) {
+  CostModel m;
+  m.A = 0.02;
+  m.B = 1.5;
+  m.C = 0.004;
+  const double p_c = 0.3, p_a = 0.5, n_c = 500.0, n_a = 2000.0;
+  const double t_before = m.ClusterTime(p_c, n_c) + m.ClusterTime(p_a, n_a);
+  const double t_after = m.ClusterTime(p_a, n_a + n_c);
+  EXPECT_NEAR(m.MergeBenefit(p_c, p_a, n_c), t_before - t_after, 1e-12);
+}
+
+TEST(CostModel, MaterializationFavorsLowAccessProbability) {
+  CostModel m = CostModel::Make(StorageScenario::kMemory, 16,
+                                SystemParams::Paper());
+  // Same candidate size, lower access probability => higher benefit.
+  const double b_low = m.MaterializationBenefit(0.9, 0.1, 5000);
+  const double b_high = m.MaterializationBenefit(0.9, 0.8, 5000);
+  EXPECT_GT(b_low, b_high);
+}
+
+TEST(CostModel, MaterializationNeverPaysForEqualProbability) {
+  CostModel m = CostModel::Make(StorageScenario::kMemory, 16,
+                                SystemParams::Paper());
+  // p_s == p_c: splitting only adds overhead A + pB.
+  EXPECT_LT(m.MaterializationBenefit(0.5, 0.5, 10000), 0.0);
+}
+
+TEST(CostModel, DiskRequiresLargerCandidates) {
+  // The 15 ms seek raises B; a candidate worth splitting in memory may not
+  // be worth a separate disk cluster (paper: far fewer clusters on disk).
+  const Dim nd = 16;
+  CostModel mem = CostModel::Make(StorageScenario::kMemory, nd,
+                                  SystemParams::Paper());
+  CostModel dsk = CostModel::Make(StorageScenario::kDisk, nd,
+                                  SystemParams::Paper());
+  const double p_c = 1.0, p_s = 0.1, n_s = 150.0;
+  EXPECT_GT(mem.MaterializationBenefit(p_c, p_s, n_s), 0.0);
+  EXPECT_LT(dsk.MaterializationBenefit(p_c, p_s, n_s), 0.0);
+}
+
+TEST(CostModel, MergeTriggersWhenChildProbabilityApproachesParent) {
+  CostModel m = CostModel::Make(StorageScenario::kMemory, 16,
+                                SystemParams::Paper());
+  const double n_c = 10000;
+  EXPECT_LT(m.MergeBenefit(0.05, 0.9, n_c), 0.0);  // keep the cluster
+  EXPECT_GT(m.MergeBenefit(0.9, 0.9, n_c), 0.0);   // merge it
+}
+
+TEST(CostModel, MergeTriggersWhenClusterShrinks) {
+  CostModel m = CostModel::Make(StorageScenario::kDisk, 16,
+                                SystemParams::Paper());
+  // Tiny clusters cannot amortize their exploration overhead.
+  EXPECT_GT(m.MergeBenefit(0.3, 0.6, 1.0), 0.0);
+  EXPECT_LT(m.MergeBenefit(0.3, 0.6, 100000.0), 0.0);
+}
+
+TEST(CostModel, ToStringMentionsScenario) {
+  CostModel m = CostModel::Make(StorageScenario::kDisk, 8,
+                                SystemParams::Paper());
+  EXPECT_NE(m.ToString().find("disk"), std::string::npos);
+  EXPECT_STREQ(StorageScenarioName(StorageScenario::kMemory), "memory");
+}
+
+}  // namespace
+}  // namespace accl

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "geometry/box.h"
+#include "geometry/interval.h"
+
+namespace accl {
+namespace {
+
+TEST(Interval, Accessors) {
+  Interval iv(0.25f, 0.75f);
+  EXPECT_FLOAT_EQ(iv.length(), 0.5f);
+  EXPECT_FLOAT_EQ(iv.center(), 0.5f);
+}
+
+TEST(Interval, ContainsIsClosed) {
+  Interval iv(0.2f, 0.4f);
+  EXPECT_TRUE(iv.Contains(0.2f));
+  EXPECT_TRUE(iv.Contains(0.4f));
+  EXPECT_TRUE(iv.Contains(0.3f));
+  EXPECT_FALSE(iv.Contains(0.19f));
+  EXPECT_FALSE(iv.Contains(0.41f));
+}
+
+TEST(Interval, IntersectsTouchingCounts) {
+  EXPECT_TRUE(Interval(0.0f, 0.5f).Intersects(Interval(0.5f, 1.0f)));
+  EXPECT_TRUE(Interval(0.0f, 0.6f).Intersects(Interval(0.5f, 1.0f)));
+  EXPECT_FALSE(Interval(0.0f, 0.4f).Intersects(Interval(0.5f, 1.0f)));
+  EXPECT_TRUE(Interval(0.0f, 1.0f).Intersects(Interval(0.4f, 0.6f)));
+}
+
+TEST(Interval, ContainsInterval) {
+  Interval outer(0.1f, 0.9f);
+  EXPECT_TRUE(outer.ContainsInterval(Interval(0.1f, 0.9f)));
+  EXPECT_TRUE(outer.ContainsInterval(Interval(0.2f, 0.8f)));
+  EXPECT_FALSE(outer.ContainsInterval(Interval(0.0f, 0.5f)));
+  EXPECT_FALSE(outer.ContainsInterval(Interval(0.5f, 0.95f)));
+}
+
+TEST(Interval, OverlapLength) {
+  EXPECT_FLOAT_EQ(Interval(0.0f, 0.5f).OverlapLength(Interval(0.25f, 1.0f)),
+                  0.25f);
+  EXPECT_FLOAT_EQ(Interval(0.0f, 0.2f).OverlapLength(Interval(0.5f, 1.0f)),
+                  0.0f);
+  EXPECT_FLOAT_EQ(Interval(0.0f, 1.0f).OverlapLength(Interval(0.3f, 0.4f)),
+                  0.1f);
+}
+
+TEST(Box, ConstructFromIntervals) {
+  Box b(std::vector<Interval>{{0.1f, 0.2f}, {0.3f, 0.8f}});
+  EXPECT_EQ(b.dims(), 2u);
+  EXPECT_FLOAT_EQ(b.lo(0), 0.1f);
+  EXPECT_FLOAT_EQ(b.hi(0), 0.2f);
+  EXPECT_FLOAT_EQ(b.lo(1), 0.3f);
+  EXPECT_FLOAT_EQ(b.hi(1), 0.8f);
+}
+
+TEST(Box, FullDomain) {
+  Box b = Box::FullDomain(4);
+  for (Dim d = 0; d < 4; ++d) {
+    EXPECT_EQ(b.lo(d), kDomainMin);
+    EXPECT_EQ(b.hi(d), kDomainMax);
+  }
+  EXPECT_DOUBLE_EQ(b.Volume(), 1.0);
+}
+
+TEST(Box, PointHasZeroExtent) {
+  Box p = Box::Point({0.5f, 0.25f, 0.75f});
+  EXPECT_EQ(p.dims(), 3u);
+  for (Dim d = 0; d < 3; ++d) EXPECT_EQ(p.lo(d), p.hi(d));
+  EXPECT_DOUBLE_EQ(p.Volume(), 0.0);
+}
+
+TEST(Box, SetAndInterval) {
+  Box b(2);
+  b.set(0, 0.1f, 0.4f);
+  b.set(1, 0.5f, 0.5f);
+  EXPECT_EQ(b.interval(0), Interval(0.1f, 0.4f));
+  EXPECT_EQ(b.interval(1), Interval(0.5f, 0.5f));
+}
+
+TEST(Box, ViewRoundTrip) {
+  Box b(2);
+  b.set(0, 0.1f, 0.2f);
+  b.set(1, 0.3f, 0.4f);
+  BoxView v = b.view();
+  Box copy(v);
+  EXPECT_EQ(copy, b);
+}
+
+TEST(Box, VolumeAndMargin) {
+  Box b(2);
+  b.set(0, 0.0f, 0.5f);
+  b.set(1, 0.0f, 0.25f);
+  EXPECT_NEAR(b.Volume(), 0.125, 1e-9);
+  EXPECT_NEAR(b.view().Margin(), 0.75, 1e-6);
+}
+
+TEST(Box, ToStringFormat) {
+  Box b(1);
+  b.set(0, 0.25f, 0.5f);
+  EXPECT_EQ(b.ToString(), "[0.25,0.5]");
+}
+
+TEST(BoxView, EmptyDefault) {
+  BoxView v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.dims(), 0u);
+}
+
+TEST(Box, EqualityIsExact) {
+  Box a(1), b(1);
+  a.set(0, 0.1f, 0.2f);
+  b.set(0, 0.1f, 0.2f);
+  EXPECT_EQ(a, b);
+  b.set(0, 0.1f, 0.20001f);
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace accl

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "api/metrics.h"
+
+namespace accl {
+namespace {
+
+QueryMetrics Sample() {
+  QueryMetrics m;
+  m.groups_explored = 3;
+  m.groups_total = 10;
+  m.objects_verified = 100;
+  m.dims_checked = 250;
+  m.bytes_verified = 6800;
+  m.result_count = 7;
+  m.sim_time_ms = 1.5;
+  m.disk_seeks = 3;
+  m.disk_bytes = 6800;
+  return m;
+}
+
+TEST(QueryMetrics, ClearZeroesEverything) {
+  QueryMetrics m = Sample();
+  m.Clear();
+  EXPECT_EQ(m.groups_explored, 0u);
+  EXPECT_EQ(m.groups_total, 0u);
+  EXPECT_EQ(m.objects_verified, 0u);
+  EXPECT_EQ(m.dims_checked, 0u);
+  EXPECT_EQ(m.bytes_verified, 0u);
+  EXPECT_EQ(m.result_count, 0u);
+  EXPECT_EQ(m.sim_time_ms, 0.0);
+  EXPECT_EQ(m.disk_seeks, 0u);
+  EXPECT_EQ(m.disk_bytes, 0u);
+}
+
+TEST(QueryMetrics, AccumulateSums) {
+  QueryMetrics a = Sample();
+  a += Sample();
+  EXPECT_EQ(a.groups_explored, 6u);
+  EXPECT_EQ(a.objects_verified, 200u);
+  EXPECT_EQ(a.result_count, 14u);
+  EXPECT_DOUBLE_EQ(a.sim_time_ms, 3.0);
+  EXPECT_EQ(a.disk_seeks, 6u);
+}
+
+TEST(ExperimentStats, AddQueryComputesRatios) {
+  ExperimentStats s;
+  s.AddQuery(Sample(), /*wall=*/2.0, /*db_size=*/1000);
+  EXPECT_EQ(s.wall_ms.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.wall_ms.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.sim_ms.mean(), 1.5);
+  EXPECT_DOUBLE_EQ(s.explored_ratio.mean(), 0.3);
+  EXPECT_DOUBLE_EQ(s.verified_ratio.mean(), 0.1);
+  EXPECT_DOUBLE_EQ(s.result_count.mean(), 7.0);
+}
+
+TEST(ExperimentStats, SkipsRatiosWithoutDenominators) {
+  ExperimentStats s;
+  QueryMetrics m = Sample();
+  m.groups_total = 0;
+  s.AddQuery(m, 1.0, /*db_size=*/0);
+  EXPECT_EQ(s.explored_ratio.count(), 0u);
+  EXPECT_EQ(s.verified_ratio.count(), 0u);
+  EXPECT_EQ(s.wall_ms.count(), 1u);
+}
+
+TEST(ExperimentStats, AveragesOverManyQueries) {
+  ExperimentStats s;
+  for (int i = 1; i <= 10; ++i) {
+    QueryMetrics m;
+    m.groups_total = 10;
+    m.groups_explored = static_cast<uint64_t>(i);
+    s.AddQuery(m, static_cast<double>(i), 100);
+  }
+  EXPECT_DOUBLE_EQ(s.wall_ms.mean(), 5.5);
+  EXPECT_DOUBLE_EQ(s.explored_ratio.mean(), 0.55);
+  EXPECT_EQ(s.wall_ms.max(), 10.0);
+}
+
+}  // namespace
+}  // namespace accl

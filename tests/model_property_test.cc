@@ -1,0 +1,168 @@
+// Cross-cutting parameterized property suites:
+//  - piece arithmetic partitions its parent for every division factor,
+//  - the benefit functions are exactly the cost-difference identities from
+//    the paper's derivations for random parameterizations,
+//  - signature refinement is monotone w.r.t. both matching and admission
+//    (a refined signature never matches/admits more than its parent).
+#include <gtest/gtest.h>
+
+#include "core/clustering_function.h"
+#include "core/signature.h"
+#include "cost/cost_model.h"
+#include "util/rng.h"
+
+namespace accl {
+namespace {
+
+// ---------------------------------------------------------------- pieces
+
+class PiecePartition : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(PiecePartition, PiecesPartitionParent) {
+  const uint32_t f = GetParam();
+  Rng rng(100 + f);
+  for (int iter = 0; iter < 300; ++iter) {
+    const float lo = 0.9f * rng.NextFloat();
+    const float hi = lo + 0.001f + (1.0f - lo - 0.001f) * rng.NextFloat();
+    const VarInterval v{lo, hi, rng.NextBool(0.5)};
+    // Random probes inside the parent land in exactly one piece, and
+    // PieceIndex agrees with Piece::Contains.
+    for (int t = 0; t < 20; ++t) {
+      const float x = lo + (hi - lo) * rng.NextFloat();
+      if (!v.Contains(x)) continue;
+      int count = 0, where = -1;
+      for (uint32_t j = 0; j < f; ++j) {
+        if (Piece(v, j, f).Contains(x)) {
+          ++count;
+          where = static_cast<int>(j);
+        }
+      }
+      ASSERT_EQ(count, 1) << "f=" << f << " x=" << x << " v=" << v.ToString();
+      EXPECT_EQ(PieceIndex(v, f, x), where);
+    }
+    // Pieces tile the parent: piece j ends where piece j+1 begins.
+    for (uint32_t j = 0; j + 1 < f; ++j) {
+      EXPECT_FLOAT_EQ(Piece(v, j, f).hi, Piece(v, j + 1, f).lo);
+      EXPECT_FALSE(Piece(v, j, f).hi_closed);
+    }
+    EXPECT_FLOAT_EQ(Piece(v, 0, f).lo, v.lo);
+    EXPECT_FLOAT_EQ(Piece(v, f - 1, f).hi, v.hi);
+    EXPECT_EQ(Piece(v, f - 1, f).hi_closed, v.hi_closed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, PiecePartition,
+                         ::testing::Values(2u, 3u, 4u, 5u, 8u, 16u));
+
+// ------------------------------------------------------------ cost model
+
+struct ScenarioDims {
+  StorageScenario scenario;
+  Dim nd;
+};
+
+class BenefitIdentity : public ::testing::TestWithParam<ScenarioDims> {};
+
+// beta(s,c) must equal T_c - (T_c' + T_s) and mu(c,a) must equal
+// (T_c + T_a) - T_a' under the paper's substitution assumptions, for any
+// cost parameters — an algebraic identity, checked over random inputs.
+TEST_P(BenefitIdentity, ExactCostDifferences) {
+  const ScenarioDims p = GetParam();
+  Rng rng(7 + static_cast<uint64_t>(p.nd));
+  for (int iter = 0; iter < 200; ++iter) {
+    SystemParams sys = SystemParams::Paper();
+    sys.explore_setup_ms *= rng.Uniform(0.1, 10.0);
+    sys.sig_check_ms_per_dim *= rng.Uniform(0.1, 10.0);
+    sys.stat_update_ms_per_candidate *= rng.Uniform(0.1, 10.0);
+    const CostModel m =
+        CostModel::Make(p.scenario, p.nd, sys, rng.Uniform(0, 400));
+
+    const double p_c = rng.NextDouble();
+    const double p_s = rng.NextDouble() * p_c;
+    const double n_c = rng.Uniform(1, 100000);
+    const double n_s = rng.Uniform(0, n_c);
+    const double split_before = m.ClusterTime(p_c, n_c);
+    const double split_after =
+        m.ClusterTime(p_c, n_c - n_s) + m.ClusterTime(p_s, n_s);
+    EXPECT_NEAR(m.MaterializationBenefit(p_c, p_s, n_s),
+                split_before - split_after, 1e-9 * (1.0 + split_before));
+
+    const double p_a = p_c + (1.0 - p_c) * rng.NextDouble();
+    const double n_a = rng.Uniform(0, 100000);
+    const double merge_before = m.ClusterTime(p_c, n_c) + m.ClusterTime(p_a, n_a);
+    const double merge_after = m.ClusterTime(p_a, n_a + n_c);
+    EXPECT_NEAR(m.MergeBenefit(p_c, p_a, n_c), merge_before - merge_after,
+                1e-9 * (1.0 + merge_before));
+
+    // Splitting then merging back the same candidate can never both be
+    // profitable under unchanged statistics: mu(after split) == -beta.
+    EXPECT_NEAR(m.MergeBenefit(p_s, p_c, n_s),
+                -m.MaterializationBenefit(p_c, p_s, n_s), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, BenefitIdentity,
+    ::testing::Values(ScenarioDims{StorageScenario::kMemory, 2},
+                      ScenarioDims{StorageScenario::kMemory, 16},
+                      ScenarioDims{StorageScenario::kMemory, 40},
+                      ScenarioDims{StorageScenario::kDisk, 16},
+                      ScenarioDims{StorageScenario::kDisk, 40}));
+
+// ----------------------------------------------------- refinement monotony
+
+class RefinementMonotony : public ::testing::TestWithParam<Relation> {};
+
+// If sig2 is refined from sig1, then (a) every object matching sig2
+// matches sig1, and (b) every query admitted by sig2 is admitted by sig1.
+// This is what makes merges safe and exploration sound.
+TEST_P(RefinementMonotony, RefinedSignatureIsStricter) {
+  const Relation rel = GetParam();
+  Rng rng(31 + static_cast<int>(rel));
+  const Dim nd = 4;
+  for (int iter = 0; iter < 200; ++iter) {
+    // Random parent; then refine a random dim via a random candidate.
+    Signature parent(nd);
+    if (rng.NextBool(0.5)) {
+      const Dim d = static_cast<Dim>(rng.NextBelow(nd));
+      const float lo = 0.5f * rng.NextFloat();
+      parent.set(d, {lo, lo + 0.4f, false}, {lo, lo + 0.4f, false});
+    }
+    CandidateSet cs(parent, 4, 0.0);
+    const size_t ci = rng.NextBelow(cs.size());
+    const Signature child = cs.MakeSignature(parent, ci);
+    ASSERT_TRUE(child.RefinedFrom(parent));
+
+    for (int t = 0; t < 20; ++t) {
+      // Random object.
+      Box obj(nd);
+      for (Dim d = 0; d < nd; ++d) {
+        float a = rng.NextFloat(), b = rng.NextFloat();
+        if (a > b) std::swap(a, b);
+        obj.set(d, a, b);
+      }
+      if (child.MatchesObject(obj.view())) {
+        EXPECT_TRUE(parent.MatchesObject(obj.view()));
+      }
+      // Random query.
+      Box qb(nd);
+      for (Dim d = 0; d < nd; ++d) {
+        float a = rng.NextFloat(), b = rng.NextFloat();
+        if (a > b) std::swap(a, b);
+        qb.set(d, a, b);
+      }
+      Query q(qb, rel);
+      if (child.AdmitsQuery(q)) {
+        EXPECT_TRUE(parent.AdmitsQuery(q));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRelations, RefinementMonotony,
+                         ::testing::Values(Relation::kIntersects,
+                                           Relation::kContainedBy,
+                                           Relation::kEncloses));
+
+}  // namespace
+}  // namespace accl

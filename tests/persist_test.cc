@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "storage/persist.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+#include "workload/query_gen.h"
+
+namespace accl {
+namespace {
+
+using testutil::Load;
+using testutil::RandomBox;
+using testutil::RunQuery;
+
+AdaptiveConfig Cfg(Dim nd) {
+  AdaptiveConfig cfg;
+  cfg.nd = nd;
+  cfg.reorg_period = 50;
+  cfg.min_observation = 16;
+  return cfg;
+}
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+// Builds an index with real cluster structure.
+std::unique_ptr<AdaptiveIndex> BuildStructured(Dim nd, size_t count,
+                                               uint64_t seed) {
+  auto idx = std::make_unique<AdaptiveIndex>(Cfg(nd));
+  UniformSpec spec;
+  spec.nd = nd;
+  spec.count = count;
+  spec.seed = seed;
+  Load(*idx, GenerateUniform(spec));
+  auto qs = GenerateQueriesWithExtent(nd, Relation::kIntersects, 600, 0.05,
+                                      seed ^ 0xABC);
+  std::vector<ObjectId> out;
+  for (const Query& q : qs) {
+    out.clear();
+    idx->Execute(q, &out);
+  }
+  return idx;
+}
+
+TEST(Persist, RoundTripPreservesStructureAndAnswers) {
+  auto idx = BuildStructured(3, 5000, 1);
+  ASSERT_GT(idx->cluster_count(), 1u);
+  const std::string path = TempPath("accl_roundtrip.img");
+  ASSERT_TRUE(SaveIndexImage(*idx, path));
+
+  auto loaded = LoadIndexImage(path, Cfg(3));
+  ASSERT_NE(loaded, nullptr);
+  loaded->CheckInvariants();
+  EXPECT_EQ(loaded->size(), idx->size());
+  EXPECT_EQ(loaded->cluster_count(), idx->cluster_count());
+
+  Rng rng(2);
+  for (int i = 0; i < 40; ++i) {
+    Box qb = RandomBox(rng, 3, 0.4f);
+    for (Relation rel : {Relation::kIntersects, Relation::kContainedBy,
+                         Relation::kEncloses}) {
+      Query q(qb, rel);
+      EXPECT_EQ(RunQuery(*loaded, q), RunQuery(*idx, q));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Persist, LoadedIndexKeepsAdapting) {
+  auto idx = BuildStructured(2, 4000, 3);
+  const std::string path = TempPath("accl_adapting.img");
+  ASSERT_TRUE(SaveIndexImage(*idx, path));
+  auto loaded = LoadIndexImage(path, Cfg(2));
+  ASSERT_NE(loaded, nullptr);
+  // Statistics restart empty; further queries must still be answerable and
+  // reorganization must still run without violating invariants.
+  auto qs = GenerateQueriesWithExtent(2, Relation::kIntersects, 300, 0.05, 9);
+  std::vector<ObjectId> out;
+  for (const Query& q : qs) {
+    out.clear();
+    loaded->Execute(q, &out);
+  }
+  loaded->CheckInvariants();
+  std::remove(path.c_str());
+}
+
+TEST(Persist, EmptyIndexRoundTrip) {
+  AdaptiveIndex idx(Cfg(4));
+  const std::string path = TempPath("accl_empty.img");
+  ASSERT_TRUE(SaveIndexImage(idx, path));
+  auto loaded = LoadIndexImage(path, Cfg(4));
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->size(), 0u);
+  EXPECT_EQ(loaded->cluster_count(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Persist, RejectsMissingFile) {
+  EXPECT_EQ(LoadIndexImage("/nonexistent/path.img", Cfg(2)), nullptr);
+}
+
+TEST(Persist, RejectsWrongDimensionality) {
+  auto idx = BuildStructured(3, 1000, 5);
+  const std::string path = TempPath("accl_wrongnd.img");
+  ASSERT_TRUE(SaveIndexImage(*idx, path));
+  EXPECT_EQ(LoadIndexImage(path, Cfg(4)), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(Persist, RejectsCorruptedMagic) {
+  auto idx = BuildStructured(2, 500, 7);
+  const std::string path = TempPath("accl_badmagic.img");
+  ASSERT_TRUE(SaveIndexImage(*idx, path));
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(ReadFile(path, &bytes));
+  bytes[0] ^= 0xFF;
+  ASSERT_TRUE(WriteFile(path, bytes));
+  EXPECT_EQ(LoadIndexImage(path, Cfg(2)), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(Persist, RejectsTruncatedFile) {
+  auto idx = BuildStructured(2, 2000, 9);
+  const std::string path = TempPath("accl_trunc.img");
+  ASSERT_TRUE(SaveIndexImage(*idx, path));
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(ReadFile(path, &bytes));
+  bytes.resize(bytes.size() * 2 / 3);
+  ASSERT_TRUE(WriteFile(path, bytes));
+  EXPECT_EQ(LoadIndexImage(path, Cfg(2)), nullptr);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace accl

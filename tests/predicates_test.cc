@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "geometry/predicates.h"
+#include "geometry/query.h"
+#include "util/rng.h"
+
+namespace accl {
+namespace {
+
+Box MakeBox2(float l0, float h0, float l1, float h1) {
+  Box b(2);
+  b.set(0, l0, h0);
+  b.set(1, l1, h1);
+  return b;
+}
+
+TEST(Predicates, Intersects2D) {
+  Box a = MakeBox2(0.0f, 0.5f, 0.0f, 0.5f);
+  Box b = MakeBox2(0.4f, 0.9f, 0.4f, 0.9f);
+  Box c = MakeBox2(0.6f, 0.9f, 0.0f, 0.5f);
+  EXPECT_TRUE(Intersects(a.view(), b.view()));
+  EXPECT_TRUE(Intersects(b.view(), a.view()));
+  EXPECT_FALSE(Intersects(a.view(), c.view()));  // disjoint in dim 0
+}
+
+TEST(Predicates, IntersectsTouchingEdge) {
+  Box a = MakeBox2(0.0f, 0.5f, 0.0f, 0.5f);
+  Box b = MakeBox2(0.5f, 1.0f, 0.0f, 0.5f);
+  EXPECT_TRUE(Intersects(a.view(), b.view()));
+}
+
+TEST(Predicates, ContainedBy) {
+  Box inner = MakeBox2(0.2f, 0.4f, 0.2f, 0.4f);
+  Box outer = MakeBox2(0.1f, 0.5f, 0.1f, 0.5f);
+  EXPECT_TRUE(ContainedBy(inner.view(), outer.view()));
+  EXPECT_FALSE(ContainedBy(outer.view(), inner.view()));
+  // Equal boxes contain each other.
+  EXPECT_TRUE(ContainedBy(inner.view(), inner.view()));
+}
+
+TEST(Predicates, Encloses) {
+  Box big = MakeBox2(0.0f, 1.0f, 0.0f, 1.0f);
+  Box small = MakeBox2(0.3f, 0.6f, 0.3f, 0.6f);
+  EXPECT_TRUE(Encloses(big.view(), small.view()));
+  EXPECT_FALSE(Encloses(small.view(), big.view()));
+}
+
+TEST(Predicates, EnclosesPoint) {
+  Box obj = MakeBox2(0.2f, 0.8f, 0.1f, 0.9f);
+  Box in = Box::Point({0.5f, 0.5f});
+  Box boundary = Box::Point({0.2f, 0.1f});
+  Box out = Box::Point({0.1f, 0.5f});
+  EXPECT_TRUE(Encloses(obj.view(), in.view()));
+  EXPECT_TRUE(Encloses(obj.view(), boundary.view()));
+  EXPECT_FALSE(Encloses(obj.view(), out.view()));
+}
+
+TEST(Predicates, RelationNames) {
+  EXPECT_STREQ(RelationName(Relation::kIntersects), "intersects");
+  EXPECT_STREQ(RelationName(Relation::kContainedBy), "contained-by");
+  EXPECT_STREQ(RelationName(Relation::kEncloses), "encloses");
+}
+
+TEST(Predicates, CountingEarlyExit) {
+  // Object fails the intersection test in dim 0: exactly 1 dim checked.
+  Box obj = MakeBox2(0.8f, 0.9f, 0.0f, 1.0f);
+  Box q = MakeBox2(0.0f, 0.5f, 0.0f, 1.0f);
+  uint32_t dims = 0;
+  EXPECT_FALSE(
+      SatisfiesCounting(obj.view(), q.view(), Relation::kIntersects, &dims));
+  EXPECT_EQ(dims, 1u);
+}
+
+TEST(Predicates, CountingFullCheckOnMatch) {
+  Box obj = MakeBox2(0.1f, 0.2f, 0.1f, 0.2f);
+  Box q = MakeBox2(0.0f, 1.0f, 0.0f, 1.0f);
+  uint32_t dims = 0;
+  EXPECT_TRUE(
+      SatisfiesCounting(obj.view(), q.view(), Relation::kIntersects, &dims));
+  EXPECT_EQ(dims, 2u);
+}
+
+TEST(Predicates, CountingSecondDimFailure) {
+  Box obj = MakeBox2(0.1f, 0.2f, 0.8f, 0.9f);
+  Box q = MakeBox2(0.0f, 1.0f, 0.0f, 0.5f);
+  uint32_t dims = 0;
+  EXPECT_FALSE(
+      SatisfiesCounting(obj.view(), q.view(), Relation::kIntersects, &dims));
+  EXPECT_EQ(dims, 2u);
+}
+
+// Relation semantics: containment implies intersection; enclosure implies
+// intersection; equality satisfies all three.
+TEST(Predicates, RelationImplications) {
+  Rng rng(5);
+  for (int iter = 0; iter < 2000; ++iter) {
+    Box a(3), b(3);
+    for (Dim d = 0; d < 3; ++d) {
+      float a1 = rng.NextFloat(), a2 = rng.NextFloat();
+      if (a1 > a2) std::swap(a1, a2);
+      a.set(d, a1, a2);
+      float b1 = rng.NextFloat(), b2 = rng.NextFloat();
+      if (b1 > b2) std::swap(b1, b2);
+      b.set(d, b1, b2);
+    }
+    if (Satisfies(a.view(), b.view(), Relation::kContainedBy)) {
+      EXPECT_TRUE(Satisfies(a.view(), b.view(), Relation::kIntersects));
+    }
+    if (Satisfies(a.view(), b.view(), Relation::kEncloses)) {
+      EXPECT_TRUE(Satisfies(a.view(), b.view(), Relation::kIntersects));
+    }
+    // Duality: a contained-by b == b encloses a.
+    EXPECT_EQ(Satisfies(a.view(), b.view(), Relation::kContainedBy),
+              Satisfies(b.view(), a.view(), Relation::kEncloses));
+  }
+}
+
+TEST(Query, MatchesDelegatesToRelation) {
+  Query q = Query::Containment(MakeBox2(0.0f, 0.5f, 0.0f, 0.5f));
+  Box in = MakeBox2(0.1f, 0.2f, 0.1f, 0.2f);
+  Box out = MakeBox2(0.1f, 0.2f, 0.4f, 0.6f);
+  EXPECT_TRUE(q.Matches(in.view()));
+  EXPECT_FALSE(q.Matches(out.view()));
+}
+
+TEST(Query, FactoryRelations) {
+  Box b = MakeBox2(0, 1, 0, 1);
+  EXPECT_EQ(Query::Intersection(b).rel, Relation::kIntersects);
+  EXPECT_EQ(Query::Containment(b).rel, Relation::kContainedBy);
+  EXPECT_EQ(Query::Enclosure(b).rel, Relation::kEncloses);
+  Query pq = Query::PointEnclosing({0.5f, 0.5f});
+  EXPECT_EQ(pq.rel, Relation::kEncloses);
+  EXPECT_EQ(pq.box.lo(0), pq.box.hi(0));
+}
+
+TEST(Query, ToStringMentionsRelation) {
+  Query q = Query::Intersection(MakeBox2(0, 1, 0, 1));
+  EXPECT_NE(q.ToString().find("intersects"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace accl

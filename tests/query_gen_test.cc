@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "workload/generators.h"
+#include "workload/query_gen.h"
+
+namespace accl {
+namespace {
+
+Dataset SmallUniform(Dim nd = 8, size_t n = 20000) {
+  UniformSpec spec;
+  spec.nd = nd;
+  spec.count = n;
+  spec.seed = 21;
+  return GenerateUniform(spec);
+}
+
+TEST(QueryGen, ExtentQueriesWellFormed) {
+  auto qs = GenerateQueriesWithExtent(4, Relation::kIntersects, 100, 0.2, 3);
+  ASSERT_EQ(qs.size(), 100u);
+  for (const Query& q : qs) {
+    EXPECT_EQ(q.rel, Relation::kIntersects);
+    for (Dim d = 0; d < 4; ++d) {
+      EXPECT_LE(q.box.lo(d), q.box.hi(d));
+      EXPECT_NEAR(q.box.hi(d) - q.box.lo(d), 0.2f, 1e-5f);
+      EXPECT_GE(q.box.lo(d), 0.0f);
+      EXPECT_LE(q.box.hi(d), 1.0f);
+    }
+  }
+}
+
+TEST(QueryGen, ExtentClampedToDomain) {
+  auto qs = GenerateQueriesWithExtent(2, Relation::kIntersects, 10, 5.0, 3);
+  for (const Query& q : qs) {
+    for (Dim d = 0; d < 2; ++d) {
+      EXPECT_EQ(q.box.lo(d), 0.0f);
+      EXPECT_EQ(q.box.hi(d), 1.0f);
+    }
+  }
+}
+
+TEST(QueryGen, UnconstrainedQueriesCoverSizes) {
+  auto qs = GenerateUnconstrainedQueries(2, Relation::kIntersects, 2000, 5);
+  double mean_len = 0;
+  for (const Query& q : qs) mean_len += q.box.hi(0) - q.box.lo(0);
+  mean_len /= qs.size();
+  // |U1 - U2| has mean 1/3.
+  EXPECT_NEAR(mean_len, 1.0 / 3.0, 0.02);
+}
+
+TEST(QueryGen, PointQueriesAreDegenerateEnclosures) {
+  auto qs = GeneratePointQueries(3, 50, 11);
+  ASSERT_EQ(qs.size(), 50u);
+  for (const Query& q : qs) {
+    EXPECT_EQ(q.rel, Relation::kEncloses);
+    for (Dim d = 0; d < 3; ++d) EXPECT_EQ(q.box.lo(d), q.box.hi(d));
+  }
+}
+
+TEST(QueryGen, MeasureSelectivityBruteForceAgreement) {
+  Dataset ds = SmallUniform(2, 500);
+  auto qs = GenerateQueriesWithExtent(2, Relation::kIntersects, 20, 0.3, 9);
+  // With sample_cap >= n the measurement is exact.
+  const double sel = MeasureSelectivity(ds, qs, ds.size());
+  uint64_t matched = 0;
+  for (const Query& q : qs) {
+    for (size_t i = 0; i < ds.size(); ++i) matched += q.Matches(ds.box(i));
+  }
+  EXPECT_NEAR(sel, static_cast<double>(matched) / (20.0 * ds.size()), 1e-12);
+}
+
+TEST(QueryGen, MeasureSelectivityEmptyInputs) {
+  Dataset ds;
+  ds.nd = 2;
+  EXPECT_EQ(MeasureSelectivity(ds, {}), 0.0);
+}
+
+struct CalibCase {
+  Relation rel;
+  double target;
+  Dim nd;
+};
+
+class CalibrationTest : public ::testing::TestWithParam<CalibCase> {};
+
+TEST_P(CalibrationTest, HitsTargetWithinFactor) {
+  const CalibCase c = GetParam();
+  // Enclosure selectivity is bounded above by the probability that a random
+  // point falls inside an object (~mean_extent^nd), so its cases use low
+  // dimensionality where the target is actually reachable.
+  Dataset ds = SmallUniform(c.nd, 20000);
+  QueryGenSpec spec;
+  spec.rel = c.rel;
+  spec.count = 64;
+  spec.target_selectivity = c.target;
+  spec.seed = 17;
+  QueryWorkload wl = GenerateCalibrated(ds, spec);
+  ASSERT_EQ(wl.queries.size(), 64u);
+  EXPECT_GT(wl.achieved_selectivity, 0.0);
+  // Calibration is statistical; accept a factor-3 band around the target.
+  EXPECT_GT(wl.achieved_selectivity, c.target / 3.0);
+  EXPECT_LT(wl.achieved_selectivity, c.target * 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RelationsAndTargets, CalibrationTest,
+    ::testing::Values(CalibCase{Relation::kIntersects, 5e-3, 8},
+                      CalibCase{Relation::kIntersects, 5e-2, 8},
+                      CalibCase{Relation::kIntersects, 5e-1, 8},
+                      CalibCase{Relation::kContainedBy, 1e-2, 8},
+                      CalibCase{Relation::kEncloses, 1e-3, 2}));
+
+TEST(QueryGen, CalibrationMonotoneInTarget) {
+  Dataset ds = SmallUniform(8, 10000);
+  QueryGenSpec lo_spec, hi_spec;
+  lo_spec.rel = hi_spec.rel = Relation::kIntersects;
+  lo_spec.count = hi_spec.count = 16;
+  lo_spec.target_selectivity = 1e-3;
+  hi_spec.target_selectivity = 1e-1;
+  const QueryWorkload lo = GenerateCalibrated(ds, lo_spec);
+  const QueryWorkload hi = GenerateCalibrated(ds, hi_spec);
+  EXPECT_LT(lo.extent, hi.extent);
+  EXPECT_LT(lo.achieved_selectivity, hi.achieved_selectivity);
+}
+
+TEST(QueryGen, EnclosureCalibrationShrinksQueries) {
+  // For enclosure, selectivity decreases with extent: small targets need
+  // big query boxes and vice versa.
+  Dataset ds = SmallUniform(4, 10000);
+  QueryGenSpec strict, loose;
+  strict.rel = loose.rel = Relation::kEncloses;
+  strict.count = loose.count = 16;
+  strict.target_selectivity = 1e-4;
+  loose.target_selectivity = 5e-2;
+  EXPECT_GT(GenerateCalibrated(ds, strict).extent,
+            GenerateCalibrated(ds, loose).extent);
+}
+
+}  // namespace
+}  // namespace accl

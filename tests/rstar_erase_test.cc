@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rstar/rstar_tree.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace accl {
+namespace {
+
+using testutil::BruteForce;
+using testutil::Load;
+using testutil::RandomBox;
+using testutil::RunQuery;
+
+RStarConfig SmallFanout(Dim nd, size_t M = 8) {
+  RStarConfig cfg;
+  cfg.nd = nd;
+  cfg.max_entries_override = M;
+  return cfg;
+}
+
+TEST(RStarErase, MissingIdReturnsFalse) {
+  RStarTree t(SmallFanout(2));
+  EXPECT_FALSE(t.Erase(7));
+  Rng rng(1);
+  t.Insert(1, RandomBox(rng, 2).view());
+  EXPECT_FALSE(t.Erase(2));
+  EXPECT_TRUE(t.Erase(1));
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(RStarErase, EraseAllLeavesEmptyValidTree) {
+  RStarTree t(SmallFanout(2, 8));
+  Rng rng(3);
+  for (ObjectId i = 0; i < 300; ++i) {
+    t.Insert(i, RandomBox(rng, 2, 0.1f).view());
+  }
+  for (ObjectId i = 0; i < 300; ++i) {
+    ASSERT_TRUE(t.Erase(i)) << i;
+  }
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.height(), 1u);
+  EXPECT_EQ(t.node_count(), 1u);
+  t.CheckInvariants();
+}
+
+TEST(RStarErase, CondensePreservesRemainingObjects) {
+  RStarTree t(SmallFanout(3, 8));
+  UniformSpec spec;
+  spec.nd = 3;
+  spec.count = 1000;
+  spec.seed = 5;
+  Dataset ds = GenerateUniform(spec);
+  Load(t, ds);
+  // Remove every other object; everything else must stay findable.
+  for (ObjectId i = 0; i < 1000; i += 2) ASSERT_TRUE(t.Erase(i));
+  t.CheckInvariants();
+  auto out = RunQuery(t, Query::Intersection(Box::FullDomain(3)));
+  ASSERT_EQ(out.size(), 500u);
+  for (ObjectId id : out) EXPECT_EQ(id % 2, 1u);
+}
+
+TEST(RStarErase, InterleavedInsertEraseProperty) {
+  RStarTree t(SmallFanout(2, 8));
+  Dataset live;
+  live.nd = 2;
+  Rng rng(7);
+  ObjectId next = 0;
+  std::set<ObjectId> live_ids;
+  std::vector<Box> boxes;  // by id
+  for (int op = 0; op < 3000; ++op) {
+    if (live_ids.empty() || rng.NextBool(0.6)) {
+      Box b = RandomBox(rng, 2, 0.15f);
+      boxes.push_back(b);
+      t.Insert(next, b.view());
+      live_ids.insert(next);
+      ++next;
+    } else {
+      auto it = live_ids.begin();
+      std::advance(it, rng.NextBelow(live_ids.size()));
+      ASSERT_TRUE(t.Erase(*it));
+      live_ids.erase(it);
+    }
+    ASSERT_EQ(t.size(), live_ids.size());
+    if (op % 500 == 499) {
+      t.CheckInvariants();
+      // Oracle comparison on the live set.
+      Dataset ds;
+      ds.nd = 2;
+      for (ObjectId id : live_ids) ds.Append(id, boxes[id].view());
+      Query q = Query::Intersection(RandomBox(rng, 2, 0.5f));
+      EXPECT_EQ(RunQuery(t, q), BruteForce(ds, q));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace accl

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "sdi/subscription_engine.h"
+#include "util/rng.h"
+
+namespace accl {
+namespace {
+
+AttributeSchema AdsSchema() {
+  AttributeSchema s;
+  s.AddAttribute("price", 0, 3000);
+  s.AddAttribute("rooms", 0, 10);
+  s.AddAttribute("baths", 0, 5);
+  s.AddAttribute("distance", 0, 100);
+  return s;
+}
+
+SubscriptionEngine MakeEngine() {
+  EngineOptions opts;
+  opts.index.reorg_period = 50;
+  opts.index.min_observation = 16;
+  return SubscriptionEngine(AdsSchema(), opts);
+}
+
+TEST(SdiEngine, PaperIntroductionScenario) {
+  // "Notify me of all new apartments within 30 miles from Newark, with a
+  // rent price between 400$ and 700$, having between 3 and 5 rooms, and 2
+  // baths."
+  SubscriptionEngine engine = MakeEngine();
+  const SubscriptionId sub = engine.Subscribe({{"price", 400, 700},
+                                               {"rooms", 3, 5},
+                                               {"baths", 2, 2},
+                                               {"distance", 0, 30}});
+  ASSERT_NE(sub, kInvalidObject);
+
+  // A matching offer (a point event).
+  Event offer;
+  ASSERT_TRUE(engine.MakePointEvent({{"price", 650},
+                                     {"rooms", 4},
+                                     {"baths", 2},
+                                     {"distance", 12}},
+                                    &offer));
+  std::vector<SubscriptionId> notified;
+  engine.Match(offer, &notified);
+  ASSERT_EQ(notified.size(), 1u);
+  EXPECT_EQ(notified[0], sub);
+
+  // Too expensive: no notification.
+  Event expensive;
+  ASSERT_TRUE(engine.MakePointEvent({{"price", 800},
+                                     {"rooms", 4},
+                                     {"baths", 2},
+                                     {"distance", 12}},
+                                    &expensive));
+  notified.clear();
+  engine.Match(expensive, &notified);
+  EXPECT_TRUE(notified.empty());
+}
+
+TEST(SdiEngine, RangeEventPolicies) {
+  // Paper: "Apartments for rent in Newark: 3 to 5 rooms, 1 or 2 baths,
+  // 600$-900$" — a range event.
+  SubscriptionEngine engine = MakeEngine();
+  const SubscriptionId overlapping = engine.Subscribe(
+      {{"price", 400, 700}, {"rooms", 3, 5}});  // overlaps 600-900
+  const SubscriptionId covering = engine.Subscribe(
+      {{"price", 500, 1000}, {"rooms", 2, 6}});  // covers the whole event
+  ASSERT_NE(overlapping, kInvalidObject);
+  ASSERT_NE(covering, kInvalidObject);
+
+  Event ad;
+  ASSERT_TRUE(engine.MakeRangeEvent(
+      {{"price", 600, 900}, {"rooms", 3, 5}, {"baths", 1, 2}}, &ad));
+
+  std::vector<SubscriptionId> loose, strict;
+  engine.Match(ad, MatchPolicy::kIntersecting, &loose);
+  engine.Match(ad, MatchPolicy::kCovering, &strict);
+  std::sort(loose.begin(), loose.end());
+  EXPECT_EQ(loose, (std::vector<SubscriptionId>{overlapping, covering}));
+  EXPECT_EQ(strict, std::vector<SubscriptionId>{covering});
+}
+
+TEST(SdiEngine, UnsubscribeStopsNotifications) {
+  SubscriptionEngine engine = MakeEngine();
+  const SubscriptionId sub = engine.Subscribe({{"rooms", 2, 8}});
+  Event ev;
+  ASSERT_TRUE(engine.MakePointEvent(
+      {{"price", 100}, {"rooms", 5}, {"baths", 1}, {"distance", 3}}, &ev));
+  std::vector<SubscriptionId> out;
+  engine.Match(ev, &out);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_TRUE(engine.Unsubscribe(sub));
+  EXPECT_FALSE(engine.Unsubscribe(sub));
+  out.clear();
+  engine.Match(ev, &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(engine.subscription_count(), 0u);
+}
+
+TEST(SdiEngine, MalformedSubscriptionRejected) {
+  SubscriptionEngine engine = MakeEngine();
+  EXPECT_EQ(engine.Subscribe({{"pool", 0, 1}}), kInvalidObject);
+  EXPECT_EQ(engine.Subscribe({{"price", 700, 400}}), kInvalidObject);
+  EXPECT_EQ(engine.subscription_count(), 0u);
+}
+
+TEST(SdiEngine, StatsAccumulate) {
+  SubscriptionEngine engine = MakeEngine();
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    engine.Subscribe({{"price", rng.Uniform(0, 1500),
+                       rng.Uniform(1500, 3000)}});
+  }
+  Event ev;
+  ASSERT_TRUE(engine.MakePointEvent(
+      {{"price", 1500}, {"rooms", 5}, {"baths", 1}, {"distance", 50}}, &ev));
+  std::vector<SubscriptionId> out;
+  for (int i = 0; i < 10; ++i) {
+    out.clear();
+    engine.Match(ev, &out);
+  }
+  EXPECT_EQ(engine.stats().events_processed, 10u);
+  EXPECT_EQ(engine.stats().matches_per_event.count(), 10u);
+  EXPECT_GT(engine.stats().matches_per_event.mean(), 0.0);
+  engine.ResetStats();
+  EXPECT_EQ(engine.stats().events_processed, 0u);
+}
+
+TEST(SdiEngine, HighVolumeStreamAdapts) {
+  // Sustained event stream: the engine's index must cluster and the
+  // verified fraction must drop well below 100%.
+  SubscriptionEngine engine = MakeEngine();
+  Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    const double p0 = rng.Uniform(0, 2800);
+    const double r0 = rng.Uniform(0, 8);
+    const double d0 = rng.Uniform(0, 90);
+    engine.Subscribe({{"price", p0, p0 + 200},
+                      {"rooms", r0, r0 + 2},
+                      {"distance", d0, d0 + 10}});
+  }
+  std::vector<SubscriptionId> out;
+  for (int i = 0; i < 2000; ++i) {
+    Event ev;
+    ASSERT_TRUE(engine.MakePointEvent({{"price", rng.Uniform(0, 3000)},
+                                       {"rooms", rng.Uniform(0, 10)},
+                                       {"baths", rng.Uniform(0, 5)},
+                                       {"distance", rng.Uniform(0, 100)}},
+                                      &ev));
+    out.clear();
+    engine.Match(ev, &out);
+  }
+  EXPECT_GT(engine.index().cluster_count(), 1u);
+  const double verified_frac =
+      engine.stats().verified_per_event.mean() /
+      static_cast<double>(engine.subscription_count());
+  EXPECT_LT(verified_frac, 0.6);
+}
+
+}  // namespace
+}  // namespace accl

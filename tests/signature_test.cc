@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "core/signature.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+#include "workload/query_gen.h"
+
+namespace accl {
+namespace {
+
+TEST(VarInterval, HalfOpenSemantics) {
+  VarInterval v{0.25f, 0.5f, /*hi_closed=*/false};
+  EXPECT_TRUE(v.Contains(0.25f));
+  EXPECT_TRUE(v.Contains(0.49f));
+  EXPECT_FALSE(v.Contains(0.5f));
+  EXPECT_FALSE(v.Contains(0.24f));
+}
+
+TEST(VarInterval, ClosedSemantics) {
+  VarInterval v{0.75f, 1.0f, /*hi_closed=*/true};
+  EXPECT_TRUE(v.Contains(1.0f));
+  EXPECT_TRUE(v.Contains(0.75f));
+  EXPECT_FALSE(v.Contains(1.00001f));
+}
+
+TEST(VarInterval, FullDomainDetection) {
+  EXPECT_TRUE((VarInterval{0.0f, 1.0f, true}).IsFullDomain());
+  EXPECT_FALSE((VarInterval{0.0f, 1.0f, false}).IsFullDomain());
+  EXPECT_FALSE((VarInterval{0.0f, 0.5f, true}).IsFullDomain());
+}
+
+TEST(VarInterval, ToStringShowsClosedness) {
+  EXPECT_EQ((VarInterval{0.0f, 0.25f, false}).ToString(), "[0,0.25)");
+  EXPECT_EQ((VarInterval{0.0f, 0.25f, true}).ToString(), "[0,0.25]");
+}
+
+TEST(Signature, RootAcceptsEverything) {
+  Signature root(3);
+  EXPECT_TRUE(root.IsRoot());
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    Box b(3);
+    for (Dim d = 0; d < 3; ++d) {
+      float a = rng.NextFloat(), c = rng.NextFloat();
+      if (a > c) std::swap(a, c);
+      b.set(d, a, c);
+    }
+    EXPECT_TRUE(root.MatchesObject(b.view()));
+  }
+}
+
+TEST(Signature, RootAdmitsAnyQuery) {
+  Signature root(2);
+  Box qb(2);
+  qb.set(0, 0.3f, 0.4f);
+  qb.set(1, 0.0f, 1.0f);
+  for (Relation rel : {Relation::kIntersects, Relation::kContainedBy,
+                       Relation::kEncloses}) {
+    EXPECT_TRUE(root.AdmitsQuery(Query(qb, rel)));
+  }
+}
+
+// Paper Example 2: the three sample clusters in the 2-d space.
+TEST(Signature, PaperExample2) {
+  // sigma1 = {d1 [0,0.25):[0,0.25), d2 [0,1]:[0,1]}
+  Signature s1(2);
+  s1.set(0, {0.0f, 0.25f, false}, {0.0f, 0.25f, false});
+  // O1 = d1[0.05,0.2], d2[0.8,0.95] — starts and ends in the first quarter
+  // of d1 => member of sigma1.
+  Box o1(2);
+  o1.set(0, 0.05f, 0.2f);
+  o1.set(1, 0.8f, 0.95f);
+  EXPECT_TRUE(s1.MatchesObject(o1.view()));
+  // An object whose d1 interval ends beyond 0.25 does not match.
+  Box o3(2);
+  o3.set(0, 0.3f, 0.8f);
+  o3.set(1, 0.6f, 0.9f);
+  EXPECT_FALSE(s1.MatchesObject(o3.view()));
+
+  // sigma2 = {d1 [0.25,0.5):[0.75,1], d2 [0.5,0.75):[0.75,1]}
+  Signature s2(2);
+  s2.set(0, {0.25f, 0.5f, false}, {0.75f, 1.0f, true});
+  s2.set(1, {0.5f, 0.75f, false}, {0.75f, 1.0f, true});
+  Box o4(2);
+  o4.set(0, 0.3f, 0.9f);
+  o4.set(1, 0.6f, 0.8f);
+  EXPECT_TRUE(s2.MatchesObject(o4.view()));
+  EXPECT_FALSE(s2.MatchesObject(o1.view()));
+}
+
+TEST(Signature, MatchRespectsHalfOpenBoundary) {
+  Signature s(1);
+  s.set(0, {0.0f, 0.25f, false}, {0.0f, 1.0f, true});
+  Box at_boundary(1);
+  at_boundary.set(0, 0.25f, 0.5f);  // start exactly at 0.25: excluded
+  EXPECT_FALSE(s.MatchesObject(at_boundary.view()));
+  Box inside(1);
+  inside.set(0, 0.2499f, 0.5f);
+  EXPECT_TRUE(s.MatchesObject(inside.view()));
+}
+
+TEST(Signature, RefinedFromSelfAndRoot) {
+  Signature root(2);
+  Signature s(2);
+  s.set(0, {0.0f, 0.25f, false}, {0.5f, 0.75f, false});
+  EXPECT_TRUE(s.RefinedFrom(root));
+  EXPECT_TRUE(s.RefinedFrom(s));
+  EXPECT_FALSE(root.RefinedFrom(s));
+}
+
+TEST(Signature, RefinedFromClosednessMatters) {
+  Signature outer(1), inner(1);
+  outer.set(0, {0.0f, 0.5f, false}, {0.0f, 1.0f, true});
+  inner.set(0, {0.0f, 0.5f, true}, {0.0f, 1.0f, true});
+  // inner accepts 0.5 itself; outer does not => not a refinement.
+  EXPECT_FALSE(inner.RefinedFrom(outer));
+  EXPECT_TRUE(outer.RefinedFrom(inner));
+}
+
+TEST(Signature, SerializeRoundTrip) {
+  Signature s(3);
+  s.set(0, {0.0f, 0.25f, false}, {0.125f, 0.25f, true});
+  s.set(2, {0.5f, 0.75f, false}, {0.75f, 1.0f, true});
+  ByteWriter w;
+  s.Serialize(&w);
+  ByteReader r(w.bytes());
+  Signature back;
+  ASSERT_TRUE(Signature::Deserialize(&r, &back));
+  EXPECT_EQ(back, s);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Signature, DeserializeRejectsTruncation) {
+  Signature s(4);
+  ByteWriter w;
+  s.Serialize(&w);
+  std::vector<uint8_t> bytes = w.bytes();
+  bytes.resize(bytes.size() / 2);
+  ByteReader r(bytes.data(), bytes.size());
+  Signature back;
+  EXPECT_FALSE(Signature::Deserialize(&r, &back));
+}
+
+TEST(Signature, DeserializeRejectsZeroDims) {
+  ByteWriter w;
+  w.PutU32(0);
+  ByteReader r(w.bytes());
+  Signature back;
+  EXPECT_FALSE(Signature::Deserialize(&r, &back));
+}
+
+// THE key safety property (paper §3.6): AdmitsQuery is a *necessary*
+// condition — if a member object satisfies the query relation, the
+// signature must admit the query. Checked by random sampling across
+// relations and dimensionalities.
+class AdmissionSoundness
+    : public ::testing::TestWithParam<std::tuple<Relation, int>> {};
+
+TEST_P(AdmissionSoundness, NoFalseNegatives) {
+  const Relation rel = std::get<0>(GetParam());
+  const Dim nd = static_cast<Dim>(std::get<1>(GetParam()));
+  Rng rng(1234 + static_cast<int>(rel) * 100 + nd);
+
+  for (int iter = 0; iter < 300; ++iter) {
+    // Random signature: each dim randomly refined or full.
+    Signature sig(nd);
+    for (Dim d = 0; d < nd; ++d) {
+      if (rng.NextBool(0.5)) continue;
+      float s1 = rng.NextFloat() * 0.5f;
+      float s2 = s1 + 0.25f;
+      float e1 = rng.NextFloat() * 0.5f;
+      float e2 = e1 + 0.25f;
+      sig.set(d, {s1, s2, false}, {e1, e2, false});
+    }
+    // Random object matching the signature: pick starts/ends inside vars
+    // (retry a few times; skip when infeasible a<=b).
+    Box obj(nd);
+    bool ok = true;
+    for (Dim d = 0; d < nd && ok; ++d) {
+      const VarInterval& sv = sig.start_var(d);
+      const VarInterval& ev = sig.end_var(d);
+      bool found = false;
+      for (int t = 0; t < 32 && !found; ++t) {
+        float a = sv.lo + sv.width() * 0.999f * rng.NextFloat();
+        float b = ev.lo + ev.width() * 0.999f * rng.NextFloat();
+        if (a <= b) {
+          obj.set(d, a, b);
+          found = true;
+        }
+      }
+      ok = found;
+    }
+    if (!ok) continue;
+    ASSERT_TRUE(sig.MatchesObject(obj.view()));
+
+    // Random query; whenever the object satisfies the relation, the
+    // signature must admit the query.
+    Box qb(nd);
+    for (Dim d = 0; d < nd; ++d) {
+      float a = rng.NextFloat(), b = rng.NextFloat();
+      if (a > b) std::swap(a, b);
+      qb.set(d, a, b);
+    }
+    Query q(qb, rel);
+    if (q.Matches(obj.view())) {
+      EXPECT_TRUE(sig.AdmitsQuery(q))
+          << "relation " << RelationName(rel) << " object "
+          << obj.ToString() << " query " << qb.ToString() << " sig "
+          << sig.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRelations, AdmissionSoundness,
+    ::testing::Combine(::testing::Values(Relation::kIntersects,
+                                         Relation::kContainedBy,
+                                         Relation::kEncloses),
+                       ::testing::Values(1, 2, 4, 8)));
+
+}  // namespace
+}  // namespace accl

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "core/static_clustering.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+#include "workload/query_gen.h"
+
+namespace accl {
+namespace {
+
+using testutil::BruteForce;
+using testutil::RunQuery;
+
+Dataset Uni(Dim nd, size_t n, uint64_t seed) {
+  UniformSpec spec;
+  spec.nd = nd;
+  spec.count = n;
+  spec.seed = seed;
+  return GenerateUniform(spec);
+}
+
+TEST(StaticClustering, SingleClusterWhenQueriesUnselective) {
+  Dataset ds = Uni(4, 5000, 1);
+  std::vector<Query> sample(64, Query::Intersection(Box::FullDomain(4)));
+  StaticClustering sc =
+      BuildStaticClustering(ds, sample, StaticClusteringOptions{});
+  EXPECT_EQ(sc.cluster_count, 1u);
+  EXPECT_EQ(sc.images[0].ids.size(), 5000u);
+}
+
+TEST(StaticClustering, SelectiveQueriesProduceClusters) {
+  Dataset ds = Uni(8, 20000, 3);
+  auto sample =
+      GenerateQueriesWithExtent(8, Relation::kIntersects, 512, 0.1, 5);
+  StaticClustering sc =
+      BuildStaticClustering(ds, sample, StaticClusteringOptions{});
+  EXPECT_GT(sc.cluster_count, 1u);
+  // All objects present exactly once.
+  size_t total = 0;
+  for (const auto& img : sc.images) total += img.ids.size();
+  EXPECT_EQ(total, 20000u);
+}
+
+TEST(StaticClustering, ImagesLoadIntoValidIndex) {
+  Dataset ds = Uni(4, 8000, 7);
+  auto sample =
+      GenerateQueriesWithExtent(4, Relation::kIntersects, 512, 0.1, 9);
+  AdaptiveConfig cfg;
+  cfg.nd = 4;
+  auto idx = BuildStaticIndex(ds, sample, StaticClusteringOptions{}, cfg);
+  ASSERT_NE(idx, nullptr);
+  idx->CheckInvariants();
+  EXPECT_EQ(idx->size(), 8000u);
+  EXPECT_GT(idx->cluster_count(), 1u);
+
+  Rng rng(11);
+  for (int i = 0; i < 30; ++i) {
+    Box qb = testutil::RandomBox(rng, 4, 0.4f);
+    for (Relation rel : {Relation::kIntersects, Relation::kContainedBy,
+                         Relation::kEncloses}) {
+      Query q(qb, rel);
+      EXPECT_EQ(RunQuery(*idx, q), BruteForce(ds, q));
+    }
+  }
+}
+
+TEST(StaticClustering, ExpectedCostNotWorseThanScan) {
+  Dataset ds = Uni(8, 20000, 13);
+  auto sample =
+      GenerateQueriesWithExtent(8, Relation::kIntersects, 512, 0.05, 15);
+  StaticClusteringOptions opt;
+  StaticClustering sc = BuildStaticClustering(ds, sample, opt);
+  const CostModel model = CostModel::Make(
+      opt.scenario, 8, opt.sys, 8.0 * opt.division_factor *
+                                    (opt.division_factor + 1) / 2.0);
+  EXPECT_LE(sc.expected_query_ms, model.ClusterTime(1.0, 20000.0));
+}
+
+TEST(StaticClustering, WarmStartBeatsColdStartImmediately) {
+  // A statically clustered index answers its first queries with far fewer
+  // verifications than a cold adaptive index that has not reorganized yet.
+  Dataset ds = Uni(8, 20000, 17);
+  auto sample =
+      GenerateQueriesWithExtent(8, Relation::kIntersects, 512, 0.08, 19);
+  AdaptiveConfig cfg;
+  cfg.nd = 8;
+  auto warm = BuildStaticIndex(ds, sample, StaticClusteringOptions{}, cfg);
+  AdaptiveIndex cold(cfg);
+  testutil::Load(cold, ds);
+
+  auto probe =
+      GenerateQueriesWithExtent(8, Relation::kIntersects, 50, 0.08, 21);
+  uint64_t warm_verified = 0, cold_verified = 0;
+  QueryMetrics m;
+  std::vector<ObjectId> out;
+  for (const Query& q : probe) {
+    out.clear();
+    warm->Execute(q, &out, &m);
+    warm_verified += m.objects_verified;
+    out.clear();
+    cold.Execute(q, &out, &m);
+    cold_verified += m.objects_verified;
+  }
+  EXPECT_LT(warm_verified * 2, cold_verified);
+}
+
+TEST(StaticClustering, DiskScenarioFewerClusters) {
+  Dataset ds = Uni(8, 20000, 23);
+  auto sample =
+      GenerateQueriesWithExtent(8, Relation::kIntersects, 512, 0.08, 25);
+  StaticClusteringOptions mem, dsk;
+  dsk.scenario = StorageScenario::kDisk;
+  const size_t mem_clusters =
+      BuildStaticClustering(ds, sample, mem).cluster_count;
+  const size_t dsk_clusters =
+      BuildStaticClustering(ds, sample, dsk).cluster_count;
+  EXPECT_LT(dsk_clusters, mem_clusters);
+}
+
+TEST(StaticClustering, EmptyDatasetYieldsRootOnly) {
+  Dataset ds;
+  ds.nd = 3;
+  std::vector<Query> sample(8, Query::Intersection(Box::FullDomain(3)));
+  StaticClustering sc =
+      BuildStaticClustering(ds, sample, StaticClusteringOptions{});
+  EXPECT_EQ(sc.cluster_count, 1u);
+  EXPECT_TRUE(sc.images[0].ids.empty());
+}
+
+}  // namespace
+}  // namespace accl

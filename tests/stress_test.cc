@@ -1,0 +1,158 @@
+// Long-running randomized stress: the adaptive index under a hostile mix of
+// inserts, deletes, relation-mixed queries, distribution shifts, statistics
+// decay, and manual reorganizations — continuously checked against a
+// Sequential Scan oracle and the structural invariants.
+#include <gtest/gtest.h>
+
+#include "core/adaptive_index.h"
+#include "seqscan/seq_scan.h"
+#include "tests/test_util.h"
+
+namespace accl {
+namespace {
+
+using testutil::RandomBox;
+using testutil::RunQuery;
+
+struct StressParams {
+  Dim nd;
+  uint32_t reorg_period;
+  uint32_t halving_period;
+  uint64_t seed;
+};
+
+class StressTest : public ::testing::TestWithParam<StressParams> {};
+
+TEST_P(StressTest, RandomizedOpsAgainstOracle) {
+  const StressParams p = GetParam();
+  AdaptiveConfig cfg;
+  cfg.nd = p.nd;
+  cfg.reorg_period = p.reorg_period;
+  cfg.stats_halving_period = p.halving_period;
+  cfg.min_observation = 16;
+  AdaptiveIndex ac(cfg);
+  SeqScan ss(p.nd);
+
+  Rng rng(p.seed);
+  ObjectId next = 0;
+  std::vector<ObjectId> live;
+
+  for (int step = 0; step < 6000; ++step) {
+    const double roll = rng.NextDouble();
+    // Shift the query focus halfway through (exercises merges + decay).
+    const float focus_lo = step < 3000 ? 0.0f : 0.5f;
+    if (roll < 0.35 || live.empty()) {
+      Box b = RandomBox(rng, p.nd, 0.25f);
+      ac.Insert(next, b.view());
+      ss.Insert(next, b.view());
+      live.push_back(next++);
+    } else if (roll < 0.45) {
+      const size_t k = rng.NextBelow(live.size());
+      ASSERT_TRUE(ac.Erase(live[k]));
+      ASSERT_TRUE(ss.Erase(live[k]));
+      live[k] = live.back();
+      live.pop_back();
+    } else {
+      Box qb(p.nd);
+      for (Dim d = 0; d < p.nd; ++d) {
+        const float len = 0.3f * rng.NextFloat();
+        const float start = focus_lo + (0.5f - len) * rng.NextFloat();
+        qb.set(d, start, start + len);
+      }
+      const double rr = rng.NextDouble();
+      const Relation rel = rr < 0.5   ? Relation::kIntersects
+                           : rr < 0.8 ? Relation::kEncloses
+                                      : Relation::kContainedBy;
+      Query q(qb, rel);
+      ASSERT_EQ(RunQuery(ac, q), RunQuery(ss, q)) << "step " << step;
+    }
+    if (step % 1500 == 1499) {
+      ac.CheckInvariants();
+      ac.Reorganize();  // extra manual pass interleaved with automatic ones
+      ac.CheckInvariants();
+    }
+  }
+  ASSERT_EQ(ac.size(), live.size());
+  ac.CheckInvariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, StressTest,
+    ::testing::Values(StressParams{2, 50, 0, 101},
+                      StressParams{4, 100, 512, 202},
+                      StressParams{8, 25, 256, 303},
+                      StressParams{16, 100, 1024, 404}),
+    [](const ::testing::TestParamInfo<StressParams>& info) {
+      return "d" + std::to_string(info.param.nd) + "_r" +
+             std::to_string(info.param.reorg_period) + "_h" +
+             std::to_string(info.param.halving_period);
+    });
+
+// Decay stress: halving must never corrupt probability denominators
+// (q <= window even after many halvings) or the structure.
+TEST(StressDecay, ManyHalvingsKeepConsistency) {
+  AdaptiveConfig cfg;
+  cfg.nd = 4;
+  cfg.reorg_period = 30;
+  cfg.stats_halving_period = 64;  // aggressive decay
+  cfg.min_observation = 8;
+  AdaptiveIndex idx(cfg);
+  Rng rng(7);
+  for (ObjectId i = 0; i < 5000; ++i) {
+    idx.Insert(i, RandomBox(rng, 4, 0.2f).view());
+  }
+  std::vector<ObjectId> out;
+  for (int i = 0; i < 3000; ++i) {
+    out.clear();
+    idx.Execute(Query::Intersection(RandomBox(rng, 4, 0.1f)), &out);
+  }
+  idx.CheckInvariants();
+  for (const auto& ci : idx.GetClusterInfos()) {
+    EXPECT_GE(ci.access_prob, 0.0);
+    EXPECT_LE(ci.access_prob, 1.0 + 1e-9);
+  }
+}
+
+// Pathological inputs: degenerate (point) objects, duplicate geometry,
+// boundary-hugging coordinates.
+TEST(StressPathological, DegenerateAndBoundaryObjects) {
+  AdaptiveConfig cfg;
+  cfg.nd = 3;
+  cfg.reorg_period = 40;
+  cfg.min_observation = 8;
+  AdaptiveIndex ac(cfg);
+  SeqScan ss(3);
+  Rng rng(11);
+  ObjectId id = 0;
+  for (int i = 0; i < 1000; ++i) {
+    Box b(3);
+    for (Dim d = 0; d < 3; ++d) {
+      const double kind = rng.NextDouble();
+      if (kind < 0.3) {
+        const float x = rng.NextFloat();
+        b.set(d, x, x);  // degenerate
+      } else if (kind < 0.5) {
+        b.set(d, 0.0f, rng.NextBool(0.5) ? 0.0f : 1.0f);  // domain edge
+      } else {
+        float lo = rng.NextFloat(), hi = rng.NextFloat();
+        if (lo > hi) std::swap(lo, hi);
+        b.set(d, lo, hi);
+      }
+    }
+    ac.Insert(id, b.view());
+    ss.Insert(id, b.view());
+    ++id;
+  }
+  for (int i = 0; i < 600; ++i) {
+    Box qb = RandomBox(rng, 3, 0.5f);
+    for (Relation rel : {Relation::kIntersects, Relation::kContainedBy,
+                         Relation::kEncloses}) {
+      Query q(qb, rel);
+      ASSERT_EQ(RunQuery(ac, q), RunQuery(ss, q)) << i;
+    }
+  }
+  ac.CheckInvariants();
+}
+
+}  // namespace
+}  // namespace accl

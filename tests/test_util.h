@@ -1,0 +1,56 @@
+// Shared helpers for the accl test suite.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "api/spatial_index.h"
+#include "geometry/query.h"
+#include "util/rng.h"
+#include "workload/dataset.h"
+
+namespace accl {
+namespace testutil {
+
+/// Brute-force oracle: ids of all dataset objects matching the query.
+inline std::vector<ObjectId> BruteForce(const Dataset& ds, const Query& q) {
+  std::vector<ObjectId> out;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    if (q.Matches(ds.box(i))) out.push_back(ds.ids[i]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Sorted copy, for order-insensitive result comparison.
+inline std::vector<ObjectId> Sorted(std::vector<ObjectId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+/// Executes `q` on `idx` and returns sorted ids.
+inline std::vector<ObjectId> RunQuery(SpatialIndex& idx, const Query& q,
+                                 QueryMetrics* m = nullptr) {
+  std::vector<ObjectId> out;
+  idx.Execute(q, &out, m);
+  return Sorted(std::move(out));
+}
+
+/// Loads a dataset into an index.
+inline void Load(SpatialIndex& idx, const Dataset& ds) {
+  for (size_t i = 0; i < ds.size(); ++i) idx.Insert(ds.ids[i], ds.box(i));
+}
+
+/// A random well-formed box in [0,1]^nd.
+inline Box RandomBox(Rng& rng, Dim nd, float max_extent = 1.0f) {
+  Box b(nd);
+  for (Dim d = 0; d < nd; ++d) {
+    const float len = max_extent * rng.NextFloat();
+    const float start = (1.0f - len) * rng.NextFloat();
+    b.set(d, start, std::min(start + len, 1.0f));
+  }
+  return b;
+}
+
+}  // namespace testutil
+}  // namespace accl

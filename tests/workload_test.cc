@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "workload/generators.h"
+
+namespace accl {
+namespace {
+
+TEST(Dataset, AppendAndAccess) {
+  Dataset ds;
+  ds.nd = 2;
+  Box b(2);
+  b.set(0, 0.1f, 0.2f);
+  b.set(1, 0.3f, 0.4f);
+  ds.Append(7, b.view());
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds.ids[0], 7u);
+  EXPECT_EQ(Box(ds.box(0)), b);
+  EXPECT_EQ(ds.bytes(), ObjectBytes(2));
+}
+
+TEST(GenerateUniform, CountAndIds) {
+  UniformSpec spec;
+  spec.nd = 4;
+  spec.count = 1000;
+  Dataset ds = GenerateUniform(spec);
+  ASSERT_EQ(ds.size(), 1000u);
+  EXPECT_EQ(ds.nd, 4u);
+  for (size_t i = 0; i < ds.size(); ++i) EXPECT_EQ(ds.ids[i], i);
+}
+
+TEST(GenerateUniform, Deterministic) {
+  UniformSpec spec;
+  spec.count = 200;
+  spec.seed = 99;
+  Dataset a = GenerateUniform(spec);
+  Dataset b = GenerateUniform(spec);
+  EXPECT_EQ(a.coords, b.coords);
+  spec.seed = 100;
+  Dataset c = GenerateUniform(spec);
+  EXPECT_NE(a.coords, c.coords);
+}
+
+TEST(GenerateUniform, BoxesWellFormedAndInDomain) {
+  UniformSpec spec;
+  spec.nd = 8;
+  spec.count = 2000;
+  spec.max_extent = 0.3f;
+  Dataset ds = GenerateUniform(spec);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    BoxView b = ds.box(i);
+    for (Dim d = 0; d < ds.nd; ++d) {
+      EXPECT_LE(b.lo(d), b.hi(d));
+      EXPECT_GE(b.lo(d), kDomainMin);
+      EXPECT_LE(b.hi(d), kDomainMax);
+      EXPECT_LE(b.hi(d) - b.lo(d), spec.max_extent + 1e-6f);
+    }
+  }
+}
+
+TEST(GenerateUniform, RespectsMinExtent) {
+  UniformSpec spec;
+  spec.nd = 3;
+  spec.count = 500;
+  spec.min_extent = 0.1f;
+  spec.max_extent = 0.2f;
+  Dataset ds = GenerateUniform(spec);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    for (Dim d = 0; d < ds.nd; ++d) {
+      EXPECT_GE(ds.box(i).hi(d) - ds.box(i).lo(d), 0.1f - 1e-6f);
+    }
+  }
+}
+
+TEST(GenerateUniform, ExtentMeanMatchesSpec) {
+  UniformSpec spec;
+  spec.nd = 2;
+  spec.count = 20000;
+  spec.min_extent = 0.0f;
+  spec.max_extent = 0.4f;
+  Dataset ds = GenerateUniform(spec);
+  double sum = 0;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    sum += ds.box(i).hi(0) - ds.box(i).lo(0);
+  }
+  EXPECT_NEAR(sum / ds.size(), 0.2, 0.01);
+}
+
+TEST(GenerateSkewed, CountAndDomain) {
+  SkewedSpec spec;
+  spec.nd = 16;
+  spec.count = 1000;
+  Dataset ds = GenerateSkewed(spec);
+  ASSERT_EQ(ds.size(), 1000u);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    for (Dim d = 0; d < ds.nd; ++d) {
+      EXPECT_LE(ds.box(i).lo(d), ds.box(i).hi(d));
+      EXPECT_GE(ds.box(i).lo(d), 0.0f);
+      EXPECT_LE(ds.box(i).hi(d), 1.0f);
+    }
+  }
+}
+
+TEST(GenerateSkewed, QuarterOfDimsTwiceAsSelective) {
+  // Per object, nd/4 dims have extents drawn from a range halved in size.
+  // Aggregate effect: the average extent over all dims is
+  // (3/4)*mean + (1/4)*mean/2 = 7/8 of the uniform mean.
+  SkewedSpec spec;
+  spec.nd = 16;
+  spec.count = 20000;
+  spec.max_extent = 0.4f;
+  Dataset ds = GenerateSkewed(spec);
+  double sum = 0;
+  size_t cnt = 0;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    for (Dim d = 0; d < ds.nd; ++d) {
+      sum += ds.box(i).hi(d) - ds.box(i).lo(d);
+      ++cnt;
+    }
+  }
+  const double mean = sum / static_cast<double>(cnt);
+  EXPECT_NEAR(mean, 0.2 * 7.0 / 8.0, 0.005);
+}
+
+TEST(GenerateSkewed, PerObjectExactlyQuarterSelective) {
+  // With max extent well above the threshold, selective dims are
+  // identifiable per object by extent < max_extent/2.
+  SkewedSpec spec;
+  spec.nd = 8;
+  spec.count = 300;
+  spec.min_extent = 0.3f;
+  spec.max_extent = 0.4f;  // selective dims: extent in [0.15, 0.2]
+  Dataset ds = GenerateSkewed(spec);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    int selective = 0;
+    for (Dim d = 0; d < ds.nd; ++d) {
+      const float e = ds.box(i).hi(d) - ds.box(i).lo(d);
+      if (e < 0.25f) ++selective;
+    }
+    EXPECT_EQ(selective, 2) << "object " << i;  // 8/4 = 2 dims
+  }
+}
+
+TEST(GenerateSkewed, Deterministic) {
+  SkewedSpec spec;
+  spec.count = 100;
+  spec.seed = 5;
+  EXPECT_EQ(GenerateSkewed(spec).coords, GenerateSkewed(spec).coords);
+}
+
+TEST(GenerateSkewed, RatioOneEquivalentStatistics) {
+  SkewedSpec spec;
+  spec.nd = 4;
+  spec.count = 5000;
+  spec.selectivity_ratio = 1.0;  // no skew
+  Dataset ds = GenerateSkewed(spec);
+  double sum = 0;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    sum += ds.box(i).hi(0) - ds.box(i).lo(0);
+  }
+  EXPECT_NEAR(sum / ds.size(), 0.125, 0.01);
+}
+
+}  // namespace
+}  // namespace accl
