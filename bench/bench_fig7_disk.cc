@@ -40,9 +40,10 @@ int main() {
     qspec.seed = 42;
     QueryWorkload wl = GenerateCalibrated(ds, qspec);
 
-    auto results = RunExperiment(ds, wl.queries, opt, &static_idx);
     char label[32];
     std::snprintf(label, sizeof(label), "%.0e", sel);
+    SetExperimentLabel(label);
+    auto results = RunExperiment(ds, wl.queries, opt, &static_idx);
     PrintResultsRow(label, results, /*disk=*/true);
   }
   return 0;

@@ -40,6 +40,7 @@ int main() {
     // sweep fast without measurably changing query-time behavior.
     opt.rstar.overlap_candidates = 16;
     opt.scenario = StorageScenario::kMemory;
+    SetExperimentLabel(std::to_string(nd));
     auto results = RunExperiment(ds, wl.queries, opt);
     PrintResultsRow(std::to_string(nd), results, /*disk=*/false);
   }

@@ -31,6 +31,7 @@ int main() {
     std::printf("\n--- %s scenario ---\n", StorageScenarioName(scenario));
     HarnessOptions opt;
     opt.scenario = scenario;
+    SetExperimentLabel("points");
     auto results = RunExperiment(ds, queries, opt);
     PrintTableHeader("queries", disk);
     PrintResultsRow("points", results, disk);

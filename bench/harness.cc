@@ -2,10 +2,73 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "util/timer.h"
 
 namespace accl::bench {
+
+namespace {
+
+// ---- BENCH_micro.json registry ----
+
+struct RecordedResult {
+  std::string scenario;
+  std::string label;
+  CompetitorResult result;
+};
+
+std::vector<RecordedResult>& Registry() {
+  static std::vector<RecordedResult> r;
+  return r;
+}
+
+std::string& CurrentLabel() {
+  static std::string label;
+  return label;
+}
+
+void WriteBenchJson() {
+  const std::vector<RecordedResult>& reg = Registry();
+  if (reg.empty()) return;
+  const char* path = std::getenv("ACCL_BENCH_JSON");
+  if (path != nullptr && path[0] == '\0') return;  // explicitly disabled
+  if (path == nullptr) path = "BENCH_micro.json";
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "{\n  \"experiments\": [\n");
+  for (size_t i = 0; i < reg.size(); ++i) {
+    const RecordedResult& rr = reg[i];
+    std::fprintf(f,
+                 "    {\"scenario\": \"%s\", \"label\": \"%s\", "
+                 "\"competitor\": \"%s\", \"wall_ms_per_query\": %.6f, "
+                 "\"sim_ms_per_query\": %.6f, \"groups_total\": %llu, "
+                 "\"explored_pct\": %.4f, \"objects_pct\": %.4f, "
+                 "\"avg_results\": %.2f}%s\n",
+                 rr.scenario.c_str(), rr.label.c_str(),
+                 rr.result.name.c_str(), rr.result.wall_ms_per_query,
+                 rr.result.sim_ms_per_query,
+                 static_cast<unsigned long long>(rr.result.groups_total),
+                 rr.result.explored_pct, rr.result.objects_pct,
+                 rr.result.avg_results, i + 1 < reg.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+void RecordResults(StorageScenario scenario, const std::string& label,
+                   const std::vector<CompetitorResult>& results) {
+  if (Registry().empty()) std::atexit(WriteBenchJson);
+  for (const CompetitorResult& r : results) {
+    Registry().push_back(
+        RecordedResult{StorageScenarioName(scenario), label, r});
+  }
+}
+
+void SetExperimentLabel(const std::string& label) { CurrentLabel() = label; }
 
 namespace {
 
@@ -103,6 +166,13 @@ std::vector<CompetitorResult> RunExperiment(const Dataset& ds,
     }
     results.push_back(Measure(ac, queries, opt.warmup, opt.measure, n));
   }
+
+  std::string label = CurrentLabel();
+  if (label.empty()) {
+    static int ordinal = 0;
+    label = "experiment-" + std::to_string(ordinal++);
+  }
+  RecordResults(opt.scenario, label, results);
   return results;
 }
 

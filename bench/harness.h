@@ -82,4 +82,17 @@ void PrintResultsRow(const std::string& x_label,
 /// Prints the table header matching the paper's embedded tables.
 void PrintTableHeader(const char* x_name, bool disk_scenario);
 
+/// Every RunExperiment call records its per-competitor results in a process-
+/// wide registry; at exit the registry is written as machine-readable JSON
+/// (wall-ms/query and sim-ms/query per competitor, scenario and experiment
+/// label) so the perf trajectory of the bench binaries can be tracked across
+/// commits. Default path "BENCH_micro.json" in the working directory;
+/// override with ACCL_BENCH_JSON=<path>, disable with ACCL_BENCH_JSON="".
+void RecordResults(StorageScenario scenario, const std::string& label,
+                   const std::vector<CompetitorResult>& results);
+
+/// Sets the label RunExperiment uses for subsequent recordings (bench mains
+/// call this per sweep point; defaults to the experiment ordinal).
+void SetExperimentLabel(const std::string& label);
+
 }  // namespace accl::bench

@@ -15,8 +15,10 @@ AdaptiveIndex::AdaptiveIndex(const AdaptiveConfig& cfg)
           cfg.scenario, cfg.nd, cfg.sys,
           // Symmetric-case candidate count per cluster (paper footnote 3).
           static_cast<double>(cfg.nd) * cfg.division_factor *
-              (cfg.division_factor + 1) / 2.0)) {
+              (cfg.division_factor + 1) / 2.0)),
+      sig_table_(cfg.nd) {
   ACCL_CHECK(cfg_.nd > 0);
+  owner_.reserve(1024);
   ACCL_CHECK(cfg_.division_factor >= 2);
   ACCL_CHECK(cfg_.reserve_fraction >= 0.0 && cfg_.reserve_fraction < 1.0);
   root_ = NewCluster(Signature(cfg_.nd), kNoCluster);
@@ -42,6 +44,7 @@ ClusterId AdaptiveIndex::NewCluster(Signature sig, ClusterId parent) {
   cl->w0 = total_weight_;
   cl->candidates = std::make_unique<CandidateSet>(
       cl->sig, cfg_.division_factor, total_weight_);
+  cl->sig_slot = sig_table_.Add(id, cl->sig);
   if (parent != kNoCluster) cluster(parent)->children.push_back(id);
   ++live_clusters_;
   return id;
@@ -58,6 +61,8 @@ void AdaptiveIndex::FreeCluster(ClusterId id) {
     ACCL_CHECK(it != siblings.end());
     siblings.erase(it);
   }
+  const ClusterId moved = sig_table_.Remove(c->sig_slot);
+  if (moved != kNoCluster) cluster(moved)->sig_slot = c->sig_slot;
   clusters_[id].reset();
   free_ids_.push_back(id);
   --live_clusters_;
@@ -67,35 +72,47 @@ void AdaptiveIndex::Insert(ObjectId id, BoxView box) {
   ACCL_CHECK(box.dims() == cfg_.nd);
   ACCL_CHECK(owner_.find(id) == owner_.end());
   // Paper Fig. 4: among the clusters whose signature accepts the object,
-  // place it in the one with the lowest access probability.
+  // place it in the one with the lowest access probability. Because every
+  // child signature refines its parent's, the accepting clusters form an
+  // upward-closed subtree: descending from the root and recursing only into
+  // accepting children enumerates exactly that set without scanning the
+  // whole cluster table. Ties keep the lowest id, as the old full scan did.
   ClusterId best = kNoCluster;
   double best_p = std::numeric_limits<double>::infinity();
-  for (const auto& up : clusters_) {
-    if (!up) continue;
-    if (!up->sig.MatchesObject(box)) continue;
-    const double p = AccessProbOf(*up);
-    if (p < best_p) {
+  descent_.clear();
+  if (cluster(root_)->sig.MatchesObject(box)) descent_.push_back(root_);
+  while (!descent_.empty()) {
+    const ClusterId cid = descent_.back();
+    descent_.pop_back();
+    const Cluster* c = cluster(cid);
+    const double p = AccessProbOf(*c);
+    if (p < best_p || (p == best_p && cid < best)) {
       best_p = p;
-      best = up->id;
+      best = cid;
+    }
+    for (ClusterId ch : c->children) {
+      if (cluster(ch)->sig.MatchesObject(box)) descent_.push_back(ch);
     }
   }
   ACCL_CHECK(best != kNoCluster);  // the root accepts everything
   Cluster* b = cluster(best);
+  const uint32_t slot = static_cast<uint32_t>(b->objects.size());
   b->objects.Append(id, box);
   b->candidates->AccountObject(box, +1.0);
-  owner_.emplace(id, best);
+  owner_.emplace(id, ObjectRef{best, slot});
   ++object_count_;
 }
 
 bool AdaptiveIndex::Erase(ObjectId id) {
   auto it = owner_.find(id);
   if (it == owner_.end()) return false;
-  Cluster* c = cluster(it->second);
-  const size_t slot = c->objects.Find(id);
-  ACCL_CHECK(slot != static_cast<size_t>(-1));
-  c->candidates->AccountObject(c->objects.box(slot), -1.0);
-  c->objects.RemoveAt(slot);
+  const ObjectRef ref = it->second;
+  Cluster* c = cluster(ref.cluster);
+  ACCL_DCHECK(c->objects.id(ref.slot) == id);
+  c->candidates->AccountObject(c->objects.box(ref.slot), -1.0);
+  const ObjectId filler = c->objects.RemoveAt(ref.slot);
   owner_.erase(it);
+  if (filler != kInvalidObject) owner_.find(filler)->second.slot = ref.slot;
   --object_count_;
   return true;
 }
@@ -110,11 +127,35 @@ void AdaptiveIndex::Execute(const Query& q, std::vector<ObjectId>* out,
   // Every signature is checked (paper Fig. 5 step 2): charge A per cluster.
   m->sim_time_ms += model_.A * static_cast<double>(live_clusters_);
 
-  const BoxView qv = q.box.view();
-  for (const auto& up : clusters_) {
-    if (!up) continue;
-    Cluster* c = up.get();
-    if (!c->sig.AdmitsQuery(q)) continue;
+  // Admit filter over the packed signature table, then explore in cluster-id
+  // order (the order the old cluster-table walk used, so result sets and the
+  // floating-point accounting are bit-identical).
+  admitted_.clear();
+  admitted_.reserve(live_clusters_);
+  sig_table_.CollectAdmitted(q, &admitted_);
+  std::sort(admitted_.begin(), admitted_.end());
+
+  // Pre-pass: size the output for the worst case (every verified object
+  // matches) and issue the pointer chases for the scattered per-cluster
+  // data early, so the explore loop below streams instead of stalling.
+  size_t verify_total = 0;
+  for (ClusterId cid : admitted_) {
+    const Cluster* c = cluster(cid);
+    verify_total += c->size();
+    __builtin_prefetch(c->objects.coords_data());
+    __builtin_prefetch(c->candidates.get());
+  }
+  // Second stage: the candidate headers are in flight now, so the indicator
+  // arrays behind them can be staged too.
+  for (ClusterId cid : admitted_) {
+    __builtin_prefetch(cluster(cid)->candidates->q_data(), 1);
+  }
+  out->reserve(out->size() + verify_total);
+
+  bq_.Assign(q.box.view(), q.rel);
+  qmasks_.Reset(cfg_.nd);
+  for (ClusterId cid : admitted_) {
+    Cluster* c = cluster(cid);
 
     // Explore the cluster: every member is checked individually.
     ++m->groups_explored;
@@ -126,15 +167,16 @@ void AdaptiveIndex::Execute(const Query& q, std::vector<ObjectId>* out,
       m->sim_time_ms += cfg_.sys.disk_ms_per_byte *
                         static_cast<double>(c->objects.live_bytes());
     }
+    // Update performance indicators (paper Fig. 5 steps 7-10). Runs before
+    // the verification sweep so its scattered indicator-array stores drain
+    // in the background while the kernel streams the coordinate block.
+    c->q += 1.0;
+    c->candidates->AccountQuery(q, &qmasks_);
+
     uint64_t cluster_dims = 0;
-    for (size_t i = 0; i < n; ++i) {
-      uint32_t dims_checked = 0;
-      if (SatisfiesCounting(c->objects.box(i), qv, q.rel, &dims_checked)) {
-        out->push_back(c->objects.id(i));
-        ++m->result_count;
-      }
-      cluster_dims += dims_checked;
-    }
+    m->result_count += VerifyBatch(c->objects.coords_data(),
+                                   c->objects.ids().data(), n, bq_, out,
+                                   &cluster_dims);
     m->dims_checked += cluster_dims;
     m->objects_verified += n;
     m->bytes_verified += c->objects.live_bytes();
@@ -143,10 +185,6 @@ void AdaptiveIndex::Execute(const Query& q, std::vector<ObjectId>* out,
     // accounting so the competitors are charged identically per check.
     m->sim_time_ms += cfg_.sys.verify_ms_per_byte *
                       static_cast<double>(4ull * n + 8ull * cluster_dims);
-
-    // Update performance indicators (paper Fig. 5 steps 7-10).
-    c->q += 1.0;
-    c->candidates->AccountQuery(q);
   }
 
   ++total_queries_;
@@ -183,9 +221,19 @@ void AdaptiveIndex::Reorganize() {
 
   // Paper Fig. 1, applied to every materialized cluster: merge if
   // profitable, otherwise try to split.
-  for (ClusterId id : snapshot) {
+  for (size_t si = 0; si < snapshot.size(); ++si) {
+    const ClusterId id = snapshot[si];
     Cluster* c = cluster(id);
     if (c == nullptr) continue;  // merged away earlier in this pass
+    if (si + 1 < snapshot.size()) {
+      // Stage the next cluster's split-scan data; the candidate indicator
+      // array is behind two pointer hops and otherwise stalls the scan.
+      const Cluster* nx = cluster(snapshot[si + 1]);
+      if (nx != nullptr) {
+        __builtin_prefetch(nx->candidates.get());
+        __builtin_prefetch(nx->candidates->n_data());
+      }
+    }
     if (!c->is_root()) {
       Cluster* a = cluster(c->parent);
       // An emptied cluster costs A + pB for nothing; fold it eagerly.
@@ -218,9 +266,10 @@ void AdaptiveIndex::MergeCluster(ClusterId cid) {
     const BoxView b = c->objects.box(i);
     const ObjectId oid = c->objects.id(i);
     ACCL_DCHECK(a->sig.MatchesObject(b));
+    const uint32_t slot = static_cast<uint32_t>(a->objects.size());
     a->objects.Append(oid, b);
     a->candidates->AccountObject(b, +1.0);
-    owner_[oid] = a->id;
+    owner_[oid] = ObjectRef{a->id, slot};
   }
   c->objects.Clear();
   for (ClusterId ch : c->children) {
@@ -247,19 +296,26 @@ size_t AdaptiveIndex::TryClusterSplit(ClusterId cid) {
 
     double best_beta = 0.0;
     size_t best = static_cast<size_t>(-1);
+    // Branch-free scan of the packed indicator arrays: the qualification
+    // tests (object count, probability-gap hysteresis — see AdaptiveConfig —
+    // and benefit floor) are folded into one predicate so mixed candidate
+    // populations cause no mispredictions. Selection is identical to the
+    // branchy form: highest benefit, lowest index on ties.
+    const double* cn = cs.n_data();
+    const double* cq = cs.q_data();
+    const double min_n = static_cast<double>(cfg_.min_split_objects);
+    const double wdenom = cand_window + 1.0;
+    const double p_gap = cfg_.split_probability_ratio * p_c;
     for (size_t i = 0; i < cs.size(); ++i) {
-      const CandidateSet::Candidate& cd = cs.at(i);
-      if (cd.n < static_cast<double>(cfg_.min_split_objects)) continue;
-      const double p_s = (cd.q + 1.0) / (cand_window + 1.0);
-      // Hysteresis: require a significant probability gap, not just a
-      // marginally positive benefit (see AdaptiveConfig).
-      if (p_s > cfg_.split_probability_ratio * p_c) continue;
-      const double beta = model_.MaterializationBenefit(p_c, p_s, cd.n);
-      if (beta <= cfg_.min_split_benefit_ms) continue;
-      if (beta > best_beta) {
-        best_beta = beta;
-        best = i;
-      }
+      // The division is kept (not a reciprocal multiply) so the estimate is
+      // bit-identical to the scalar formulation and no borderline split
+      // decision can flip.
+      const double p_s = (cq[i] + 1.0) / wdenom;
+      const double beta = model_.MaterializationBenefit(p_c, p_s, cn[i]);
+      const bool ok = (cn[i] >= min_n) & (p_s <= p_gap) &
+                      (beta > cfg_.min_split_benefit_ms) & (beta > best_beta);
+      best_beta = ok ? beta : best_beta;
+      best = ok ? i : best;
     }
     if (best == static_cast<size_t>(-1)) break;
     MaterializeCandidate(cid, best);
@@ -293,11 +349,15 @@ ClusterId AdaptiveIndex::MaterializeCandidate(ClusterId cid, size_t ci) {
     const BoxView b = c->objects.box(i);
     if (!d->sig.MatchesObject(b)) continue;
     const ObjectId oid = c->objects.id(i);
+    const uint32_t slot = static_cast<uint32_t>(d->objects.size());
     d->objects.Append(oid, b);
     d->candidates->AccountObject(b, +1.0);
     c->candidates->AccountObject(b, -1.0);
-    owner_[oid] = did;
-    c->objects.RemoveAt(i);
+    owner_[oid] = ObjectRef{did, slot};
+    const ObjectId filler = c->objects.RemoveAt(i);
+    if (filler != kInvalidObject) {
+      owner_.find(filler)->second.slot = static_cast<uint32_t>(i);
+    }
   }
   d->objects.Compact();
   return did;
@@ -305,7 +365,7 @@ ClusterId AdaptiveIndex::MaterializeCandidate(ClusterId cid, size_t ci) {
 
 ClusterId AdaptiveIndex::OwnerOf(ObjectId id) const {
   auto it = owner_.find(id);
-  return it == owner_.end() ? kNoCluster : it->second;
+  return it == owner_.end() ? kNoCluster : it->second.cluster;
 }
 
 double AdaptiveIndex::ExpectedQueryTimeMs() const {
@@ -363,12 +423,16 @@ void AdaptiveIndex::CheckInvariants() const {
       ACCL_CHECK(cluster(ch) != nullptr);
       ACCL_CHECK(cluster(ch)->parent == c.id);
     }
-    // Every member matches the signature and the ownership map agrees.
+    // The signature table's packed image of this cluster agrees.
+    ACCL_CHECK(sig_table_.SlotMatches(c.sig_slot, c.id, c.sig));
+    // Every member matches the signature and the ownership map agrees,
+    // including the exact slot.
     for (size_t i = 0; i < c.size(); ++i) {
       ACCL_CHECK(c.sig.MatchesObject(c.objects.box(i)));
       auto it = owner_.find(c.objects.id(i));
       ACCL_CHECK(it != owner_.end());
-      ACCL_CHECK(it->second == c.id);
+      ACCL_CHECK(it->second.cluster == c.id);
+      ACCL_CHECK(it->second.slot == i);
     }
     // Candidate object counts must equal a fresh recount.
     CandidateSet fresh(c.sig, cfg_.division_factor, 0.0);
@@ -383,6 +447,7 @@ void AdaptiveIndex::CheckInvariants() const {
   ACCL_CHECK(live == live_clusters_);
   ACCL_CHECK(objects == object_count_);
   ACCL_CHECK(owner_.size() == object_count_);
+  ACCL_CHECK(sig_table_.size() == live_clusters_);
 }
 
 std::vector<ClusterImage> AdaptiveIndex::DumpClusters() const {
@@ -412,6 +477,7 @@ std::unique_ptr<AdaptiveIndex> AdaptiveIndex::FromImages(
   idx->free_ids_.clear();
   idx->live_clusters_ = 0;
   idx->root_ = kNoCluster;
+  idx->sig_table_.Clear();
   idx->owner_.clear();
   idx->object_count_ = 0;
 
@@ -427,6 +493,7 @@ std::unique_ptr<AdaptiveIndex> AdaptiveIndex::FromImages(
     c->parent = img.parent;
     c->candidates =
         std::make_unique<CandidateSet>(c->sig, cfg.division_factor, 0.0);
+    c->sig_slot = idx->sig_table_.Add(img.id, c->sig);
     const size_t stride = 2 * static_cast<size_t>(cfg.nd);
     ACCL_CHECK(img.coords.size() == img.ids.size() * stride);
     for (size_t i = 0; i < img.ids.size(); ++i) {
@@ -434,7 +501,8 @@ std::unique_ptr<AdaptiveIndex> AdaptiveIndex::FromImages(
       ACCL_CHECK(c->sig.MatchesObject(b));
       c->objects.Append(img.ids[i], b);
       c->candidates->AccountObject(b, +1.0);
-      auto [it, fresh] = idx->owner_.emplace(img.ids[i], img.id);
+      auto [it, fresh] = idx->owner_.emplace(
+          img.ids[i], ObjectRef{img.id, static_cast<uint32_t>(i)});
       ACCL_CHECK(fresh);
       (void)it;
       ++idx->object_count_;

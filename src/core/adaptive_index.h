@@ -23,6 +23,7 @@
 
 #include "api/spatial_index.h"
 #include "core/cluster.h"
+#include "core/signature_table.h"
 #include "cost/cost_model.h"
 
 namespace accl {
@@ -183,8 +184,26 @@ class AdaptiveIndex : public SpatialIndex {
   size_t live_clusters_ = 0;
   ClusterId root_ = kNoCluster;
 
-  /// Host cluster of each live object.
-  std::unordered_map<ObjectId, ClusterId> owner_;
+  /// Packed SoA image of all live signatures; Execute's admit filter runs
+  /// over this instead of walking the cluster table.
+  SignatureTable sig_table_;
+  /// Scratch for the ids admitted by the current query.
+  std::vector<ClusterId> admitted_;
+  /// Per-query piece-admission masks shared across explored clusters.
+  QueryPieceMasks qmasks_;
+  /// Reused per-query verification image (avoids per-query allocation).
+  BatchQuery bq_;
+  /// Scratch for Insert's root-down descent.
+  std::vector<ClusterId> descent_;
+
+  /// Exact location of a live object: host cluster and slot within its
+  /// SlotArray. Slots are patched on every swap-removal so Erase never
+  /// linear-searches.
+  struct ObjectRef {
+    ClusterId cluster;
+    uint32_t slot;
+  };
+  std::unordered_map<ObjectId, ObjectRef> owner_;
   size_t object_count_ = 0;
 
   uint64_t total_queries_ = 0;

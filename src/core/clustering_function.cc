@@ -66,7 +66,21 @@ CandidateSet::CandidateSet(const Signature& sig, uint32_t f,
       continue;
     }
     di.divided = true;
-    di.bounds_first = static_cast<int32_t>(piece_bounds_.size());
+    QDim qd;
+    qd.dim = static_cast<uint16_t>(d);
+    qd.start_hi_closed = di.start_var.hi_closed ? 1 : 0;
+    qd.end_hi_closed = di.end_var.hi_closed ? 1 : 0;
+    qd.is_full_domain =
+        (di.start_var.IsFullDomain() && di.end_var.IsFullDomain()) ? 1 : 0;
+    qd.start_lo = di.start_var.lo;
+    qd.end_lo = di.end_var.lo;
+    qd.cand_begin = static_cast<uint32_t>(key_.size());
+    qd.lookup_first = di.first;
+    qd.start_inv_w =
+        f / (static_cast<double>(di.start_var.hi) - di.start_var.lo);
+    qd.end_inv_w = f / (static_cast<double>(di.end_var.hi) - di.end_var.lo);
+    qdims_.push_back(qd);
+    qhot_.push_back(QHot{qd.dim, qd.is_full_domain, 0, qd.cand_begin});
     for (uint32_t j = 0; j <= f; ++j) {
       piece_bounds_.push_back(j == f ? di.start_var.hi
                                      : Piece(di.start_var, j, f).lo);
@@ -76,6 +90,7 @@ CandidateSet::CandidateSet(const Signature& sig, uint32_t f,
                                      : Piece(di.end_var, j, f).lo);
     }
     for (uint32_t ia = 0; ia < f; ++ia) {
+      ia_bases_.push_back(static_cast<uint32_t>(key_.size()));
       const VarInterval pa = Piece(di.start_var, ia, f);
       for (uint32_t ib = 0; ib < f; ++ib) {
         const VarInterval pb = Piece(di.end_var, ib, f);
@@ -84,86 +99,181 @@ CandidateSet::CandidateSet(const Signature& sig, uint32_t f,
         // With identical variation intervals this excludes ia > ib, giving
         // the paper's f(f+1)/2 symmetric count.
         if (!(pa.lo < pb.hi)) continue;
-        Candidate c;
-        c.dim = static_cast<uint16_t>(d);
-        c.ia = static_cast<uint8_t>(ia);
-        c.ib = static_cast<uint8_t>(ib);
-        lookup_[di.first + ia * f + ib] =
-            static_cast<int32_t>(cands_.size());
-        cands_.push_back(c);
+        lookup_[di.first + ia * f + ib] = static_cast<int32_t>(key_.size());
+        key_.push_back((static_cast<uint32_t>(d) << 16) | (ia << 8) | ib);
       }
     }
+    ia_bases_.push_back(static_cast<uint32_t>(key_.size()));
   }
+  n_.assign(key_.size(), 0.0);
+  q_.assign(key_.size(), 0.0);
 }
+
+namespace {
+
+// PieceIndex against cached piece boundaries: piece j spans
+// [bnd[j], bnd[j+1]), the last piece closed iff the variation interval is.
+// Same guess-then-nudge logic (and nudge order) as PieceIndex, but without
+// reconstructing any Piece, so the insert/move path does one division and a
+// couple of cached-float compares per dimension. `x` must lie inside the
+// variation interval (candidate accounting is only called for members).
+inline int PieceIndexCached(const float* bnd, uint32_t f, bool hi_closed,
+                            float lo, double inv_w, float x) {
+  int idx = static_cast<int>((x - lo) * inv_w);
+  if (idx < 0) idx = 0;
+  if (idx >= static_cast<int>(f)) idx = static_cast<int>(f) - 1;
+  const auto contains = [&](int j) {
+    if (x < bnd[j]) return false;
+    if (x < bnd[j + 1]) return true;
+    return j + 1 == static_cast<int>(f) && hi_closed && x <= bnd[j + 1];
+  };
+  if (!contains(idx)) {
+    if (idx + 1 < static_cast<int>(f) && contains(idx + 1)) {
+      ++idx;
+    } else if (idx > 0 && contains(idx - 1)) {
+      --idx;
+    }
+  }
+  return idx;
+}
+
+}  // namespace
 
 void CandidateSet::AccountObject(BoxView o, double delta) {
-  const Dim nd = static_cast<Dim>(dims_.size());
-  ACCL_DCHECK(o.dims() == nd);
-  for (Dim d = 0; d < nd; ++d) {
-    const DimInfo& di = dims_[d];
-    if (!di.divided) continue;
-    const int ia = PieceIndex(di.start_var, f_, o.lo(d));
-    const int ib = PieceIndex(di.end_var, f_, o.hi(d));
-    ACCL_DCHECK(ia >= 0 && ib >= 0);
-    const int32_t ci = lookup_[di.first + ia * static_cast<int>(f_) + ib];
+  ACCL_DCHECK(o.dims() == dims_.size());
+  const float* oc = o.data();
+  const uint32_t fp1 = f_ + 1;
+  const size_t ndiv = qdims_.size();
+  for (size_t i = 0; i < ndiv; ++i) {
+    const QDim& qd = qdims_[i];
+    const float* sb = piece_bounds_.data() + i * 2 * fp1;
+    const float* eb = sb + fp1;
+    const int ia = PieceIndexCached(sb, f_, qd.start_hi_closed != 0,
+                                    qd.start_lo, qd.start_inv_w,
+                                    oc[2 * qd.dim]);
+    const int ib = PieceIndexCached(eb, f_, qd.end_hi_closed != 0, qd.end_lo,
+                                    qd.end_inv_w, oc[2 * qd.dim + 1]);
+    ACCL_DCHECK(ia == PieceIndex(dims_[qd.dim].start_var, f_, o.lo(qd.dim)));
+    ACCL_DCHECK(ib == PieceIndex(dims_[qd.dim].end_var, f_, o.hi(qd.dim)));
+    const int32_t ci =
+        lookup_[qd.lookup_first + ia * static_cast<int>(f_) + ib];
     if (ci >= 0) {
-      cands_[ci].n += delta;
-      if (cands_[ci].n < 0) cands_[ci].n = 0;  // float drift guard
+      n_[ci] += delta;
+      if (n_[ci] < 0) n_[ci] = 0;  // float drift guard
     }
   }
 }
 
-void CandidateSet::AccountQuery(const Query& query) {
+namespace {
+
+// Piece admission masks of one dimension: sm bit j = start piece j passes,
+// em bit j = end piece j passes. The relation only selects which query
+// coordinate each cached piece bound is compared against and in which
+// direction.
+inline void PieceMasks(const float* sb, const float* eb, uint32_t f,
+                       float qlo, float qhi, Relation rel, uint32_t* sm_out,
+                       uint32_t* em_out) {
+  uint32_t sm = 0, em = 0;
+  switch (rel) {
+    case Relation::kIntersects:
+      for (uint32_t j = 0; j < f; ++j) {
+        sm |= static_cast<uint32_t>(sb[j] <= qhi) << j;      // piece lo
+        em |= static_cast<uint32_t>(eb[j + 1] >= qlo) << j;  // piece hi
+      }
+      break;
+    case Relation::kContainedBy:
+      for (uint32_t j = 0; j < f; ++j) {
+        sm |= static_cast<uint32_t>(sb[j + 1] >= qlo) << j;
+        em |= static_cast<uint32_t>(eb[j] <= qhi) << j;
+      }
+      break;
+    case Relation::kEncloses:
+      for (uint32_t j = 0; j < f; ++j) {
+        sm |= static_cast<uint32_t>(sb[j] <= qlo) << j;
+        em |= static_cast<uint32_t>(eb[j + 1] >= qhi) << j;
+      }
+      break;
+  }
+  *sm_out = sm;
+  *em_out = em;
+}
+
+}  // namespace
+
+void CandidateSet::AccountQuery(const Query& query, QueryPieceMasks* shared) {
   // Candidates differ from the owner in exactly one dimension, so a
   // candidate is admitted iff its pieces pass the per-dimension admission
-  // test for that dimension. Precompute, per divided dimension, which start
-  // pieces and end pieces pass; then sweep the candidate list once.
-  const Dim nd = static_cast<Dim>(dims_.size());
-  ACCL_DCHECK(query.dims() == nd);
-  // Bitmask per dim: bit j of start_ok / end_ok. Piece boundaries were
-  // cached at construction; piece j spans [bounds[j], bounds[j+1]].
-  thread_local std::vector<uint32_t> start_ok, end_ok;
-  start_ok.assign(nd, 0);
-  end_ok.assign(nd, 0);
-  const Box& qb = query.box;
-  for (Dim d = 0; d < nd; ++d) {
-    const DimInfo& di = dims_[d];
-    if (!di.divided) continue;
-    const float* sb = piece_bounds_.data() + di.bounds_first;
-    const float* eb = sb + (f_ + 1);
-    uint32_t sm = 0, em = 0;
-    for (uint32_t j = 0; j < f_; ++j) {
-      bool s_ok = false, e_ok = false;
-      switch (query.rel) {
-        case Relation::kIntersects:
-          s_ok = sb[j] <= qb.hi(d);      // piece lo vs query hi
-          e_ok = eb[j + 1] >= qb.lo(d);  // piece hi vs query lo
-          break;
-        case Relation::kContainedBy:
-          s_ok = sb[j + 1] >= qb.lo(d);
-          e_ok = eb[j] <= qb.hi(d);
-          break;
-        case Relation::kEncloses:
-          s_ok = sb[j] <= qb.lo(d);
-          e_ok = eb[j + 1] >= qb.hi(d);
-          break;
+  // test for that dimension. Compute, per divided dimension, a bitmask of
+  // passing start pieces (sm) and end pieces (em), then update that
+  // dimension's contiguous candidate range.
+  ACCL_DCHECK(query.dims() == dims_.size());
+  const float* qc = query.box.data();
+  const uint32_t fp1 = f_ + 1;
+  const size_t ndiv = qhot_.size();
+  double* __restrict__ cq = q_.data();
+  for (size_t i = 0; i < ndiv; ++i) {
+    const QHot qd = qhot_[i];
+    const Dim d = qd.dim;
+    const float qlo = qc[2 * d];
+    const float qhi = qc[2 * d + 1];
+    uint32_t sm, em;
+    if (qd.is_full_domain && shared != nullptr) {
+      // A full-domain interval divides into the same boundaries everywhere,
+      // so this dimension's masks are a per-query constant shared across
+      // clusters — most explorations then never touch the bounds at all.
+      if (!shared->valid[d]) {
+        PieceMasks(piece_bounds_.data() + i * 2 * fp1,
+                   piece_bounds_.data() + i * 2 * fp1 + fp1, f_, qlo, qhi,
+                   query.rel, &shared->sm[d], &shared->em[d]);
+        shared->valid[d] = 1;
       }
-      if (s_ok) sm |= (1u << j);
-      if (e_ok) em |= (1u << j);
+      sm = shared->sm[d];
+      em = shared->em[d];
+    } else {
+      PieceMasks(piece_bounds_.data() + i * 2 * fp1,
+                 piece_bounds_.data() + i * 2 * fp1 + fp1, f_, qlo, qhi,
+                 query.rel, &sm, &em);
     }
-    start_ok[d] = sm;
-    end_ok[d] = em;
-  }
-  for (Candidate& c : cands_) {
-    if ((start_ok[c.dim] >> c.ia) & 1u) {
-      if ((end_ok[c.dim] >> c.ib) & 1u) c.q += 1.0;
+    if (sm == 0 || em == 0) continue;  // no candidate of this dim admitted
+    // The piece bounds are monotone, so sm and em are contiguous runs of
+    // bits, and per start piece the feasible end pieces are a contiguous
+    // suffix — admitted candidates therefore form one contiguous slice of
+    // the indicator array per admitted start piece. Increment the slices
+    // directly instead of testing all f(f+1)/2 candidates one by one.
+    const uint32_t ia_lo = static_cast<uint32_t>(__builtin_ctz(sm));
+    const uint32_t ia_hi = 32u - static_cast<uint32_t>(__builtin_clz(sm));
+    const uint32_t ib_lo = static_cast<uint32_t>(__builtin_ctz(em));
+    const uint32_t ib_hi = 32u - static_cast<uint32_t>(__builtin_clz(em));
+    ACCL_DCHECK(sm == (((1ull << ia_hi) - 1) & ~((1ull << ia_lo) - 1)));
+    ACCL_DCHECK(em == (((1ull << ib_hi) - 1) & ~((1ull << ib_lo) - 1)));
+    if (qd.is_full_domain) {
+      // Symmetric feasibility (ia <= ib): group ia starts at offset
+      // ia*f - ia*(ia-1)/2 of the dimension's range, with ib >= ia. No
+      // per-cluster layout data is read.
+      for (uint32_t ia = ia_lo; ia < ia_hi; ++ia) {
+        const uint32_t base = qd.cand_begin + ia * f_ - ia * (ia - 1) / 2;
+        const uint32_t from = ib_lo > ia ? ib_lo : ia;
+        if (from >= ib_hi) continue;
+        double* qq = cq + base + (from - ia);
+        for (uint32_t t = from; t < ib_hi; ++t) *qq++ += 1.0;
+      }
+    } else {
+      const uint32_t* bases = ia_bases_.data() + i * fp1;
+      for (uint32_t ia = ia_lo; ia < ia_hi; ++ia) {
+        const uint32_t base = bases[ia];
+        const uint32_t ibmin = f_ - (bases[ia + 1] - base);
+        const uint32_t from = ib_lo > ibmin ? ib_lo : ibmin;
+        if (from >= ib_hi) continue;
+        double* qq = cq + base + (from - ibmin);
+        for (uint32_t t = from; t < ib_hi; ++t) *qq++ += 1.0;
+      }
     }
   }
 }
 
 Signature CandidateSet::MakeSignature(const Signature& owner, size_t i) const {
-  ACCL_DCHECK(i < cands_.size());
-  const Candidate& c = cands_[i];
+  ACCL_DCHECK(i < key_.size());
+  const Candidate c = at(i);
   const DimInfo& di = dims_[c.dim];
   Signature s = owner;
   s.set(c.dim, Piece(di.start_var, c.ia, f_), Piece(di.end_var, c.ib, f_));
@@ -172,7 +282,7 @@ Signature CandidateSet::MakeSignature(const Signature& owner, size_t i) const {
 
 void CandidateSet::Halve() {
   w0_ *= 0.5;
-  for (Candidate& c : cands_) c.q *= 0.5;
+  for (double& q : q_) q *= 0.5;
 }
 
 }  // namespace accl

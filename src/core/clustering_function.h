@@ -33,6 +33,25 @@ VarInterval Piece(const VarInterval& v, uint32_t j, uint32_t f);
 /// result always satisfies Piece(v, idx, f).Contains(x).
 int PieceIndex(const VarInterval& v, uint32_t f, float x);
 
+/// Per-query scratch shared across the CandidateSets a query explores.
+///
+/// A full-domain variation interval divides into the same piece boundaries
+/// in every cluster, so the per-dimension piece admission masks for such
+/// dimensions depend only on the query — computing them once per query and
+/// reusing them across clusters removes most of the cold-cache traffic of
+/// the statistics update. Reset() per query; filled lazily.
+struct QueryPieceMasks {
+  std::vector<uint8_t> valid;  ///< per dim: masks below are computed
+  std::vector<uint32_t> sm;    ///< admitted start pieces
+  std::vector<uint32_t> em;    ///< admitted end pieces
+
+  void Reset(Dim nd) {
+    valid.assign(nd, 0);
+    sm.resize(nd);
+    em.resize(nd);
+  }
+};
+
 /// The set of candidate subclusters of one cluster, with their performance
 /// indicators and fast (dim, piece) lookup.
 class CandidateSet {
@@ -55,9 +74,25 @@ class CandidateSet {
 
   uint32_t division_factor() const { return f_; }
   double created_weight() const { return w0_; }
-  size_t size() const { return cands_.size(); }
-  const Candidate& at(size_t i) const { return cands_[i]; }
-  const std::vector<Candidate>& candidates() const { return cands_; }
+  size_t size() const { return key_.size(); }
+
+  /// Assembled view of candidate `i` (indicators live in parallel arrays).
+  Candidate at(size_t i) const {
+    const uint32_t k = key_[i];
+    Candidate c;
+    c.dim = static_cast<uint16_t>(k >> 16);
+    c.ia = static_cast<uint8_t>((k >> 8) & 0xFF);
+    c.ib = static_cast<uint8_t>(k & 0xFF);
+    c.n = n_[i];
+    c.q = q_[i];
+    return c;
+  }
+
+  /// Direct access to the object-count indicator array (the reorganization
+  /// scan reads only this; keeping it packed avoids dragging the whole
+  /// candidate record through the cache).
+  const double* n_data() const { return n_.data(); }
+  const double* q_data() const { return q_.data(); }
 
   /// Adjusts candidate object counts for one object entering (delta=+1) or
   /// leaving (delta=-1) the owning cluster. The object must match the
@@ -65,8 +100,10 @@ class CandidateSet {
   void AccountObject(BoxView o, double delta);
 
   /// Increments q for every candidate whose signature admits `query`.
-  /// Called exactly when the owning cluster is explored.
-  void AccountQuery(const Query& query);
+  /// Called exactly when the owning cluster is explored. `shared` (optional)
+  /// caches the admission masks of full-domain dimensions across the
+  /// clusters one query explores.
+  void AccountQuery(const Query& query, QueryPieceMasks* shared = nullptr);
 
   /// Materializes candidate `i`'s signature from the owning signature.
   Signature MakeSignature(const Signature& owner, size_t i) const;
@@ -75,29 +112,67 @@ class CandidateSet {
   /// weight so probability denominators stay consistent.
   void Halve();
 
-  /// Mutable access for the index's split bookkeeping.
-  Candidate& at_mutable(size_t i) { return cands_[i]; }
-
  private:
   struct DimInfo {
     VarInterval start_var;
     VarInterval end_var;
     int32_t first = -1;  ///< base into lookup_: f*f slots
     bool divided = false;
-    /// Cached piece boundaries (AccountQuery is on the per-query hot path):
-    /// start piece j = [start_lo[j], start_lo[j+1]) etc.; arrays hold f+1
-    /// boundaries each, flattened into piece_bounds_ at 2*(f+1) per dim.
-    int32_t bounds_first = -1;
+  };
+
+  /// Hot per-divided-dimension record for the accounting paths. Only
+  /// divided dimensions appear; the i-th record's cached piece boundaries
+  /// live at piece_bounds_[i * 2 * (f+1)] and its start-piece candidate
+  /// offsets at ia_bases_[i * (f+1)]. Keeping these dense (instead of
+  /// touching the full DimInfo table) roughly halves the cache lines an
+  /// exploration drags in.
+  struct QDim {
+    uint16_t dim = 0;
+    uint8_t start_hi_closed = 0;
+    uint8_t end_hi_closed = 0;
+    /// Both variation intervals are the full domain: admission masks can be
+    /// shared across clusters (QueryPieceMasks) and the symmetric candidate
+    /// layout makes slice offsets pure arithmetic — the query-statistics
+    /// update then touches no per-cluster metadata beyond q.
+    uint8_t is_full_domain = 0;
+    float start_lo = 0.0f;
+    float end_lo = 0.0f;
+    uint32_t cand_begin = 0;   ///< first candidate of this dim
+    int32_t lookup_first = 0;  ///< base into lookup_: f*f slots
+    /// Reciprocal piece widths (f / interval width), cached so the
+    /// per-object accounting pays one multiply instead of two divisions.
+    double start_inv_w = 0.0;
+    double end_inv_w = 0.0;
+  };
+
+  /// Compact per-divided-dim record for the per-query sweep: one cache line
+  /// covers eight dimensions. The full QDim is only consulted for refined
+  /// (non-full-domain) dimensions.
+  struct QHot {
+    uint16_t dim;
+    uint8_t is_full_domain;
+    uint8_t pad = 0;
+    uint32_t cand_begin;
   };
 
   uint32_t f_;
   double w0_;
-  std::vector<Candidate> cands_;
+  // Candidates in structure-of-arrays layout: the per-query sweep touches
+  // only q, the reorganization scan only n.
+  std::vector<uint32_t> key_;  ///< dim << 16 | ia << 8 | ib
+  std::vector<double> n_;      ///< member-object count indicator
+  std::vector<double> q_;      ///< (decayed) exploring-query indicator
   std::vector<DimInfo> dims_;
-  /// lookup_[dims_[d].first + ia*f + ib] = candidate index or -1.
+  std::vector<QDim> qdims_;  ///< divided dims, in dimension order
+  std::vector<QHot> qhot_;   ///< parallel to qdims_, query-path fields only
+  /// lookup_[first + ia*f + ib] = candidate index or -1.
   std::vector<int32_t> lookup_;
+  /// Per divided dim: f+1 start offsets of each start-piece candidate group
+  /// (the query-accounting fast path increments whole contiguous slices);
+  /// entry f is the end of the dimension's candidate range.
+  std::vector<uint32_t> ia_bases_;
   /// Flattened piece boundaries per divided dim: f+1 start boundaries then
-  /// f+1 end boundaries.
+  /// f+1 end boundaries; piece j spans [bounds[j], bounds[j+1]].
   std::vector<float> piece_bounds_;
 };
 

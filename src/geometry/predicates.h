@@ -6,7 +6,9 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "api/types.h"
 #include "geometry/box.h"
 
 namespace accl {
@@ -31,6 +33,49 @@ bool Satisfies(BoxView obj, BoxView query, Relation rel);
 /// unselective queries, more attributes must be checked on average.
 bool SatisfiesCounting(BoxView obj, BoxView query, Relation rel,
                        uint32_t* dims_checked);
+
+/// Precomputed query image for batched verification.
+///
+/// Per record float k (layout [lo0, hi0, lo1, hi1, ...]) the image holds two
+/// bounds such that the float fails its dimension iff
+///
+///     o[k] > gt_bound[k]  ||  o[k] < lt_bound[k]
+///
+/// with +/-infinity in the positions a relation does not constrain. This
+/// encodes all three relations into data: the kernel runs one uniform,
+/// branch-free two-compare loop with no per-object or per-dimension
+/// dispatch, and the failing-float position is exactly the early-exit
+/// dimension the cost accounting needs.
+class BatchQuery {
+ public:
+  BatchQuery() = default;
+  BatchQuery(BoxView query, Relation rel) { Assign(query, rel); }
+
+  /// (Re)builds the image for a new query, reusing the buffers — keep one
+  /// instance around to avoid per-query allocations on the hot path.
+  void Assign(BoxView query, Relation rel);
+
+  Dim dims() const { return nd_; }
+  Relation relation() const { return rel_; }
+  const float* gt_bounds() const { return gt_.data(); }
+  const float* lt_bounds() const { return lt_.data(); }
+
+ private:
+  Dim nd_ = 0;
+  Relation rel_ = Relation::kIntersects;
+  std::vector<float> gt_;  // 2*nd, fail if o[k] > gt_[k]
+  std::vector<float> lt_;  // 2*nd, fail if o[k] < lt_[k]
+};
+
+/// Verifies `n` records of a flat coordinate block (stride 2*nd, same layout
+/// as SlotArray/Box) against `bq`, in blocks of 64 records. Appends the ids
+/// of matching records to `*out` in record order and adds to `*dims_checked`
+/// exactly the per-record early-exit dimension count SatisfiesCounting would
+/// report (first failing dimension + 1, or nd on a match) — the cost model's
+/// accounting is bit-for-bit unchanged. Returns the number of matches.
+size_t VerifyBatch(const float* coords, const ObjectId* ids, size_t n,
+                   const BatchQuery& bq, std::vector<ObjectId>* out,
+                   uint64_t* dims_checked);
 
 /// Convenience wrappers.
 inline bool Intersects(BoxView a, BoxView b) {

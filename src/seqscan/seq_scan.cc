@@ -29,16 +29,10 @@ void SeqScan::Execute(const Query& q, std::vector<ObjectId>* out,
   m->groups_total = 1;
   m->groups_explored = 1;
 
-  const BoxView qv = q.box.view();
   const size_t n = store_.size();
-  for (size_t i = 0; i < n; ++i) {
-    uint32_t dims_checked = 0;
-    if (SatisfiesCounting(store_.box(i), qv, q.rel, &dims_checked)) {
-      out->push_back(store_.id(i));
-      ++m->result_count;
-    }
-    m->dims_checked += dims_checked;
-  }
+  bq_.Assign(q.box.view(), q.rel);
+  m->result_count += VerifyBatch(store_.coords_data(), store_.ids().data(), n,
+                                 bq_, out, &m->dims_checked);
   m->objects_verified = n;
   m->bytes_verified = store_.live_bytes();
 

@@ -12,6 +12,7 @@
 
 #include "api/spatial_index.h"
 #include "cost/cost_model.h"
+#include "geometry/predicates.h"
 #include "storage/slot_array.h"
 
 namespace accl {
@@ -36,6 +37,8 @@ class SeqScan : public SpatialIndex {
   StorageScenario scenario_;
   SystemParams sys_;
   SlotArray store_;
+  /// Reused per-query verification image (avoids per-query allocation).
+  BatchQuery bq_;
 };
 
 }  // namespace accl
