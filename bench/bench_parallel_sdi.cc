@@ -1,0 +1,221 @@
+// Sharded SDI matching throughput: one engine, K shards, MatchBatch fanned
+// across 1/2/4/8 matcher threads.
+//
+// Two scaling views are reported per thread count:
+//   - wall: measured wall-clock events/sec on this machine (honest, but
+//     bounded by the host's core count — a single-core container shows ~1x
+//     regardless of thread count);
+//   - sim: cost-model events/sec under the repo's virtual-clock convention
+//     (the same substitution SimDisk makes for the paper's 2004 testbed).
+//     Per batch, each shard's cost-model milliseconds are scheduled LPT
+//     onto N virtual workers and the batch is charged the makespan. This
+//     is deterministic and hardware-independent, which is what makes the
+//     scaling trajectory trackable across commits.
+//
+// Emits BENCH_parallel.json (override path with ACCL_PARSDI_JSON, disable
+// with an empty value) and prints the same numbers as a table.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sdi/subscription_engine.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace accl {
+namespace {
+
+constexpr Dim kNd = 6;
+
+size_t EnvSize(const char* name, size_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  return static_cast<size_t>(std::strtoull(v, nullptr, 10));
+}
+
+Box RandomSubscription(Rng& rng) {
+  Box b(kNd);
+  for (Dim d = 0; d < kNd; ++d) {
+    const float len = 0.25f * rng.NextFloat();
+    const float start = (1.0f - len) * rng.NextFloat();
+    b.set(d, start, start + len);
+  }
+  return b;
+}
+
+std::vector<Event> MakeEvents(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  std::vector<Event> evs;
+  evs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.NextBool(0.5)) {
+      std::vector<float> pt(kNd);
+      for (auto& x : pt) x = rng.NextFloat();
+      evs.push_back(Event::Point(std::move(pt)));
+    } else {
+      Box b(kNd);
+      for (Dim d = 0; d < kNd; ++d) {
+        const float len = 0.15f * rng.NextFloat();
+        const float start = (1.0f - len) * rng.NextFloat();
+        b.set(d, start, start + len);
+      }
+      evs.push_back(Event::Range(std::move(b)));
+    }
+  }
+  return evs;
+}
+
+/// LPT makespan of `costs` on `workers` identical machines.
+double Makespan(std::vector<double> costs, size_t workers) {
+  std::sort(costs.begin(), costs.end(), std::greater<double>());
+  std::vector<double> load(std::max<size_t>(workers, 1), 0.0);
+  for (const double c : costs) {
+    *std::min_element(load.begin(), load.end()) += c;
+  }
+  return *std::max_element(load.begin(), load.end());
+}
+
+struct RunResult {
+  size_t threads;
+  double wall_ms;
+  double sim_ms;
+  uint64_t total_matches;
+  uint64_t match_digest;  ///< FNV over (event index, sorted ids)
+};
+
+uint64_t Fnv1a(uint64_t h, uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (x >> (8 * i)) & 0xFF;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+RunResult RunAtThreads(size_t threads, size_t subs, size_t n_events,
+                       size_t batch, uint32_t shards) {
+  EngineOptions opts;
+  opts.index.reorg_period = 100;
+  opts.default_policy = MatchPolicy::kIntersecting;
+  opts.shards = shards;
+  opts.match_threads = static_cast<uint32_t>(threads);
+  AttributeSchema schema;
+  for (Dim d = 0; d < kNd; ++d) {
+    schema.AddAttribute("a" + std::to_string(d), 0.0, 1.0);
+  }
+  SubscriptionEngine engine(std::move(schema), opts);
+  Rng rng(42);
+  for (size_t i = 0; i < subs; ++i) {
+    engine.SubscribeBox(RandomSubscription(rng));
+  }
+  const std::vector<Event> events = MakeEvents(43, n_events);
+
+  RunResult r{threads, 0.0, 0.0, 0, 14695981039346656037ull};
+  MatchBatchResult res;
+  size_t event_index = 0;
+  for (size_t off = 0; off < events.size(); off += batch) {
+    const size_t ne = std::min(batch, events.size() - off);
+    // Only the MatchBatch call is timed; digest and makespan accounting are
+    // measurement overhead and must not deflate the reported scaling.
+    WallTimer wall;
+    engine.MatchBatch(Span<const Event>(events.data() + off, ne), &res);
+    r.wall_ms += wall.ElapsedMs();
+    std::vector<double> shard_costs;
+    shard_costs.reserve(res.per_shard.size());
+    for (const ShardMetrics& sm : res.per_shard) {
+      shard_costs.push_back(sm.totals.sim_time_ms);
+    }
+    r.sim_ms += Makespan(std::move(shard_costs), threads);
+    // Digest the exact (event, id) assignment, not just a count: a merge
+    // bug that reshuffles matches between events must trip the gate.
+    for (const auto& m : res.matches) {
+      r.total_matches += m.size();
+      r.match_digest = Fnv1a(r.match_digest, event_index++);
+      for (const ObjectId id : m) r.match_digest = Fnv1a(r.match_digest, id);
+    }
+  }
+  return r;
+}
+
+}  // namespace
+}  // namespace accl
+
+int main() {
+  using namespace accl;
+  const size_t subs = EnvSize("ACCL_PARSDI_SUBS", 30000);
+  const size_t n_events = EnvSize("ACCL_PARSDI_EVENTS", 4096);
+  const size_t batch = EnvSize("ACCL_PARSDI_BATCH", 256);
+  const uint32_t shards =
+      static_cast<uint32_t>(EnvSize("ACCL_PARSDI_SHARDS", 8));
+
+  std::printf(
+      "parallel_sdi: %zu subscriptions, %zu events (batch %zu), %u shards, "
+      "nd=%u\n",
+      subs, n_events, batch, shards, kNd);
+  std::printf("%8s %12s %14s %12s %14s %10s\n", "threads", "wall ms",
+              "wall ev/s", "sim ms", "sim ev/s", "sim spdup");
+
+  const size_t thread_counts[] = {1, 2, 4, 8};
+  std::vector<RunResult> results;
+  uint64_t matches0 = 0;
+  uint64_t digest0 = 0;
+  for (const size_t t : thread_counts) {
+    const RunResult r = RunAtThreads(t, subs, n_events, batch, shards);
+    if (results.empty()) {
+      matches0 = r.total_matches;
+      digest0 = r.match_digest;
+    } else if (r.match_digest != digest0) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: per-event match digest %016llx "
+                   "at %zu threads vs %016llx at 1 thread\n",
+                   static_cast<unsigned long long>(r.match_digest), t,
+                   static_cast<unsigned long long>(digest0));
+      return 1;
+    }
+    results.push_back(r);
+    const double base_sim = results.front().sim_ms;
+    std::printf("%8zu %12.1f %14.0f %12.1f %14.0f %9.2fx\n", t, r.wall_ms,
+                1000.0 * static_cast<double>(n_events) / r.wall_ms, r.sim_ms,
+                1000.0 * static_cast<double>(n_events) / r.sim_ms,
+                base_sim / r.sim_ms);
+  }
+
+  const char* path = std::getenv("ACCL_PARSDI_JSON");
+  if (path == nullptr) path = "BENCH_parallel.json";
+  if (*path == '\0') return 0;
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"parallel_sdi\",\n  \"shards\": %u,\n"
+               "  \"subscriptions\": %zu,\n  \"events\": %zu,\n"
+               "  \"batch\": %zu,\n  \"dims\": %u,\n  \"matches\": %llu,\n"
+               "  \"match_digest\": \"%016llx\",\n  \"runs\": [\n",
+               shards, subs, n_events, batch, kNd,
+               static_cast<unsigned long long>(matches0),
+               static_cast<unsigned long long>(digest0));
+  const double base_wall = results.front().wall_ms;
+  const double base_sim = results.front().sim_ms;
+  for (size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"threads\": %zu, \"wall_ms\": %.3f, "
+        "\"wall_events_per_sec\": %.1f, \"wall_speedup_vs_1t\": %.3f, "
+        "\"sim_ms\": %.3f, \"sim_events_per_sec\": %.1f, "
+        "\"sim_speedup_vs_1t\": %.3f}%s\n",
+        r.threads, r.wall_ms,
+        1000.0 * static_cast<double>(n_events) / r.wall_ms,
+        base_wall / r.wall_ms, r.sim_ms,
+        1000.0 * static_cast<double>(n_events) / r.sim_ms,
+        base_sim / r.sim_ms, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Batch request/response types shared by the sharded matching subsystem.
+//
+// The SDI engine's batched API fans one span of events across K index
+// shards and merges per-shard answers deterministically; these are the
+// transport types for that path: a minimal C++17 span (std::span is C++20),
+// the per-batch result carrying ObjectId-sorted match sets, and the
+// per-shard metrics aggregation the benchmarks and tests consume.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "api/metrics.h"
+#include "api/types.h"
+
+namespace accl {
+
+/// Non-owning contiguous view (std::span subset; C++17).
+template <typename T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(T* data, size_t size) : data_(data), size_(size) {}
+  /// From any contiguous container with data()/size() (vector, array).
+  template <typename C, typename = decltype(std::declval<C&>().data())>
+  constexpr Span(C& c) : data_(c.data()), size_(c.size()) {}  // NOLINT
+
+  constexpr T* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr T& operator[](size_t i) const { return data_[i]; }
+  constexpr T* begin() const { return data_; }
+  constexpr T* end() const { return data_ + size_; }
+
+ private:
+  T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// Aggregated execution metrics of one shard over a batch (or a lifetime):
+/// the shard's summed QueryMetrics plus how many event×shard executions
+/// contributed, so ratios stay computable after merging.
+struct ShardMetrics {
+  QueryMetrics totals;
+  uint64_t executions = 0;
+
+  void Add(const QueryMetrics& m) {
+    totals += m;
+    ++executions;
+  }
+  void Merge(const ShardMetrics& o) {
+    totals += o.totals;
+    executions += o.executions;
+  }
+  void Clear() { *this = ShardMetrics(); }
+};
+
+/// Result of matching a batch of events against a (possibly sharded) engine.
+///
+/// `matches[e]` holds the ids notified by event `e`, sorted ascending by
+/// ObjectId — the deterministic merge order, byte-identical regardless of
+/// shard count or thread count.
+struct MatchBatchResult {
+  std::vector<std::vector<ObjectId>> matches;  ///< per event, id-sorted
+  std::vector<ShardMetrics> per_shard;         ///< indexed by shard
+  QueryMetrics total;                          ///< sum over shards & events
+
+  void Clear() {
+    matches.clear();
+    per_shard.clear();
+    total.Clear();
+  }
+
+  /// Recomputes `total` as the shard-order sum of `per_shard` (the
+  /// deterministic aggregation the engine uses after the fan-out joins).
+  void AggregateShards() {
+    total.Clear();
+    for (const ShardMetrics& s : per_shard) total += s.totals;
+  }
+};
+
+}  // namespace accl

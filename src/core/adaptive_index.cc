@@ -108,11 +108,23 @@ bool AdaptiveIndex::Erase(ObjectId id) {
   if (it == owner_.end()) return false;
   const ObjectRef ref = it->second;
   Cluster* c = cluster(ref.cluster);
+  ACCL_CHECK(c != nullptr && ref.slot < c->objects.size());
   ACCL_DCHECK(c->objects.id(ref.slot) == id);
   c->candidates->AccountObject(c->objects.box(ref.slot), -1.0);
   const ObjectId filler = c->objects.RemoveAt(ref.slot);
   owner_.erase(it);
-  if (filler != kInvalidObject) owner_.find(filler)->second.slot = ref.slot;
+  if (filler != kInvalidObject) {
+    // `filler` is the (distinct) object swapped down from the cluster's
+    // last slot; when the erased slot *was* the last slot RemoveAt reports
+    // kInvalidObject, so a self-swap can never reach this lookup. The
+    // checked find turns any owner-map/slot-array disagreement into a
+    // diagnosable abort instead of dereferencing end().
+    ACCL_DCHECK(filler != id);
+    auto fit = owner_.find(filler);
+    ACCL_CHECK(fit != owner_.end());
+    ACCL_DCHECK(fit->second.cluster == ref.cluster);
+    fit->second.slot = ref.slot;
+  }
   --object_count_;
   return true;
 }
@@ -356,7 +368,10 @@ ClusterId AdaptiveIndex::MaterializeCandidate(ClusterId cid, size_t ci) {
     owner_[oid] = ObjectRef{did, slot};
     const ObjectId filler = c->objects.RemoveAt(i);
     if (filler != kInvalidObject) {
-      owner_.find(filler)->second.slot = static_cast<uint32_t>(i);
+      auto fit = owner_.find(filler);
+      ACCL_CHECK(fit != owner_.end());
+      ACCL_DCHECK(fit->second.cluster == cid);
+      fit->second.slot = static_cast<uint32_t>(i);
     }
   }
   d->objects.Compact();

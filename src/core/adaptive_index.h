@@ -84,6 +84,14 @@ struct ClusterImage {
 };
 
 /// The adaptive cost-based clustering index.
+///
+/// Thread safety: none. Execute is a *logical* read but a *physical* write —
+/// it updates per-cluster and per-candidate performance indicators, decays
+/// statistics, and may trigger a full reorganization (that adaptivity is the
+/// paper's contribution) — and the const members below share mutable
+/// per-query scratch through SignatureTable. Concurrent use therefore
+/// requires external serialization per index; the sdi sharded engine wraps
+/// each instance behind a shard mutex and scales out across instances.
 class AdaptiveIndex : public SpatialIndex {
  public:
   explicit AdaptiveIndex(const AdaptiveConfig& cfg);

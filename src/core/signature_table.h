@@ -24,6 +24,11 @@
 namespace accl {
 
 /// Packed admit-filter index over live cluster signatures.
+///
+/// Thread safety: CollectAdmitted is const but reuses mutable per-query
+/// scratch buffers (flags/survivor lists), so even concurrent *const* use
+/// from multiple threads is a data race. Callers must serialize access per
+/// table — AdaptiveIndex inherits this contract and documents it.
 class SignatureTable {
  public:
   explicit SignatureTable(Dim nd);

@@ -1,0 +1,88 @@
+#include "exec/thread_pool.h"
+
+#include <memory>
+#include <utility>
+
+namespace accl::exec {
+
+ThreadPool::ThreadPool(size_t workers) {
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  // Workers exit only once the queue is empty, so every submitted task ran.
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::RunOneTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ && drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  // Per-call completion state: the pool queue is shared, so the caller may
+  // execute tasks from overlapping ParallelFor calls while helping — that
+  // only shortens their wait and cannot starve this one.
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining;
+  };
+  auto st = std::make_shared<State>();
+  st->remaining = n;
+  for (size_t i = 0; i < n; ++i) {
+    Submit([&body, st, i] {
+      body(i);
+      std::lock_guard<std::mutex> lk(st->mu);
+      if (--st->remaining == 0) st->cv.notify_all();
+    });
+  }
+  while (RunOneTask()) {
+  }
+  std::unique_lock<std::mutex> lk(st->mu);
+  st->cv.wait(lk, [&st] { return st->remaining == 0; });
+}
+
+}  // namespace accl::exec

@@ -1,6 +1,9 @@
 #include "sdi/subscription_engine.h"
 
+#include <algorithm>
+
 #include "util/check.h"
+#include "util/rng.h"
 #include "util/timer.h"
 
 namespace accl {
@@ -21,10 +24,39 @@ Event Event::Range(Box normalized_box) {
 
 SubscriptionEngine::SubscriptionEngine(AttributeSchema schema,
                                        EngineOptions options)
-    : schema_(std::move(schema)), options_(options) {
+    : schema_(std::move(schema)), options_(std::move(options)) {
   ACCL_CHECK(schema_.dims() > 0);
+  ACCL_CHECK(options_.shards >= 1);
   options_.index.nd = schema_.dims();
-  index_ = std::make_unique<AdaptiveIndex>(options_.index);
+  shards_.reserve(options_.shards);
+  for (uint32_t s = 0; s < options_.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(options_.index));
+  }
+  // ParallelFor includes the calling thread, so N-way matching needs N-1
+  // workers; 0 or 1 requested threads means no pool at all.
+  if (options_.match_threads > 1) {
+    pool_ = std::make_unique<exec::ThreadPool>(options_.match_threads - 1);
+  }
+}
+
+uint32_t SubscriptionEngine::ShardFor(SubscriptionId id,
+                                      const Box& box) const {
+  const uint32_t k = static_cast<uint32_t>(shards_.size());
+  if (k == 1) return 0;
+  if (options_.partitioner) return options_.partitioner(id, box, k) % k;
+  switch (options_.sharding) {
+    case ShardingPolicy::kLeadingDimension: {
+      const float center = 0.5f * (box.lo(0) + box.hi(0));
+      const float clamped =
+          std::min(std::max(center, kDomainMin), kDomainMax);
+      return std::min(k - 1, static_cast<uint32_t>(
+                                 clamped * static_cast<float>(k)));
+    }
+    case ShardingPolicy::kHashId:
+      break;
+  }
+  uint64_t state = id;
+  return static_cast<uint32_t>(SplitMix64(&state) % k);
 }
 
 SubscriptionId SubscriptionEngine::Subscribe(
@@ -36,13 +68,82 @@ SubscriptionId SubscriptionEngine::Subscribe(
 
 SubscriptionId SubscriptionEngine::SubscribeBox(const Box& box) {
   ACCL_CHECK(box.dims() == schema_.dims());
-  const SubscriptionId id = next_id_++;
-  index_->Insert(id, box.view());
+  SubscriptionId id;
+  {
+    std::lock_guard<std::mutex> lk(meta_mu_);
+    id = next_id_++;
+  }
+  const uint32_t s = ShardFor(id, box);
+  {
+    std::lock_guard<std::mutex> lk(shards_[s]->mu);
+    shards_[s]->index->Insert(id, box.view());
+  }
+  // Publish the owner mapping only after the insert: nobody can hold this
+  // id yet, and Unsubscribe consults the map first. The count bumps inside
+  // the same critical section — once the map entry exists the id is
+  // Unsubscribe-able, and its decrement must never precede our increment.
+  {
+    std::lock_guard<std::mutex> lk(meta_mu_);
+    shard_of_.emplace(id, s);
+    subscription_count_.fetch_add(1, std::memory_order_relaxed);
+  }
   return id;
 }
 
 bool SubscriptionEngine::Unsubscribe(SubscriptionId id) {
-  return index_->Erase(id);
+  uint32_t s;
+  {
+    std::lock_guard<std::mutex> lk(meta_mu_);
+    auto it = shard_of_.find(id);
+    if (it == shard_of_.end()) return false;
+    s = it->second;
+    shard_of_.erase(it);
+  }
+  bool erased;
+  {
+    std::lock_guard<std::mutex> lk(shards_[s]->mu);
+    erased = shards_[s]->index->Erase(id);
+  }
+  // The owner map is the single source of truth for liveness; a mapped id
+  // must exist in its shard.
+  ACCL_CHECK(erased);
+  subscription_count_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+size_t SubscriptionEngine::ShardOf(SubscriptionId id) const {
+  std::lock_guard<std::mutex> lk(meta_mu_);
+  auto it = shard_of_.find(id);
+  return it == shard_of_.end() ? shards_.size() : it->second;
+}
+
+std::vector<SubscriptionEngine::ShardInfo> SubscriptionEngine::GetShardInfos()
+    const {
+  std::vector<ShardInfo> infos;
+  infos.reserve(shards_.size());
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lk(sh->mu);
+    infos.push_back(ShardInfo{sh->index->size(), sh->index->cluster_count()});
+  }
+  return infos;
+}
+
+Relation SubscriptionEngine::RelationFor(const Event& event,
+                                         MatchPolicy policy) {
+  // Point events are enclosure queries under either policy (a point
+  // intersects a subscription iff the subscription encloses it).
+  return event.is_point || policy == MatchPolicy::kCovering
+             ? Relation::kEncloses
+             : Relation::kIntersects;
+}
+
+void SubscriptionEngine::RecordEvent(size_t matches, size_t verified,
+                                     double latency_ms) {
+  std::lock_guard<std::mutex> lk(meta_mu_);
+  stats_.match_latency_ms.Add(latency_ms);
+  ++stats_.events_processed;
+  stats_.matches_per_event.Add(static_cast<double>(matches));
+  stats_.verified_per_event.Add(static_cast<double>(verified));
 }
 
 void SubscriptionEngine::Match(const Event& event,
@@ -52,19 +153,109 @@ void SubscriptionEngine::Match(const Event& event,
 
 void SubscriptionEngine::Match(const Event& event, MatchPolicy policy,
                                std::vector<SubscriptionId>* out) {
-  // Point events are enclosure queries under either policy (a point
-  // intersects a subscription iff the subscription encloses it).
-  const Relation rel = event.is_point || policy == MatchPolicy::kCovering
-                           ? Relation::kEncloses
-                           : Relation::kIntersects;
-  Query q(event.box, rel);
-  QueryMetrics m;
+  Query q(event.box, RelationFor(event, policy));
   WallTimer t;
-  index_->Execute(q, out, &m);
-  stats_.match_latency_ms.Add(t.ElapsedMs());
-  ++stats_.events_processed;
-  stats_.matches_per_event.Add(static_cast<double>(m.result_count));
-  stats_.verified_per_event.Add(static_cast<double>(m.objects_verified));
+  size_t matched = 0;
+  size_t verified = 0;
+  for (const auto& sh : shards_) {
+    QueryMetrics m;
+    std::lock_guard<std::mutex> lk(sh->mu);
+    sh->index->Execute(q, out, &m);
+    matched += m.result_count;
+    verified += m.objects_verified;
+  }
+  RecordEvent(matched, verified, t.ElapsedMs());
+}
+
+void SubscriptionEngine::MatchBatch(Span<const Event> events,
+                                    MatchBatchResult* out) {
+  MatchBatch(events, options_.default_policy, out);
+}
+
+void SubscriptionEngine::MatchBatch(Span<const Event> events,
+                                    MatchPolicy policy,
+                                    MatchBatchResult* out) {
+  const size_t ne = events.size();
+  const size_t k = shards_.size();
+  out->Clear();
+  out->matches.resize(ne);
+  out->per_shard.resize(k);
+  if (ne == 0) return;
+  WallTimer t;
+
+  // Per-shard scratch: one flat id vector with per-event offsets (cheaper
+  // than ne vectors per shard) plus per-event verified counts for the
+  // engine statistics.
+  struct ShardScratch {
+    std::vector<ObjectId> ids;
+    std::vector<size_t> offsets;      // ne + 1 entries
+    std::vector<uint64_t> verified;   // per event
+  };
+  std::vector<ShardScratch> scratch(k);
+
+  // Fan the whole batch out: one task per shard, each processing every
+  // event in batch order behind the shard mutex. Shard-local adaptation
+  // (statistics, reorganization) therefore sees a deterministic query
+  // sequence regardless of thread count.
+  const auto run_shard = [&](size_t s) {
+    ShardScratch& sc = scratch[s];
+    sc.offsets.resize(ne + 1, 0);
+    sc.verified.resize(ne, 0);
+    Shard& sh = *shards_[s];
+    std::lock_guard<std::mutex> lk(sh.mu);
+    for (size_t e = 0; e < ne; ++e) {
+      const Event& ev = events[e];
+      Query q(ev.box, RelationFor(ev, policy));
+      QueryMetrics m;
+      sh.index->Execute(q, &sc.ids, &m);
+      sc.offsets[e + 1] = sc.ids.size();
+      sc.verified[e] = m.objects_verified;
+      out->per_shard[s].Add(m);
+    }
+  };
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(k, run_shard);
+  } else {
+    for (size_t s = 0; s < k; ++s) run_shard(s);
+  }
+
+  // Deterministic merge: shard order concatenation, then ObjectId sort —
+  // byte-identical output for any shard/thread configuration (each
+  // subscription lives in exactly one shard, so ids are unique).
+  std::vector<uint64_t> verified_per_event(ne, 0);
+  for (size_t e = 0; e < ne; ++e) {
+    std::vector<ObjectId>& dst = out->matches[e];
+    size_t total = 0;
+    for (size_t s = 0; s < k; ++s) {
+      total += scratch[s].offsets[e + 1] - scratch[s].offsets[e];
+    }
+    dst.reserve(total);
+    for (size_t s = 0; s < k; ++s) {
+      const ShardScratch& sc = scratch[s];
+      dst.insert(dst.end(), sc.ids.begin() + sc.offsets[e],
+                 sc.ids.begin() + sc.offsets[e + 1]);
+      verified_per_event[e] += sc.verified[e];
+    }
+    std::sort(dst.begin(), dst.end());
+  }
+  out->AggregateShards();
+  // Latency is read after the merge so the batch path reports the same
+  // end-to-end per-event cost Match() reports for its full path.
+  const double per_event_ms = t.ElapsedMs() / static_cast<double>(ne);
+  // One stats-lock acquisition for the whole batch: meta_mu_ also guards id
+  // allocation, so taking it per event would serialize the batched hot path
+  // against concurrent subscribers ne times over.
+  {
+    std::lock_guard<std::mutex> lk(meta_mu_);
+    for (size_t e = 0; e < ne; ++e) {
+      stats_.match_latency_ms.Add(per_event_ms);
+      ++stats_.events_processed;
+      stats_.matches_per_event.Add(
+          static_cast<double>(out->matches[e].size()));
+      stats_.verified_per_event.Add(
+          static_cast<double>(verified_per_event[e]));
+    }
+  }
 }
 
 bool SubscriptionEngine::MakePointEvent(
@@ -81,6 +272,16 @@ bool SubscriptionEngine::MakeRangeEvent(
   if (!schema_.MakeBox(ranges, &box)) return false;
   *out = Event::Range(std::move(box));
   return true;
+}
+
+EngineStats SubscriptionEngine::stats() const {
+  std::lock_guard<std::mutex> lk(meta_mu_);
+  return stats_;
+}
+
+void SubscriptionEngine::ResetStats() {
+  std::lock_guard<std::mutex> lk(meta_mu_);
+  stats_ = EngineStats();
 }
 
 }  // namespace accl

@@ -7,15 +7,32 @@
 // The engine wraps the adaptive clustering index with an attribute schema,
 // subscription lifecycle management, the two event kinds the paper
 // describes (point events and range events), and running statistics.
+//
+// Scale-out (sharding): the subscription database can be partitioned across
+// K independent AdaptiveIndex shards (EngineOptions::shards). Each
+// subscription lives in exactly one shard, chosen by a pluggable
+// partitioner; every event is matched against all shards and the per-shard
+// answers are merged deterministically (sorted by ObjectId), so the match
+// sets are byte-identical to a single-shard engine's. Reads fan out
+// concurrently across shards on the engine's thread pool; all per-shard
+// work — including Execute's statistics updates and the adaptive
+// reorganization it may trigger — runs behind that shard's mutex, so the
+// reorganization logic itself is untouched by concurrency.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "api/batch.h"
 #include "api/schema.h"
 #include "core/adaptive_index.h"
+#include "exec/thread_pool.h"
 #include "util/summary.h"
 
 namespace accl {
@@ -34,6 +51,22 @@ enum class MatchPolicy : uint8_t {
   /// enclosure query; point events degenerate to point-enclosing.
   kCovering,
 };
+
+/// How subscriptions are partitioned across shards.
+enum class ShardingPolicy : uint8_t {
+  /// Mix the subscription id through SplitMix64 and take it mod K. Spreads
+  /// load evenly regardless of the subscription distribution.
+  kHashId = 0,
+  /// Partition the leading dimension's box center into K equal slices.
+  /// Keeps spatially close subscriptions together (range-partition
+  /// precursor; see ROADMAP), at the cost of possible load skew.
+  kLeadingDimension,
+};
+
+/// Custom partitioner: maps (id, normalized subscription box, shard count)
+/// to a shard. The result is taken mod the shard count.
+using ShardPartitionFn =
+    std::function<uint32_t(SubscriptionId, const Box&, uint32_t)>;
 
 /// An incoming publication.
 struct Event {
@@ -59,9 +92,26 @@ struct EngineStats {
 struct EngineOptions {
   AdaptiveConfig index;  ///< nd overwritten from the schema
   MatchPolicy default_policy = MatchPolicy::kCovering;
+
+  /// Number of independent index shards (K >= 1). 1 keeps the classic
+  /// single-index engine, bit-for-bit.
+  uint32_t shards = 1;
+  /// Worker threads for MatchBatch's shard fan-out. 0 or 1 = the calling
+  /// thread does everything (still deterministic, still correct).
+  uint32_t match_threads = 0;
+  /// How subscriptions are assigned to shards (ignored when K == 1).
+  ShardingPolicy sharding = ShardingPolicy::kHashId;
+  /// Overrides `sharding` when set.
+  ShardPartitionFn partitioner;
 };
 
 /// The subscription database and matcher.
+///
+/// Thread safety: Subscribe/Unsubscribe/Match/MatchBatch may be called
+/// concurrently from any threads; shard state is guarded by per-shard
+/// mutexes and engine bookkeeping by an engine mutex. Determinism is only
+/// guaranteed for a deterministic call sequence (concurrent *callers* race
+/// for lock order like any concurrent writers would).
 class SubscriptionEngine {
  public:
   /// Schema must be fully defined before constructing the engine.
@@ -81,13 +131,24 @@ class SubscriptionEngine {
   /// Removes a subscription. Returns false when unknown.
   bool Unsubscribe(SubscriptionId id);
 
-  size_t subscription_count() const { return index_->size(); }
+  size_t subscription_count() const {
+    return subscription_count_.load(std::memory_order_relaxed);
+  }
 
   /// Matches an event against the database; appends notified subscription
-  /// ids to `*out`. Uses the engine's default policy unless overridden.
+  /// ids to `*out` (shard-major order; with one shard this is exactly the
+  /// classic engine's order). Uses the default policy unless overridden.
   void Match(const Event& event, std::vector<SubscriptionId>* out);
   void Match(const Event& event, MatchPolicy policy,
              std::vector<SubscriptionId>* out);
+
+  /// Matches a batch of events, fanning the batch across shards on the
+  /// engine's thread pool. `out->matches[e]` is sorted by ObjectId and
+  /// byte-identical for any shard/thread configuration. Per-shard metrics
+  /// land in `out->per_shard` (shard order), aggregated into `out->total`.
+  void MatchBatch(Span<const Event> events, MatchBatchResult* out);
+  void MatchBatch(Span<const Event> events, MatchPolicy policy,
+                  MatchBatchResult* out);
 
   /// Convenience: builds a point event from attribute values. Returns
   /// false when values do not cover the schema exactly.
@@ -98,17 +159,56 @@ class SubscriptionEngine {
   bool MakeRangeEvent(const std::vector<AttributeRange>& ranges,
                       Event* out) const;
 
-  const EngineStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = EngineStats(); }
+  /// Snapshot of the running statistics (copies under the stats lock).
+  EngineStats stats() const;
+  void ResetStats();
 
-  /// The underlying index (for diagnostics: cluster counts, reorg stats).
-  const AdaptiveIndex& index() const { return *index_; }
+  // ---- Shard introspection ----
+  size_t shard_count() const { return shards_.size(); }
+
+  /// The underlying index of shard `s` (diagnostics: cluster counts, reorg
+  /// stats). Not synchronized — quiesce matching before deep inspection.
+  const AdaptiveIndex& shard_index(size_t s) const {
+    return *shards_[s]->index;
+  }
+
+  /// Back-compatible single-index accessor: shard 0's index (the only
+  /// shard when K == 1).
+  const AdaptiveIndex& index() const { return *shards_[0]->index; }
+
+  /// Shard of a live subscription, or shard_count() when unknown.
+  size_t ShardOf(SubscriptionId id) const;
+
+  /// Per-shard load snapshot.
+  struct ShardInfo {
+    size_t subscriptions;
+    size_t clusters;
+  };
+  std::vector<ShardInfo> GetShardInfos() const;
 
  private:
+  struct Shard {
+    explicit Shard(const AdaptiveConfig& cfg)
+        : index(std::make_unique<AdaptiveIndex>(cfg)) {}
+    std::mutex mu;  ///< serializes every index access (reads mutate stats)
+    std::unique_ptr<AdaptiveIndex> index;
+  };
+
+  uint32_t ShardFor(SubscriptionId id, const Box& box) const;
+  static Relation RelationFor(const Event& event, MatchPolicy policy);
+  void RecordEvent(size_t matches, size_t verified, double latency_ms);
+
   AttributeSchema schema_;
   EngineOptions options_;
-  std::unique_ptr<AdaptiveIndex> index_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<exec::ThreadPool> pool_;  ///< null when match_threads <= 1
+
+  mutable std::mutex meta_mu_;  ///< guards next_id_, shard_of_, stats_
   SubscriptionId next_id_ = 0;
+  /// Owner shard of each live subscription (needed by Unsubscribe for
+  /// custom/spatial partitioners whose input box is long gone).
+  std::unordered_map<SubscriptionId, uint32_t> shard_of_;
+  std::atomic<size_t> subscription_count_{0};
   EngineStats stats_;
 };
 

@@ -51,8 +51,13 @@ std::unique_ptr<PagedFile> PagedFile::Create(const std::string& path,
   std::FILE* f = std::fopen(path.c_str(), "wb+");
   if (f == nullptr) return nullptr;
   FileHeader h{kFileMagic, kFileVersion, page_bytes, 0, 0, kNoDirectory, 0, 0};
-  if (!WriteHeaderTo(f, h)) {
+  // Flush the fresh header to the OS before handing the file out. "wb+"
+  // already truncated any previous (possibly corrupt) contents, so on any
+  // failure here we remove the remnant entirely: a half-created file must
+  // never survive to a later Open with a stale directory block.
+  if (!WriteHeaderTo(f, h) || std::fflush(f) != 0) {
     std::fclose(f);
+    std::remove(path.c_str());
     return nullptr;
   }
   auto pf = std::unique_ptr<PagedFile>(new PagedFile());
@@ -64,11 +69,39 @@ std::unique_ptr<PagedFile> PagedFile::Create(const std::string& path,
 std::unique_ptr<PagedFile> PagedFile::Open(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb+");
   if (f == nullptr) return nullptr;
+  // Single close point: every validation failure lands here, so a rejected
+  // open can never leak the descriptor.
+  const auto reject = [f]() -> std::unique_ptr<PagedFile> {
+    std::fclose(f);
+    return nullptr;
+  };
   FileHeader h{};
   if (std::fread(&h, sizeof(h), 1, f) != 1 || h.magic != kFileMagic ||
       h.version != kFileVersion || h.page_bytes < 64) {
-    std::fclose(f);
-    return nullptr;
+    return reject();  // garbage, page-size mismatch, or short header read
+  }
+  // The claimed geometry must actually exist on disk; a truncated file
+  // would otherwise surface as short reads deep inside directory loading.
+  // Divisions, not products: a corrupt header must not be able to wrap the
+  // arithmetic back into range.
+  if (std::fseek(f, 0, SEEK_END) != 0) return reject();
+  const long file_size = std::ftell(f);
+  if (file_size < 0 || static_cast<uint64_t>(file_size) < kHeaderBytes) {
+    return reject();
+  }
+  const uint64_t pages_on_disk =
+      (static_cast<uint64_t>(file_size) - kHeaderBytes) / h.page_bytes;
+  if (h.page_count > pages_on_disk) return reject();
+  // A directory pointer must lie inside the payload pages and its byte
+  // length inside its run — anything else is a stale or corrupt block.
+  // (dir_pages <= page_count <= file_size / page_bytes keeps the byte
+  // product below the actual file size, so it cannot overflow.)
+  if (h.dir_first != kNoDirectory) {
+    if (h.dir_pages == 0 || h.dir_first >= h.page_count ||
+        h.dir_pages > h.page_count - h.dir_first ||
+        h.dir_bytes > h.dir_pages * h.page_bytes) {
+      return reject();
+    }
   }
   auto pf = std::unique_ptr<PagedFile>(new PagedFile());
   pf->file_ = f;
@@ -90,10 +123,19 @@ bool PagedFile::PersistHeader() {
 }
 
 bool PagedFile::SetDirectory(uint64_t first, uint64_t pages, uint64_t bytes) {
+  const uint64_t prev_first = dir_first_;
+  const uint64_t prev_pages = dir_pages_;
+  const uint64_t prev_bytes = dir_bytes_;
   dir_first_ = first;
   dir_pages_ = pages;
   dir_bytes_ = bytes;
-  return PersistHeader();
+  if (PersistHeader()) return true;
+  // Keep the in-memory pointer agreeing with the last durable header, so a
+  // retried SaveDirectory frees the run the header really references.
+  dir_first_ = prev_first;
+  dir_pages_ = prev_pages;
+  dir_bytes_ = prev_bytes;
+  return false;
 }
 
 bool PagedFile::GetDirectory(uint64_t* first, uint64_t* pages,
@@ -246,15 +288,26 @@ bool ClusterFileStore::WriteObjects(const Entry& e, size_t first_slot,
 }
 
 bool ClusterFileStore::Put(const ClusterImage& image) {
+  if (disk_ != nullptr && disk_->NextOpFails()) return false;
   const uint64_t n = image.ids.size();
   Entry* e = Find(image.id);
   if (e != nullptr && n <= e->capacity) {
-    // Rewrite in place.
+    // Rewrite in place. A failed rewrite leaves the run torn (old count
+    // over a partially replaced payload — undetectable by Get's count
+    // check alone), so on failure the entry is dropped and its run freed:
+    // the cluster reads as missing, never as silently mixed data. Note the
+    // *durable* directory may still reference the torn run until the next
+    // SaveDirectory; record checksums are the ROADMAP follow-up.
+    if (!file_->WriteAt(e->first_page, 0, &n, 8) ||
+        !WriteObjects(*e, 0, image.ids.data(), image.coords.data(),
+                      static_cast<size_t>(n))) {
+      file_->FreeRun(e->first_page, e->pages);
+      entries_.erase(entries_.begin() + (e - entries_.data()));
+      return false;
+    }
     e->sig = image.sig;
     e->objects = n;
-    if (!file_->WriteAt(e->first_page, 0, &n, 8)) return false;
-    return WriteObjects(*e, 0, image.ids.data(), image.coords.data(),
-                        static_cast<size_t>(n));
+    return true;
   }
   // Fresh run with reserve places.
   uint64_t cap = static_cast<uint64_t>(
@@ -272,9 +325,12 @@ bool ClusterFileStore::Put(const ClusterImage& image) {
   fresh.pages = pages;
   fresh.objects = n;
   fresh.capacity = cap;
-  if (!file_->WriteAt(first, 0, &n, 8)) return false;
-  if (!WriteObjects(fresh, 0, image.ids.data(), image.coords.data(),
+  if (!file_->WriteAt(first, 0, &n, 8) ||
+      !WriteObjects(fresh, 0, image.ids.data(), image.coords.data(),
                     static_cast<size_t>(n))) {
+    // Return the half-written run to the pool: failing a relocation must
+    // not leak pages (the old run, when any, stays live and untouched).
+    file_->FreeRun(first, pages);
     return false;
   }
   if (e != nullptr) {
@@ -291,6 +347,7 @@ bool ClusterFileStore::Append(ClusterId id, ObjectId oid,
                               const float* coords) {
   Entry* e = Find(id);
   if (e == nullptr) return false;
+  if (disk_ != nullptr && disk_->NextOpFails()) return false;
   if (e->objects >= e->capacity) {
     // Relocate via read-modify-write with a fresh reserve.
     ClusterImage img;
@@ -300,14 +357,20 @@ bool ClusterFileStore::Append(ClusterId id, ObjectId oid,
     return Put(img);
   }
   const size_t slot = static_cast<size_t>(e->objects);
+  const uint64_t new_count = e->objects + 1;
   if (!WriteObjects(*e, slot, &oid, coords, 1)) return false;
-  ++e->objects;
-  return file_->WriteAt(e->first_page, 0, &e->objects, 8);
+  // Bump the in-memory count only after the on-disk count: a failed header
+  // write leaves entry and disk agreeing on the old count (the orphan
+  // record past it is unreachable and harmless).
+  if (!file_->WriteAt(e->first_page, 0, &new_count, 8)) return false;
+  e->objects = new_count;
+  return true;
 }
 
 bool ClusterFileStore::Get(ClusterId id, ClusterImage* out) {
   Entry* e = Find(id);
   if (e == nullptr) return false;
+  if (disk_ != nullptr && disk_->NextOpFails()) return false;
   uint64_t n = 0;
   if (!file_->ReadAt(e->first_page, 0, &n, 8)) return false;
   if (n != e->objects || n > e->capacity) return false;  // corruption
@@ -361,16 +424,24 @@ bool ClusterFileStore::SaveDirectory() {
     w.PutU64(e.pages);
     w.PutU64(e.objects);
   }
-  // Replace any previous directory run.
+  if (disk_ != nullptr && disk_->NextOpFails()) return false;
+  // Shadow-paging order: write the new directory into a *fresh* run, flip
+  // the header pointer, and only then free the old run. Freeing first would
+  // let a later allocation clobber the old directory while the header still
+  // points at it — a crash in that window reopens to a stale, corrupt
+  // directory block.
   uint64_t old_first = 0, old_pages = 0, old_bytes = 0;
-  if (file_->GetDirectory(&old_first, &old_pages, &old_bytes)) {
-    file_->FreeRun(old_first, old_pages);
-  }
+  const bool had_dir = file_->GetDirectory(&old_first, &old_pages, &old_bytes);
   const uint64_t dir_pages = std::max<uint64_t>(
       1, (w.size() + file_->page_bytes() - 1) / file_->page_bytes());
   const uint64_t dir_first = file_->AllocateRun(dir_pages);
-  if (!file_->WriteAt(dir_first, 0, w.bytes().data(), w.size())) return false;
-  return file_->SetDirectory(dir_first, dir_pages, w.size());
+  if (!file_->WriteAt(dir_first, 0, w.bytes().data(), w.size()) ||
+      !file_->SetDirectory(dir_first, dir_pages, w.size())) {
+    file_->FreeRun(dir_first, dir_pages);
+    return false;
+  }
+  if (had_dir) file_->FreeRun(old_first, old_pages);
+  return true;
 }
 
 std::unique_ptr<ClusterFileStore> ClusterFileStore::Load(

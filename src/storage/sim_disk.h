@@ -56,12 +56,43 @@ class SimDisk {
     bytes_ = 0;
   }
 
+  // ---- Fault injection (failure-path tests) ----
+  // The simulated device can be armed to start failing, letting storage
+  // tests drive every error path deterministically: ClusterFileStore asks
+  // NextOpFails() before each logical I/O and propagates the failure
+  // exactly as a real short write/read would surface.
+
+  /// Arms the device: the next `ops` I/O operations succeed, everything
+  /// after fails until DisarmFaults().
+  void FailAfter(uint64_t ops) {
+    fail_armed_ = true;
+    ops_until_fail_ = ops;
+  }
+
+  void DisarmFaults() { fail_armed_ = false; }
+
+  /// Consumes one operation; true when the armed fault fires.
+  bool NextOpFails() {
+    if (!fail_armed_) return false;
+    if (ops_until_fail_ == 0) {
+      ++faults_injected_;
+      return true;
+    }
+    --ops_until_fail_;
+    return false;
+  }
+
+  uint64_t faults_injected() const { return faults_injected_; }
+
  private:
   double access_ms_;
   double ms_per_byte_;
   double clock_ms_ = 0.0;
   uint64_t seeks_ = 0;
   uint64_t bytes_ = 0;
+  bool fail_armed_ = false;
+  uint64_t ops_until_fail_ = 0;
+  uint64_t faults_injected_ = 0;
 };
 
 }  // namespace accl

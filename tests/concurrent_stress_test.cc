@@ -1,0 +1,227 @@
+// Concurrency hardening for the sharded SDI engine.
+//
+// Part 1 (deterministic): a seeded operation log interleaving MatchBatch
+// with Subscribe/Unsubscribe is applied to sharded multi-threaded engines
+// and replayed serially; every batch's match sets must be identical.
+//
+// Part 2 (scheduler-adversarial): raw threads hammer the engine's public
+// API concurrently; the final state must equal the brute-force oracle over
+// the surviving subscriptions. This is the primary ThreadSanitizer target.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "sdi/subscription_engine.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace accl {
+namespace {
+
+constexpr Dim kNd = 4;
+
+AttributeSchema UnitSchema() {
+  AttributeSchema s;
+  for (Dim d = 0; d < kNd; ++d) {
+    s.AddAttribute("a" + std::to_string(d), 0.0, 1.0);
+  }
+  return s;
+}
+
+EngineOptions Opts(uint32_t shards, uint32_t threads) {
+  EngineOptions o;
+  o.index.reorg_period = 25;
+  o.index.min_observation = 8;
+  o.default_policy = MatchPolicy::kIntersecting;
+  o.shards = shards;
+  o.match_threads = threads;
+  return o;
+}
+
+// One record per operation, pre-generated so every engine replays the
+// exact same log.
+struct Op {
+  enum Kind { kSubscribe, kUnsubscribe, kMatchBatch } kind;
+  Box box;                    // kSubscribe
+  size_t victim_index;        // kUnsubscribe: index into the live list
+  std::vector<Event> events;  // kMatchBatch
+};
+
+std::vector<Op> MakeOpLog(uint64_t seed, size_t n_ops) {
+  Rng rng(seed);
+  std::vector<Op> log;
+  size_t live = 0;
+  for (size_t i = 0; i < n_ops; ++i) {
+    const double roll = rng.NextDouble();
+    Op op;
+    if (live == 0 || roll < 0.55) {
+      op.kind = Op::kSubscribe;
+      op.box = testutil::RandomBox(rng, kNd, 0.5f);
+      ++live;
+    } else if (roll < 0.75) {
+      op.kind = Op::kUnsubscribe;
+      op.victim_index = rng.NextBelow(live);
+      --live;
+    } else {
+      op.kind = Op::kMatchBatch;
+      const size_t ne = 1 + rng.NextBelow(12);
+      for (size_t e = 0; e < ne; ++e) {
+        if (rng.NextBool(0.5)) {
+          std::vector<float> pt(kNd);
+          for (auto& x : pt) x = rng.NextFloat();
+          op.events.push_back(Event::Point(std::move(pt)));
+        } else {
+          op.events.push_back(Event::Range(testutil::RandomBox(rng, kNd)));
+        }
+      }
+    }
+    log.push_back(std::move(op));
+  }
+  return log;
+}
+
+/// Applies the log; returns the concatenated match sets of every batch.
+std::vector<std::vector<ObjectId>> Replay(SubscriptionEngine& engine,
+                                          const std::vector<Op>& log) {
+  std::vector<SubscriptionId> live;
+  std::vector<std::vector<ObjectId>> matches;
+  for (const Op& op : log) {
+    switch (op.kind) {
+      case Op::kSubscribe:
+        live.push_back(engine.SubscribeBox(op.box));
+        break;
+      case Op::kUnsubscribe: {
+        const size_t v = op.victim_index;
+        EXPECT_TRUE(engine.Unsubscribe(live[v]));
+        live[v] = live.back();
+        live.pop_back();
+        break;
+      }
+      case Op::kMatchBatch: {
+        MatchBatchResult res;
+        engine.MatchBatch(
+            Span<const Event>(op.events.data(), op.events.size()), &res);
+        for (auto& m : res.matches) matches.push_back(std::move(m));
+        break;
+      }
+    }
+  }
+  return matches;
+}
+
+TEST(ConcurrentStress, ShardedReplayMatchesSerialReplay) {
+  const std::vector<Op> log = MakeOpLog(2026, 1500);
+  SubscriptionEngine serial(UnitSchema(), Opts(1, 0));
+  const auto expected = Replay(serial, log);
+  for (const auto& cfg : {std::pair<uint32_t, uint32_t>{4, 4},
+                          std::pair<uint32_t, uint32_t>{4, 2},
+                          std::pair<uint32_t, uint32_t>{7, 3}}) {
+    SubscriptionEngine sharded(UnitSchema(), Opts(cfg.first, cfg.second));
+    const auto got = Replay(sharded, log);
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], expected[i])
+          << "divergence at batch result " << i << " with K=" << cfg.first
+          << " threads=" << cfg.second;
+    }
+    EXPECT_EQ(sharded.subscription_count(), serial.subscription_count());
+  }
+}
+
+TEST(ConcurrentStress, ReplayIsRepeatable) {
+  const std::vector<Op> log = MakeOpLog(5, 800);
+  SubscriptionEngine a(UnitSchema(), Opts(4, 4));
+  SubscriptionEngine b(UnitSchema(), Opts(4, 4));
+  EXPECT_EQ(Replay(a, log), Replay(b, log));
+}
+
+TEST(ConcurrentStress, ConcurrentCallersKeepEngineConsistent) {
+  SubscriptionEngine engine(UnitSchema(), Opts(4, 3));
+  Rng seed_rng(77);
+  const uint64_t seed_a = seed_rng.NextU64();
+  const uint64_t seed_b = seed_rng.NextU64();
+  const uint64_t seed_m = seed_rng.NextU64();
+
+  // Thread A: subscribes 400 and keeps everything.
+  std::vector<std::pair<SubscriptionId, Box>> kept_a, kept_b;
+  std::thread ta([&] {
+    Rng rng(seed_a);
+    for (int i = 0; i < 400; ++i) {
+      Box b = testutil::RandomBox(rng, kNd, 0.5f);
+      kept_a.emplace_back(engine.SubscribeBox(b), b);
+    }
+  });
+  // Thread B: subscribes 400, then unsubscribes its own even-indexed half.
+  std::thread tb([&] {
+    Rng rng(seed_b);
+    std::vector<std::pair<SubscriptionId, Box>> mine;
+    for (int i = 0; i < 400; ++i) {
+      Box b = testutil::RandomBox(rng, kNd, 0.5f);
+      mine.emplace_back(engine.SubscribeBox(b), b);
+    }
+    for (size_t i = 0; i < mine.size(); ++i) {
+      if (i % 2 == 0) {
+        EXPECT_TRUE(engine.Unsubscribe(mine[i].first));
+      } else {
+        kept_b.push_back(mine[i]);
+      }
+    }
+  });
+  // Threads C/D: match batches and single events while the writers run.
+  std::thread tc([&] {
+    Rng rng(seed_m);
+    for (int i = 0; i < 30; ++i) {
+      std::vector<Event> evs;
+      for (int e = 0; e < 8; ++e) {
+        evs.push_back(Event::Range(testutil::RandomBox(rng, kNd)));
+      }
+      MatchBatchResult res;
+      engine.MatchBatch(Span<const Event>(evs.data(), evs.size()), &res);
+    }
+  });
+  std::thread td([&] {
+    Rng rng(seed_m ^ 1);
+    for (int i = 0; i < 60; ++i) {
+      std::vector<float> pt(kNd);
+      for (auto& x : pt) x = rng.NextFloat();
+      std::vector<SubscriptionId> out;
+      engine.Match(Event::Point(std::move(pt)), &out);
+    }
+  });
+  ta.join();
+  tb.join();
+  tc.join();
+  td.join();
+
+  ASSERT_EQ(engine.subscription_count(), 400u + 200u);
+  const auto infos = engine.GetShardInfos();
+  size_t total = 0;
+  for (const auto& info : infos) total += info.subscriptions;
+  EXPECT_EQ(total, 600u);
+
+  // Oracle check: a quiesced MatchBatch must agree exactly with brute force
+  // over the surviving (id, box) pairs.
+  std::vector<std::pair<SubscriptionId, Box>> survivors = kept_a;
+  survivors.insert(survivors.end(), kept_b.begin(), kept_b.end());
+  Rng rng(123);
+  std::vector<Event> probes;
+  for (int e = 0; e < 16; ++e) {
+    probes.push_back(Event::Range(testutil::RandomBox(rng, kNd)));
+  }
+  MatchBatchResult res;
+  engine.MatchBatch(Span<const Event>(probes.data(), probes.size()), &res);
+  for (size_t e = 0; e < probes.size(); ++e) {
+    Query q(probes[e].box, Relation::kIntersects);
+    std::vector<ObjectId> expect;
+    for (const auto& [id, box] : survivors) {
+      if (q.Matches(box.view())) expect.push_back(id);
+    }
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(res.matches[e], expect) << "probe " << e;
+  }
+}
+
+}  // namespace
+}  // namespace accl

@@ -1,0 +1,154 @@
+// Regression tests for AdaptiveIndex::Erase's swap-remove owner-map fixup:
+// erasing the first, a middle, and the last slot of a cluster (the self-swap
+// case), erasing the filler whose slot was just patched, and full owner-map
+// revalidation after random erase storms across a multi-cluster index.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/adaptive_index.h"
+#include "seqscan/seq_scan.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace accl {
+namespace {
+
+constexpr Dim kNd = 4;
+
+AdaptiveConfig SingleClusterConfig() {
+  AdaptiveConfig cfg;
+  cfg.nd = kNd;
+  cfg.reorg_period = 0;  // keep everything in the root cluster
+  return cfg;
+}
+
+Box BoxAt(float lo, float hi) {
+  Box b(kNd);
+  for (Dim d = 0; d < kNd; ++d) b.set(d, lo, hi);
+  return b;
+}
+
+TEST(EraseFixup, FirstMiddleAndLastSlot) {
+  // Slots track insertion order in a single cluster: id i sits in slot i.
+  AdaptiveIndex idx(SingleClusterConfig());
+  for (ObjectId id = 0; id < 10; ++id) {
+    idx.Insert(id, BoxAt(0.1f * static_cast<float>(id),
+                         0.1f * static_cast<float>(id) + 0.05f)
+                       .view());
+  }
+  idx.CheckInvariants();
+
+  // Last slot: RemoveAt pops without swapping (the self-swap guard).
+  EXPECT_TRUE(idx.Erase(9));
+  idx.CheckInvariants();
+  EXPECT_EQ(idx.OwnerOf(9), kNoCluster);
+
+  // First slot: the last object (id 8) is swapped into slot 0; its owner
+  // entry must be patched.
+  EXPECT_TRUE(idx.Erase(0));
+  idx.CheckInvariants();
+
+  // Erase the filler immediately: exercises the patched slot.
+  EXPECT_TRUE(idx.Erase(8));
+  idx.CheckInvariants();
+
+  // Middle slot of the remainder.
+  EXPECT_TRUE(idx.Erase(4));
+  idx.CheckInvariants();
+
+  // Double erase and unknown ids are rejected without damage.
+  EXPECT_FALSE(idx.Erase(4));
+  EXPECT_FALSE(idx.Erase(12345));
+  idx.CheckInvariants();
+  EXPECT_EQ(idx.size(), 6u);
+
+  // The survivors are exactly {1,2,3,5,6,7}.
+  std::vector<ObjectId> out;
+  idx.Execute(Query::Intersection(Box::FullDomain(kNd)), &out);
+  EXPECT_EQ(testutil::Sorted(std::move(out)),
+            (std::vector<ObjectId>{1, 2, 3, 5, 6, 7}));
+}
+
+TEST(EraseFixup, ReinsertAfterEraseReusesIdsCleanly) {
+  AdaptiveIndex idx(SingleClusterConfig());
+  for (ObjectId id = 0; id < 8; ++id) {
+    idx.Insert(id, BoxAt(0.2f, 0.4f).view());
+  }
+  EXPECT_TRUE(idx.Erase(3));
+  idx.Insert(3, BoxAt(0.6f, 0.9f).view());  // same id, new geometry
+  idx.CheckInvariants();
+  std::vector<ObjectId> out;
+  idx.Execute(Query::Intersection(BoxAt(0.55f, 1.0f)), &out);
+  EXPECT_EQ(testutil::Sorted(std::move(out)), std::vector<ObjectId>{3});
+}
+
+TEST(EraseFixup, EraseStormAcrossMaterializedClusters) {
+  // Let the index split into many clusters, then erase in random order,
+  // revalidating the full owner map (cluster + exact slot) throughout.
+  AdaptiveConfig cfg;
+  cfg.nd = kNd;
+  cfg.reorg_period = 50;
+  cfg.min_observation = 8;
+  AdaptiveIndex idx(cfg);
+  Rng rng(31);
+  std::vector<ObjectId> live;
+  for (ObjectId id = 0; id < 3000; ++id) {
+    idx.Insert(id, testutil::RandomBox(rng, kNd, 0.3f).view());
+    live.push_back(id);
+  }
+  std::vector<ObjectId> scratch;
+  for (int i = 0; i < 400; ++i) {
+    scratch.clear();
+    idx.Execute(Query::Intersection(testutil::RandomBox(rng, kNd, 0.4f)),
+                &scratch);
+  }
+  ASSERT_GT(idx.cluster_count(), 1u) << "workload failed to trigger splits";
+
+  while (!live.empty()) {
+    const size_t v = rng.NextBelow(live.size());
+    ASSERT_TRUE(idx.Erase(live[v]));
+    EXPECT_EQ(idx.OwnerOf(live[v]), kNoCluster);
+    live[v] = live.back();
+    live.pop_back();
+    if (live.size() % 250 == 0) idx.CheckInvariants();
+  }
+  EXPECT_EQ(idx.size(), 0u);
+  idx.CheckInvariants();
+}
+
+TEST(EraseFixup, EraseDuringAdaptationMatchesSeqScan) {
+  // Interleave erasures with adapting queries; answers must track the
+  // brute-force baseline exactly while clusters split and merge underneath.
+  AdaptiveConfig cfg;
+  cfg.nd = kNd;
+  cfg.reorg_period = 30;
+  cfg.min_observation = 8;
+  AdaptiveIndex idx(cfg);
+  SeqScan ss(kNd);
+  Rng rng(57);
+  std::vector<ObjectId> live;
+  for (ObjectId id = 0; id < 1500; ++id) {
+    const Box b = testutil::RandomBox(rng, kNd, 0.3f);
+    idx.Insert(id, b.view());
+    ss.Insert(id, b.view());
+    live.push_back(id);
+  }
+  for (int round = 0; round < 60; ++round) {
+    for (int i = 0; i < 10 && !live.empty(); ++i) {
+      const size_t v = rng.NextBelow(live.size());
+      ASSERT_TRUE(idx.Erase(live[v]));
+      ASSERT_TRUE(ss.Erase(live[v]));
+      live[v] = live.back();
+      live.pop_back();
+    }
+    const Query q(testutil::RandomBox(rng, kNd, 0.5f),
+                  round % 2 == 0 ? Relation::kIntersects
+                                 : Relation::kEncloses);
+    EXPECT_EQ(testutil::RunQuery(idx, q), testutil::RunQuery(ss, q));
+  }
+  idx.CheckInvariants();
+}
+
+}  // namespace
+}  // namespace accl

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <dirent.h>
+#include <unistd.h>
+
 #include <cstdio>
 
 #include "storage/paged_store.h"
@@ -235,6 +238,169 @@ TEST(ClusterFileStore, EndToEndIndexCheckpoint) {
   for (int i = 0; i < 25; ++i) {
     EXPECT_EQ(testutil::RunQuery(*recovered, qs[i]),
               testutil::RunQuery(idx, qs[i]));
+  }
+  std::remove(path.c_str());
+}
+
+size_t OpenFdCount() {
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  size_t n = 0;
+  while (readdir(dir) != nullptr) ++n;
+  closedir(dir);
+  return n;
+}
+
+TEST(PagedFile, RejectedOpensLeakNoDescriptors) {
+  const std::string garbage = TempPath("leak_garbage.pf");
+  ASSERT_TRUE(WriteFile(garbage, std::vector<uint8_t>(8192, 0xCD)));
+  const std::string truncated = TempPath("leak_trunc.pf");
+  {
+    auto pf = PagedFile::Create(truncated, 256);
+    ASSERT_NE(pf, nullptr);
+    pf->AllocateRun(8);
+    ASSERT_TRUE(pf->SetDirectory(0, 1, 64));
+  }
+  ASSERT_EQ(truncate(truncated.c_str(), 4096 + 3 * 256), 0);  // lose pages
+  const size_t before = OpenFdCount();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(PagedFile::Open(garbage), nullptr);
+    EXPECT_EQ(PagedFile::Open(truncated), nullptr);
+    EXPECT_EQ(PagedFile::Open(TempPath("leak_missing.pf")), nullptr);
+    EXPECT_EQ(PagedFile::Create(TempPath("leak_tiny.pf"), 16), nullptr);
+  }
+  EXPECT_EQ(OpenFdCount(), before);
+  std::remove(garbage.c_str());
+  std::remove(truncated.c_str());
+}
+
+TEST(PagedFile, OpenRejectsShortReadOfClaimedPages) {
+  // A header that claims more payload pages than the file holds must be
+  // rejected at Open, not surface later as a short read mid-load.
+  const std::string path = TempPath("short_read.pf");
+  {
+    auto pf = PagedFile::Create(path, 128);
+    ASSERT_NE(pf, nullptr);
+    pf->AllocateRun(10);
+    ASSERT_TRUE(pf->SetDirectory(0, 1, 50));  // persists page_count = 10
+  }
+  ASSERT_NE(PagedFile::Open(path), nullptr);  // sanity: intact file opens
+  ASSERT_EQ(truncate(path.c_str(), 4096 + 5 * 128), 0);
+  EXPECT_EQ(PagedFile::Open(path), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(PagedFile, OpenRejectsStaleDirectoryPointer) {
+  const std::string path = TempPath("stale_dir.pf");
+  {
+    auto pf = PagedFile::Create(path, 128);
+    ASSERT_NE(pf, nullptr);
+    pf->AllocateRun(4);
+    ASSERT_TRUE(pf->SetDirectory(0, 2, 100));
+  }
+  // Corrupt dir_first (byte offset 24 in the header) to point past the
+  // payload: a stale block from an older, larger layout.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    const uint64_t bogus = 1000;
+    ASSERT_EQ(std::fseek(f, 24, SEEK_SET), 0);
+    ASSERT_EQ(std::fwrite(&bogus, sizeof(bogus), 1, f), 1u);
+    std::fclose(f);
+  }
+  EXPECT_EQ(PagedFile::Open(path), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(PagedFile, CreateOverExistingFileDropsOldDirectory) {
+  // Re-creating a page file over an older one (e.g. after detecting
+  // corruption) must not leave the previous directory block reachable.
+  const std::string path = TempPath("recreate.pf");
+  {
+    auto pf = PagedFile::Create(path, 256);
+    ASSERT_NE(pf, nullptr);
+    pf->AllocateRun(4);
+    ASSERT_TRUE(pf->SetDirectory(1, 2, 99));
+  }
+  {
+    auto pf = PagedFile::Create(path, 256);  // truncating re-create
+    ASSERT_NE(pf, nullptr);
+    uint64_t f = 0, p = 0, b = 0;
+    EXPECT_FALSE(pf->GetDirectory(&f, &p, &b));
+  }
+  auto pf = PagedFile::Open(path);
+  ASSERT_NE(pf, nullptr);
+  uint64_t f = 0, p = 0, b = 0;
+  EXPECT_FALSE(pf->GetDirectory(&f, &p, &b));
+  std::remove(path.c_str());
+}
+
+TEST(ClusterFileStore, InjectedFaultsFailCleanlyAndRecover) {
+  const std::string path = TempPath("faults.pf");
+  SimDisk disk = SimDisk::Paper();
+  auto store = std::make_unique<ClusterFileStore>(
+      PagedFile::Create(path, 1024), 4, 0.25, &disk);
+  ASSERT_TRUE(store->Put(MakeImage(0, 4, 60, 1)));
+  ASSERT_TRUE(store->Put(MakeImage(1, 4, 40, 2)));
+  ASSERT_TRUE(store->SaveDirectory());
+  const uint64_t pages_before = store->file().pages_in_use();
+
+  // Every mutation fails while the device is down; nothing changes.
+  disk.FailAfter(0);
+  EXPECT_FALSE(store->Put(MakeImage(2, 4, 30, 3)));
+  float coords[8] = {0.1f, 0.2f, 0.1f, 0.2f, 0.1f, 0.2f, 0.1f, 0.2f};
+  EXPECT_FALSE(store->Append(0, 777, coords));
+  ClusterImage img;
+  EXPECT_FALSE(store->Get(0, &img));
+  EXPECT_FALSE(store->SaveDirectory());
+  EXPECT_EQ(store->cluster_count(), 2u);
+  EXPECT_EQ(store->file().pages_in_use(), pages_before);
+  EXPECT_GE(disk.faults_injected(), 4u);
+
+  // Back to life: reads see the pre-fault contents, writes go through.
+  disk.DisarmFaults();
+  ASSERT_TRUE(store->Get(0, &img));
+  EXPECT_EQ(img.ids.size(), 60u);
+  ASSERT_TRUE(store->Append(0, 777, coords));
+  ASSERT_TRUE(store->Put(MakeImage(2, 4, 30, 3)));
+  ASSERT_TRUE(store->SaveDirectory());
+
+  // And the file itself reloads with the post-recovery state.
+  store.reset();
+  auto reloaded = ClusterFileStore::Load(PagedFile::Open(path));
+  ASSERT_NE(reloaded, nullptr);
+  EXPECT_EQ(reloaded->cluster_count(), 3u);
+  ASSERT_TRUE(reloaded->Get(0, &img));
+  EXPECT_EQ(img.ids.size(), 61u);
+  EXPECT_EQ(img.ids.back(), 777u);
+  std::remove(path.c_str());
+}
+
+TEST(ClusterFileStore, FaultDuringIntermittentWritesKeepsDirectoryLoadable) {
+  // Arm a fault mid-stream: whatever fails, the last saved directory must
+  // keep loading a consistent snapshot.
+  const std::string path = TempPath("faults_mid.pf");
+  SimDisk disk = SimDisk::Paper();
+  {
+    auto store = std::make_unique<ClusterFileStore>(
+        PagedFile::Create(path, 1024), 4, 0.25, &disk);
+    for (ClusterId id = 0; id < 6; ++id) {
+      ASSERT_TRUE(store->Put(MakeImage(id, 4, 30 + id, id)));
+    }
+    ASSERT_TRUE(store->SaveDirectory());
+    disk.FailAfter(3);  // a few more ops succeed, then the device dies
+    for (ClusterId id = 6; id < 12; ++id) {
+      if (!store->Put(MakeImage(id, 4, 20, id))) break;
+    }
+    EXPECT_FALSE(store->SaveDirectory());
+  }  // crash with the old directory still the durable one
+  auto store = ClusterFileStore::Load(PagedFile::Open(path));
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->cluster_count(), 6u);
+  std::vector<ClusterImage> all;
+  ASSERT_TRUE(store->GetAll(&all));
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].ids.size(), 30u + i);
   }
   std::remove(path.c_str());
 }

@@ -1,0 +1,213 @@
+// Sharded matching parity: MatchBatch over K shards / N threads must return
+// byte-identical (ObjectId-sorted) match sets to the serial single-index
+// engine, for every partitioning policy.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "sdi/subscription_engine.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace accl {
+namespace {
+
+constexpr Dim kNd = 5;
+
+AttributeSchema UnitSchema(Dim nd = kNd) {
+  AttributeSchema s;
+  for (Dim d = 0; d < nd; ++d) {
+    s.AddAttribute("a" + std::to_string(d), 0.0, 1.0);
+  }
+  return s;
+}
+
+EngineOptions Opts(uint32_t shards, uint32_t threads,
+                   ShardingPolicy policy = ShardingPolicy::kHashId) {
+  EngineOptions o;
+  o.index.reorg_period = 40;
+  o.index.min_observation = 8;
+  o.shards = shards;
+  o.match_threads = threads;
+  o.sharding = policy;
+  return o;
+}
+
+std::vector<Event> MakeEvents(Rng& rng, size_t n) {
+  std::vector<Event> evs;
+  evs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.NextBool(0.5)) {
+      std::vector<float> pt(kNd);
+      for (auto& x : pt) x = rng.NextFloat();
+      evs.push_back(Event::Point(std::move(pt)));
+    } else {
+      evs.push_back(Event::Range(testutil::RandomBox(rng, kNd, 0.4f)));
+    }
+  }
+  return evs;
+}
+
+/// Drives the same seeded subscribe/unsubscribe/match-batch sequence
+/// through `engine` and returns every batch's matches, flattened.
+std::vector<std::vector<ObjectId>> DriveWorkload(SubscriptionEngine& engine,
+                                                 MatchPolicy policy,
+                                                 uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SubscriptionId> live;
+  std::vector<std::vector<ObjectId>> all_matches;
+  for (int round = 0; round < 12; ++round) {
+    for (int i = 0; i < 250; ++i) {
+      const SubscriptionId id =
+          engine.SubscribeBox(testutil::RandomBox(rng, kNd, 0.6f));
+      EXPECT_NE(id, kInvalidObject);
+      live.push_back(id);
+    }
+    for (int i = 0; i < 40 && live.size() > 1; ++i) {
+      const size_t victim = rng.NextBelow(live.size());
+      EXPECT_TRUE(engine.Unsubscribe(live[victim]));
+      live[victim] = live.back();
+      live.pop_back();
+    }
+    std::vector<Event> events = MakeEvents(rng, 32);
+    MatchBatchResult res;
+    engine.MatchBatch(Span<const Event>(events.data(), events.size()), policy,
+                      &res);
+    for (auto& m : res.matches) all_matches.push_back(std::move(m));
+  }
+  return all_matches;
+}
+
+TEST(ShardedEngine, MatchBatchParityAcrossShardAndThreadConfigs) {
+  for (const MatchPolicy policy :
+       {MatchPolicy::kIntersecting, MatchPolicy::kCovering}) {
+    SubscriptionEngine serial(UnitSchema(), Opts(1, 0));
+    const auto expected = DriveWorkload(serial, policy, 99);
+    const struct {
+      uint32_t shards, threads;
+      ShardingPolicy pol;
+    } configs[] = {
+        {4, 0, ShardingPolicy::kHashId},
+        {4, 4, ShardingPolicy::kHashId},
+        {3, 2, ShardingPolicy::kLeadingDimension},
+        {8, 8, ShardingPolicy::kHashId},
+    };
+    for (const auto& cfg : configs) {
+      SubscriptionEngine sharded(UnitSchema(),
+                                 Opts(cfg.shards, cfg.threads, cfg.pol));
+      const auto got = DriveWorkload(sharded, policy, 99);
+      ASSERT_EQ(got.size(), expected.size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i], expected[i])
+            << "batch event " << i << " shards=" << cfg.shards
+            << " threads=" << cfg.threads;
+      }
+    }
+  }
+}
+
+TEST(ShardedEngine, MatchBatchIsDeterministicAcrossRuns) {
+  SubscriptionEngine a(UnitSchema(), Opts(4, 4));
+  SubscriptionEngine b(UnitSchema(), Opts(4, 4));
+  const auto ra = DriveWorkload(a, MatchPolicy::kIntersecting, 7);
+  const auto rb = DriveWorkload(b, MatchPolicy::kIntersecting, 7);
+  EXPECT_EQ(ra, rb);
+}
+
+TEST(ShardedEngine, CustomPartitionerRoutesAndStaysCorrect) {
+  EngineOptions o = Opts(4, 2);
+  o.partitioner = [](SubscriptionId id, const Box&, uint32_t k) {
+    return (id / 3) % k;  // deliberately lumpy
+  };
+  SubscriptionEngine engine(UnitSchema(), o);
+  Rng rng(3);
+  std::vector<SubscriptionId> ids;
+  for (int i = 0; i < 200; ++i) {
+    ids.push_back(engine.SubscribeBox(testutil::RandomBox(rng, kNd, 0.5f)));
+  }
+  for (const SubscriptionId id : ids) {
+    EXPECT_EQ(engine.ShardOf(id), ((id / 3) % 4));
+  }
+  // Full-domain subscription must be found by any event.
+  const SubscriptionId all = engine.SubscribeBox(Box::FullDomain(kNd));
+  std::vector<float> pt(kNd, 0.5f);
+  std::vector<Event> evs = {Event::Point(std::move(pt))};
+  MatchBatchResult res;
+  engine.MatchBatch(Span<const Event>(evs.data(), evs.size()), &res);
+  ASSERT_EQ(res.matches.size(), 1u);
+  EXPECT_TRUE(std::binary_search(res.matches[0].begin(),
+                                 res.matches[0].end(), all));
+}
+
+TEST(ShardedEngine, PerShardMetricsAggregateToTotal) {
+  SubscriptionEngine engine(UnitSchema(), Opts(4, 4));
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    engine.SubscribeBox(testutil::RandomBox(rng, kNd, 0.5f));
+  }
+  std::vector<Event> events = MakeEvents(rng, 64);
+  MatchBatchResult res;
+  engine.MatchBatch(Span<const Event>(events.data(), events.size()), &res);
+  ASSERT_EQ(res.per_shard.size(), 4u);
+  uint64_t verified = 0, results = 0;
+  for (const ShardMetrics& sm : res.per_shard) {
+    EXPECT_EQ(sm.executions, events.size());  // every shard sees every event
+    verified += sm.totals.objects_verified;
+    results += sm.totals.result_count;
+  }
+  EXPECT_EQ(res.total.objects_verified, verified);
+  EXPECT_EQ(res.total.result_count, results);
+  uint64_t merged = 0;
+  for (const auto& m : res.matches) merged += m.size();
+  EXPECT_EQ(merged, results);
+  // Every shard indexes its slice: subscription counts add up.
+  const auto infos = engine.GetShardInfos();
+  size_t subs = 0;
+  for (const auto& info : infos) subs += info.subscriptions;
+  EXPECT_EQ(subs, engine.subscription_count());
+  EXPECT_EQ(subs, 1000u);
+}
+
+TEST(ShardedEngine, SingleEventMatchAgreesWithBatch) {
+  SubscriptionEngine engine(UnitSchema(), Opts(4, 0));
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    engine.SubscribeBox(testutil::RandomBox(rng, kNd, 0.5f));
+  }
+  std::vector<Event> events = MakeEvents(rng, 8);
+  // Two identical engines: Match and MatchBatch mutate adaptation state, so
+  // parity needs fresh state for each path.
+  SubscriptionEngine engine2(UnitSchema(), Opts(4, 0));
+  Rng rng2(17);
+  for (int i = 0; i < 500; ++i) {
+    engine2.SubscribeBox(testutil::RandomBox(rng2, kNd, 0.5f));
+  }
+  MatchBatchResult res;
+  engine.MatchBatch(Span<const Event>(events.data(), events.size()), &res);
+  for (size_t e = 0; e < events.size(); ++e) {
+    std::vector<SubscriptionId> single;
+    engine2.Match(events[e], &single);
+    EXPECT_EQ(testutil::Sorted(std::move(single)), res.matches[e]);
+  }
+  EXPECT_EQ(engine.stats().events_processed, events.size());
+}
+
+TEST(ShardedEngine, LeadingDimensionPartitionSpreadsByGeometry) {
+  SubscriptionEngine engine(UnitSchema(),
+                            Opts(4, 0, ShardingPolicy::kLeadingDimension));
+  Box low(kNd), high(kNd);
+  for (Dim d = 0; d < kNd; ++d) {
+    low.set(d, 0.0f, 0.1f);
+    high.set(d, 0.9f, 1.0f);
+  }
+  const SubscriptionId lo_id = engine.SubscribeBox(low);
+  const SubscriptionId hi_id = engine.SubscribeBox(high);
+  EXPECT_EQ(engine.ShardOf(lo_id), 0u);
+  EXPECT_EQ(engine.ShardOf(hi_id), 3u);
+  EXPECT_EQ(engine.ShardOf(12345u), engine.shard_count());  // unknown id
+}
+
+}  // namespace
+}  // namespace accl
