@@ -12,6 +12,14 @@
 //     is deterministic and hardware-independent, which is what makes the
 //     scaling trajectory trackable across commits.
 //
+// A second scenario stresses dispatch selectivity under skew: subscriptions
+// and events draw their leading-dimension position from a Zipf bin
+// distribution and are compared across three dispatch modes — broadcast
+// (kHashId), range-routed (kRange), and range-routed with online
+// rebalancing — on shard visits per event, wall throughput, and the
+// LPT-simulated cost. The per-event match digest must be identical across
+// modes (routing and rebalancing are not allowed to change answers).
+//
 // Emits BENCH_parallel.json (override path with ACCL_PARSDI_JSON, disable
 // with an empty value) and prints the same numbers as a table.
 #include <algorithm>
@@ -22,6 +30,7 @@
 #include <vector>
 
 #include "sdi/subscription_engine.h"
+#include "util/digest.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -86,14 +95,6 @@ struct RunResult {
   uint64_t match_digest;  ///< FNV over (event index, sorted ids)
 };
 
-uint64_t Fnv1a(uint64_t h, uint64_t x) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (x >> (8 * i)) & 0xFF;
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
 RunResult RunAtThreads(size_t threads, size_t subs, size_t n_events,
                        size_t batch, uint32_t shards) {
   EngineOptions opts;
@@ -112,7 +113,7 @@ RunResult RunAtThreads(size_t threads, size_t subs, size_t n_events,
   }
   const std::vector<Event> events = MakeEvents(43, n_events);
 
-  RunResult r{threads, 0.0, 0.0, 0, 14695981039346656037ull};
+  RunResult r{threads, 0.0, 0.0, 0, kFnvOffsetBasis};
   MatchBatchResult res;
   size_t event_index = 0;
   for (size_t off = 0; off < events.size(); off += batch) {
@@ -136,6 +137,121 @@ RunResult RunAtThreads(size_t threads, size_t subs, size_t n_events,
       for (const ObjectId id : m) r.match_digest = Fnv1a(r.match_digest, id);
     }
   }
+  return r;
+}
+
+// ---- Skewed (Zipf leading-dimension) dispatch-selectivity scenario ----
+
+constexpr size_t kZipfBins = 64;
+constexpr double kZipfS = 1.1;
+
+/// Sets dim 0 of `b` to a small interval inside a Zipf-hot bin — the
+/// leading-dimension hot spot both the subscription and event makers
+/// share.
+void SetZipfDim0(Box* b, Rng& rng, const ZipfDistribution& zipf) {
+  const float bin = static_cast<float>(zipf.Sample(rng));
+  const float cell = 1.0f / static_cast<float>(kZipfBins);
+  const float len = 0.6f * cell * rng.NextFloat();
+  const float start = bin * cell + (cell - len) * rng.NextFloat();
+  b->set(0, start, start + len);
+}
+
+/// A subscription whose dim-0 interval lands in a Zipf-hot bin; remaining
+/// dimensions are the uniform workload.
+Box SkewedSubscription(Rng& rng, const ZipfDistribution& zipf) {
+  Box b(kNd);
+  SetZipfDim0(&b, rng, zipf);
+  for (Dim d = 1; d < kNd; ++d) {
+    const float dlen = 0.25f * rng.NextFloat();
+    const float dstart = (1.0f - dlen) * rng.NextFloat();
+    b.set(d, dstart, dstart + dlen);
+  }
+  return b;
+}
+
+std::vector<Event> MakeSkewedEvents(uint64_t seed, size_t n,
+                                    const ZipfDistribution& zipf) {
+  Rng rng(seed);
+  std::vector<Event> evs;
+  evs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Box b(kNd);
+    SetZipfDim0(&b, rng, zipf);
+    for (Dim d = 1; d < kNd; ++d) {
+      const float len = 0.15f * rng.NextFloat();
+      const float start = (1.0f - len) * rng.NextFloat();
+      b.set(d, start, start + len);
+    }
+    evs.push_back(Event::Range(std::move(b)));
+  }
+  return evs;
+}
+
+struct SkewedResult {
+  const char* mode;
+  double wall_ms = 0.0;
+  double sim_ms = 0.0;
+  uint64_t shard_visits = 0;
+  uint64_t total_matches = 0;
+  uint64_t match_digest = kFnvOffsetBasis;
+  uint64_t boundary_moves = 0;
+  uint64_t migrated = 0;
+};
+
+SkewedResult RunSkewedMode(const char* mode, ShardingPolicy policy,
+                           uint32_t rebalance_period, size_t threads,
+                           size_t subs, size_t n_events, size_t batch,
+                           uint32_t shards) {
+  EngineOptions opts;
+  opts.index.reorg_period = 100;
+  opts.default_policy = MatchPolicy::kIntersecting;
+  opts.shards = shards;
+  opts.match_threads = static_cast<uint32_t>(threads);
+  opts.sharding = policy;
+  opts.rebalance_period = rebalance_period;
+  opts.rebalance_trigger_ratio = 1.3;
+  opts.rebalance_min_load = 1024;
+  AttributeSchema schema;
+  for (Dim d = 0; d < kNd; ++d) {
+    schema.AddAttribute("a" + std::to_string(d), 0.0, 1.0);
+  }
+  SubscriptionEngine engine(std::move(schema), opts);
+
+  const ZipfDistribution zipf(kZipfBins, kZipfS);
+  Rng rng(1042);
+  std::vector<Box> boxes;
+  boxes.reserve(subs);
+  for (size_t i = 0; i < subs; ++i) {
+    boxes.push_back(SkewedSubscription(rng, zipf));
+  }
+  std::vector<SubscriptionId> ids;
+  engine.SubscribeBatch(Span<const Box>(boxes.data(), boxes.size()), &ids);
+  const std::vector<Event> events = MakeSkewedEvents(1043, n_events, zipf);
+
+  SkewedResult r;
+  r.mode = mode;
+  MatchBatchResult res;
+  size_t event_index = 0;
+  for (size_t off = 0; off < events.size(); off += batch) {
+    const size_t ne = std::min(batch, events.size() - off);
+    WallTimer wall;
+    engine.MatchBatch(Span<const Event>(events.data() + off, ne), &res);
+    r.wall_ms += wall.ElapsedMs();
+    std::vector<double> shard_costs;
+    shard_costs.reserve(res.per_shard.size());
+    for (const ShardMetrics& sm : res.per_shard) {
+      shard_costs.push_back(sm.totals.sim_time_ms);
+    }
+    r.sim_ms += Makespan(std::move(shard_costs), threads);
+    r.shard_visits += res.TotalShardVisits();
+    for (const auto& m : res.matches) {
+      r.total_matches += m.size();
+      r.match_digest = Fnv1a(r.match_digest, event_index++);
+      for (const ObjectId id : m) r.match_digest = Fnv1a(r.match_digest, id);
+    }
+  }
+  r.boundary_moves = engine.rebalance_stats().boundary_moves;
+  r.migrated = engine.rebalance_stats().subscriptions_migrated;
   return r;
 }
 
@@ -182,6 +298,51 @@ int main() {
                 base_sim / r.sim_ms);
   }
 
+  // ---- Skewed dispatch-selectivity scenario ----
+  const size_t sk_subs = EnvSize("ACCL_PARSDI_SKEW_SUBS", 20000);
+  const size_t sk_events = EnvSize("ACCL_PARSDI_SKEW_EVENTS", 2048);
+  const size_t sk_threads = EnvSize("ACCL_PARSDI_SKEW_THREADS", 4);
+  std::printf(
+      "\nskewed (Zipf dim-0): %zu subscriptions, %zu events, %u shards, "
+      "%zu threads\n",
+      sk_subs, sk_events, shards, sk_threads);
+  std::printf("%20s %12s %14s %12s %14s %8s %9s\n", "mode", "wall ms",
+              "wall ev/s", "sim ms", "visits/ev", "moves", "migrated");
+  const SkewedResult skewed[] = {
+      RunSkewedMode("broadcast", ShardingPolicy::kHashId, 0, sk_threads,
+                    sk_subs, sk_events, batch, shards),
+      RunSkewedMode("routed", ShardingPolicy::kRange, 0, sk_threads, sk_subs,
+                    sk_events, batch, shards),
+      RunSkewedMode("routed+rebalance", ShardingPolicy::kRange, 256,
+                    sk_threads, sk_subs, sk_events, batch, shards),
+  };
+  for (const SkewedResult& r : skewed) {
+    std::printf("%20s %12.1f %14.0f %12.1f %14.2f %8llu %9llu\n", r.mode,
+                r.wall_ms,
+                1000.0 * static_cast<double>(sk_events) / r.wall_ms, r.sim_ms,
+                static_cast<double>(r.shard_visits) /
+                    static_cast<double>(sk_events),
+                static_cast<unsigned long long>(r.boundary_moves),
+                static_cast<unsigned long long>(r.migrated));
+    if (r.match_digest != skewed[0].match_digest ||
+        r.total_matches != skewed[0].total_matches) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: skewed mode %s digest %016llx vs "
+                   "broadcast %016llx\n",
+                   r.mode, static_cast<unsigned long long>(r.match_digest),
+                   static_cast<unsigned long long>(skewed[0].match_digest));
+      return 1;
+    }
+  }
+  if (skewed[1].shard_visits >= skewed[0].shard_visits) {
+    std::fprintf(stderr,
+                 "SELECTIVITY REGRESSION: routed dispatch visited %llu "
+                 "shard-events, broadcast %llu\n",
+                 static_cast<unsigned long long>(skewed[1].shard_visits),
+                 static_cast<unsigned long long>(skewed[0].shard_visits));
+    return 1;
+  }
+
   const char* path = std::getenv("ACCL_PARSDI_JSON");
   if (path == nullptr) path = "BENCH_parallel.json";
   if (*path == '\0') return 0;
@@ -214,7 +375,31 @@ int main() {
         1000.0 * static_cast<double>(n_events) / r.sim_ms,
         base_sim / r.sim_ms, i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f,
+               "  ],\n  \"skewed\": {\n    \"subscriptions\": %zu,\n"
+               "    \"events\": %zu,\n    \"threads\": %zu,\n"
+               "    \"zipf_bins\": %zu,\n    \"zipf_s\": %.2f,\n"
+               "    \"matches\": %llu,\n    \"match_digest\": \"%016llx\",\n"
+               "    \"modes\": [\n",
+               sk_subs, sk_events, sk_threads, kZipfBins, kZipfS,
+               static_cast<unsigned long long>(skewed[0].total_matches),
+               static_cast<unsigned long long>(skewed[0].match_digest));
+  for (size_t i = 0; i < 3; ++i) {
+    const SkewedResult& r = skewed[i];
+    std::fprintf(
+        f,
+        "      {\"mode\": \"%s\", \"wall_ms\": %.3f, "
+        "\"wall_events_per_sec\": %.1f, \"sim_ms\": %.3f, "
+        "\"shard_visits_per_event\": %.3f, \"boundary_moves\": %llu, "
+        "\"subscriptions_migrated\": %llu}%s\n",
+        r.mode, r.wall_ms,
+        1000.0 * static_cast<double>(sk_events) / r.wall_ms, r.sim_ms,
+        static_cast<double>(r.shard_visits) /
+            static_cast<double>(sk_events),
+        static_cast<unsigned long long>(r.boundary_moves),
+        static_cast<unsigned long long>(r.migrated), i + 1 < 3 ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  }\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path);
   return 0;

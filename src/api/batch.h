@@ -2,41 +2,20 @@
 //
 // The SDI engine's batched API fans one span of events across K index
 // shards and merges per-shard answers deterministically; these are the
-// transport types for that path: a minimal C++17 span (std::span is C++20),
-// the per-batch result carrying ObjectId-sorted match sets, and the
-// per-shard metrics aggregation the benchmarks and tests consume.
+// transport types for that path: the per-batch result carrying
+// ObjectId-sorted match sets and the per-shard metrics aggregation the
+// benchmarks and tests consume. (Span itself lives in api/span.h so
+// lower layers can use it without these types.)
 #pragma once
 
 #include <cstddef>
-#include <utility>
 #include <vector>
 
 #include "api/metrics.h"
+#include "api/span.h"
 #include "api/types.h"
 
 namespace accl {
-
-/// Non-owning contiguous view (std::span subset; C++17).
-template <typename T>
-class Span {
- public:
-  constexpr Span() = default;
-  constexpr Span(T* data, size_t size) : data_(data), size_(size) {}
-  /// From any contiguous container with data()/size() (vector, array).
-  template <typename C, typename = decltype(std::declval<C&>().data())>
-  constexpr Span(C& c) : data_(c.data()), size_(c.size()) {}  // NOLINT
-
-  constexpr T* data() const { return data_; }
-  constexpr size_t size() const { return size_; }
-  constexpr bool empty() const { return size_ == 0; }
-  constexpr T& operator[](size_t i) const { return data_[i]; }
-  constexpr T* begin() const { return data_; }
-  constexpr T* end() const { return data_ + size_; }
-
- private:
-  T* data_ = nullptr;
-  size_t size_ = 0;
-};
 
 /// Aggregated execution metrics of one shard over a batch (or a lifetime):
 /// the shard's summed QueryMetrics plus how many event×shard executions
@@ -44,6 +23,13 @@ class Span {
 struct ShardMetrics {
   QueryMetrics totals;
   uint64_t executions = 0;
+  /// Events dispatched to this shard by the batch router. Broadcast
+  /// policies route every event to every shard, so this equals the batch
+  /// size; range-routed dispatch visits only the shards whose key slice an
+  /// event overlaps (plus the overflow shard), so summing this across
+  /// shards measures routing selectivity — shard-visits per event — which
+  /// is the quantity the routed engine exists to shrink.
+  uint64_t events_routed = 0;
 
   void Add(const QueryMetrics& m) {
     totals += m;
@@ -52,6 +38,7 @@ struct ShardMetrics {
   void Merge(const ShardMetrics& o) {
     totals += o.totals;
     executions += o.executions;
+    events_routed += o.events_routed;
   }
   void Clear() { *this = ShardMetrics(); }
 };
@@ -77,6 +64,15 @@ struct MatchBatchResult {
   void AggregateShards() {
     total.Clear();
     for (const ShardMetrics& s : per_shard) total += s.totals;
+  }
+
+  /// Total shard visits the router dispatched for this batch. Broadcast
+  /// dispatch pays events × shards; range-routed dispatch strictly less on
+  /// selective workloads.
+  uint64_t TotalShardVisits() const {
+    uint64_t v = 0;
+    for (const ShardMetrics& s : per_shard) v += s.events_routed;
+    return v;
   }
 };
 

@@ -1,0 +1,34 @@
+// A minimal non-owning contiguous view (std::span subset; C++17 — the
+// project predates std::span). Lives alone so low-level consumers
+// (core bulk APIs, exec queues) can take spans without pulling in the
+// sharded-engine batch types.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+namespace accl {
+
+/// Non-owning contiguous view.
+template <typename T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(T* data, size_t size) : data_(data), size_(size) {}
+  /// From any contiguous container with data()/size() (vector, array).
+  template <typename C, typename = decltype(std::declval<C&>().data())>
+  constexpr Span(C& c) : data_(c.data()), size_(c.size()) {}  // NOLINT
+
+  constexpr T* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr T& operator[](size_t i) const { return data_[i]; }
+  constexpr T* begin() const { return data_; }
+  constexpr T* end() const { return data_ + size_; }
+
+ private:
+  T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace accl

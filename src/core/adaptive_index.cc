@@ -103,6 +103,25 @@ void AdaptiveIndex::Insert(ObjectId id, BoxView box) {
   ++object_count_;
 }
 
+void AdaptiveIndex::BulkInsert(Span<const ObjectId> ids,
+                               Span<const float> coords) {
+  const size_t stride = 2 * static_cast<size_t>(cfg_.nd);
+  ACCL_CHECK(coords.size() == ids.size() * stride);
+  owner_.reserve(owner_.size() + ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    Insert(ids[i], BoxView(coords.data() + i * stride, cfg_.nd));
+  }
+}
+
+void AdaptiveIndex::ForEachObject(
+    const std::function<void(ObjectId, BoxView)>& fn) const {
+  for (const auto& up : clusters_) {
+    if (!up) continue;
+    const size_t n = up->size();
+    for (size_t i = 0; i < n; ++i) fn(up->objects.id(i), up->objects.box(i));
+  }
+}
+
 bool AdaptiveIndex::Erase(ObjectId id) {
   auto it = owner_.find(id);
   if (it == owner_.end()) return false;

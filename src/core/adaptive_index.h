@@ -16,11 +16,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "api/span.h"
 #include "api/spatial_index.h"
 #include "core/cluster.h"
 #include "core/signature_table.h"
@@ -105,6 +107,21 @@ class AdaptiveIndex : public SpatialIndex {
   Dim dims() const override { return cfg_.nd; }
   void Insert(ObjectId id, BoxView box) override;
   bool Erase(ObjectId id) override;
+
+  /// Bulk insert: `ids[i]` with coordinates `coords[2*nd*i .. 2*nd*(i+1))`.
+  /// Placement is identical to calling Insert once per object in order —
+  /// the entry point exists so shard migration and batched Subscribe can
+  /// amortize the owner-map growth over the whole group instead of paying
+  /// incremental rehashes per object.
+  void BulkInsert(Span<const ObjectId> ids, Span<const float> coords);
+
+  /// Visits every live object as (id, box view). Iteration order is
+  /// cluster-table order, slot order within a cluster — deterministic for a
+  /// deterministic operation history. The views are only valid inside the
+  /// callback; callers needing the coordinates must copy them.
+  void ForEachObject(
+      const std::function<void(ObjectId, BoxView)>& fn) const;
+
   void Execute(const Query& q, std::vector<ObjectId>* out,
                QueryMetrics* metrics = nullptr) override;
   size_t size() const override { return object_count_; }

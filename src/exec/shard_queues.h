@@ -1,0 +1,93 @@
+// Per-shard work queues for routed dispatch.
+//
+// The sharded SDI engine used to fan *every* item to *every* shard; with
+// range-routed dispatch each item names only the shards it must visit, so
+// the fan-out needs a per-shard queue of item indices instead of the whole
+// batch. ShardQueues builds those queues in CSR layout (one flat item
+// array plus per-shard offsets) with a two-pass counting sort: routing is
+// evaluated exactly once per item, queues come out in ascending item order
+// (which is what keeps the shard-side execution sequence — and therefore
+// the per-shard adaptation — deterministic), and a K-shard broadcast costs
+// one allocation instead of K vectors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace accl::exec {
+
+/// CSR-packed per-shard queues of item indices. Build once per batch, read
+/// concurrently (the structure is immutable after Build).
+class ShardQueues {
+ public:
+  /// Routes items 0..n_items-1 across n_shards queues. `route(i, &targets)`
+  /// appends the target shard id(s) of item `i` (duplicates are kept —
+  /// callers emit each target once). Each queue ends up in ascending item
+  /// order.
+  template <typename RouteFn>
+  void Build(size_t n_items, size_t n_shards, RouteFn&& route) {
+    Reset(n_shards);
+    // Pass 1: evaluate routing once per item into a flat (offsets, targets)
+    // image, counting per-shard queue lengths as we go.
+    std::vector<size_t> route_offsets(n_items + 1, 0);
+    std::vector<uint32_t> route_targets;
+    std::vector<uint32_t> scratch;
+    for (size_t i = 0; i < n_items; ++i) {
+      scratch.clear();
+      route(i, &scratch);
+      for (const uint32_t s : scratch) {
+        ACCL_CHECK(s < n_shards);
+        ++offsets_[s + 1];
+        route_targets.push_back(s);
+      }
+      route_offsets[i + 1] = route_targets.size();
+    }
+    // Pass 2: prefix-sum the counts into offsets, then scatter item indices
+    // in item order — a stable counting sort by shard.
+    for (size_t s = 0; s < n_shards; ++s) offsets_[s + 1] += offsets_[s];
+    items_.resize(route_targets.size());
+    std::vector<size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (size_t i = 0; i < n_items; ++i) {
+      for (size_t r = route_offsets[i]; r < route_offsets[i + 1]; ++r) {
+        items_[cursor[route_targets[r]]++] = static_cast<uint32_t>(i);
+      }
+    }
+  }
+
+  /// Every item goes to every shard (the classic broadcast fan-out).
+  void BuildBroadcast(size_t n_items, size_t n_shards) {
+    Reset(n_shards);
+    items_.resize(n_items * n_shards);
+    for (size_t s = 0; s < n_shards; ++s) {
+      offsets_[s + 1] = offsets_[s] + n_items;
+      for (size_t i = 0; i < n_items; ++i) {
+        items_[offsets_[s] + i] = static_cast<uint32_t>(i);
+      }
+    }
+  }
+
+  size_t shard_count() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  /// Queue length of `shard`.
+  size_t size(size_t shard) const {
+    return offsets_[shard + 1] - offsets_[shard];
+  }
+  /// Total routed (item, shard) visits across all queues.
+  size_t total() const { return items_.size(); }
+  /// Queue of `shard`: item indices, ascending.
+  const uint32_t* items(size_t shard) const {
+    return items_.data() + offsets_[shard];
+  }
+
+ private:
+  void Reset(size_t n_shards) {
+    offsets_.assign(n_shards + 1, 0);
+    items_.clear();
+  }
+
+  std::vector<size_t> offsets_;  ///< per-shard [begin, end) into items_
+  std::vector<uint32_t> items_;  ///< concatenated queues
+};
+
+}  // namespace accl::exec

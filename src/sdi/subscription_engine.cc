@@ -1,12 +1,29 @@
 #include "sdi/subscription_engine.h"
 
 #include <algorithm>
+#include <numeric>
 
+#include "exec/shard_queues.h"
 #include "util/check.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
 namespace accl {
+
+namespace {
+
+/// Slice of coordinate `x` under the interior fences: the index of the
+/// first fence strictly greater than `x`. A coordinate exactly on a fence
+/// therefore belongs to the slice on the fence's right, which is also what
+/// makes routing exact for touching intervals: an event ending exactly on
+/// a fence still routes to the right slice, whose subscriptions may start
+/// exactly there.
+uint32_t SliceOf(const std::vector<float>& bounds, float x) {
+  return static_cast<uint32_t>(
+      std::upper_bound(bounds.begin(), bounds.end(), x) - bounds.begin());
+}
+
+}  // namespace
 
 Event Event::Point(std::vector<float> normalized_point) {
   Event e;
@@ -32,6 +49,28 @@ SubscriptionEngine::SubscriptionEngine(AttributeSchema schema,
   for (uint32_t s = 0; s < options_.shards; ++s) {
     shards_.push_back(std::make_unique<Shard>(options_.index));
   }
+  if (options_.sharding == ShardingPolicy::kRange && !options_.partitioner) {
+    // K-1 range shards plus the overflow shard: the smallest useful K is 2.
+    ACCL_CHECK(options_.shards >= 2);
+    range_routed_ = true;
+    const uint32_t rk = options_.shards - 1;  // range shards
+    if (!options_.range_boundaries.empty()) {
+      ACCL_CHECK(options_.range_boundaries.size() ==
+                 static_cast<size_t>(rk) - 1);
+      for (size_t i = 1; i < options_.range_boundaries.size(); ++i) {
+        ACCL_CHECK(options_.range_boundaries[i - 1] <
+                   options_.range_boundaries[i]);
+      }
+      bounds_ = options_.range_boundaries;
+    } else {
+      for (uint32_t i = 1; i < rk; ++i) {
+        bounds_.push_back(kDomainMin +
+                          (kDomainMax - kDomainMin) * static_cast<float>(i) /
+                              static_cast<float>(rk));
+      }
+    }
+  }
+  routed_at_reset_.assign(options_.shards, 0);
   // ParallelFor includes the calling thread, so N-way matching needs N-1
   // workers; 0 or 1 requested threads means no pool at all.
   if (options_.match_threads > 1) {
@@ -39,8 +78,32 @@ SubscriptionEngine::SubscriptionEngine(AttributeSchema schema,
   }
 }
 
-uint32_t SubscriptionEngine::ShardFor(SubscriptionId id,
-                                      const Box& box) const {
+uint32_t SubscriptionEngine::RangeShardFor(const std::vector<float>& bounds,
+                                           float lo0, float hi0) const {
+  const uint32_t a = SliceOf(bounds, lo0);
+  const uint32_t b = SliceOf(bounds, hi0);
+  return a == b ? a : static_cast<uint32_t>(shards_.size() - 1);
+}
+
+void SubscriptionEngine::RouteEvent(const std::vector<float>& bounds,
+                                    const Box& box,
+                                    std::vector<uint32_t>* out) const {
+  // The slice span of the event's leading-dimension interval, then the
+  // overflow shard (always last; its id K-1 exceeds every slice shard's, so
+  // the route list stays ascending).
+  const uint32_t a = SliceOf(bounds, box.lo(0));
+  const uint32_t b = SliceOf(bounds, box.hi(0));
+  for (uint32_t s = a; s <= b; ++s) out->push_back(s);
+  out->push_back(static_cast<uint32_t>(shards_.size() - 1));
+}
+
+std::vector<float> SubscriptionEngine::SnapshotBounds() const {
+  std::lock_guard<std::mutex> lk(route_mu_);
+  return bounds_;
+}
+
+uint32_t SubscriptionEngine::ShardFor(SubscriptionId id, const Box& box,
+                                      const std::vector<float>& bounds) const {
   const uint32_t k = static_cast<uint32_t>(shards_.size());
   if (k == 1) return 0;
   if (options_.partitioner) return options_.partitioner(id, box, k) % k;
@@ -52,6 +115,8 @@ uint32_t SubscriptionEngine::ShardFor(SubscriptionId id,
       return std::min(k - 1, static_cast<uint32_t>(
                                  clamped * static_cast<float>(k)));
     }
+    case ShardingPolicy::kRange:
+      return RangeShardFor(bounds, box.lo(0), box.hi(0));
     case ShardingPolicy::kHashId:
       break;
   }
@@ -73,11 +138,24 @@ SubscriptionId SubscriptionEngine::SubscribeBox(const Box& box) {
     std::lock_guard<std::mutex> lk(meta_mu_);
     id = next_id_++;
   }
-  const uint32_t s = ShardFor(id, box);
+  // kRange holds the rebalance lock from target choice through owner-map
+  // publish: a boundary change (publish + migration scan, which runs
+  // entirely under rebalance_mu_) is then serialized either before this
+  // subscription (so we route with the new table) or after it (so its
+  // migration scan sees our insert). route_mu_ itself stays a short
+  // snapshot lock, so concurrent matching never stalls behind an insert.
+  std::unique_lock<std::mutex> rebalance_lk;
+  std::vector<float> bounds;
+  if (range_routed_) {
+    rebalance_lk = std::unique_lock<std::mutex>(rebalance_mu_);
+    bounds = SnapshotBounds();
+  }
+  const uint32_t s = ShardFor(id, box, bounds);
   {
     std::lock_guard<std::mutex> lk(shards_[s]->mu);
     shards_[s]->index->Insert(id, box.view());
   }
+  shards_[s]->subs.fetch_add(1, std::memory_order_relaxed);
   // Publish the owner mapping only after the insert: nobody can hold this
   // id yet, and Unsubscribe consults the map first. The count bumps inside
   // the same critical section — once the map entry exists the id is
@@ -88,6 +166,68 @@ SubscriptionId SubscriptionEngine::SubscribeBox(const Box& box) {
     subscription_count_.fetch_add(1, std::memory_order_relaxed);
   }
   return id;
+}
+
+void SubscriptionEngine::SubscribeBatch(Span<const Box> boxes,
+                                        std::vector<SubscriptionId>* out) {
+  const size_t n = boxes.size();
+  out->clear();
+  if (n == 0) return;
+  for (const Box& b : boxes) ACCL_CHECK(b.dims() == schema_.dims());
+  SubscriptionId first;
+  {
+    // One id-allocation critical section for the whole batch.
+    std::lock_guard<std::mutex> lk(meta_mu_);
+    first = next_id_;
+    next_id_ += static_cast<SubscriptionId>(n);
+  }
+  out->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(first + static_cast<SubscriptionId>(i));
+  }
+
+  // Same rebalance-lock discipline as SubscribeBox, held across the whole
+  // grouped insert so a boundary change serializes entirely before or
+  // after the batch; matching only needs route_mu_, which is not held
+  // here, so it proceeds throughout.
+  std::unique_lock<std::mutex> rebalance_lk;
+  if (range_routed_) {
+    rebalance_lk = std::unique_lock<std::mutex>(rebalance_mu_);
+  }
+
+  // Group per target shard; each queue keeps batch order, so the per-shard
+  // insert sequences are exactly the subsequences a SubscribeBox loop
+  // would have produced.
+  const std::vector<float> bounds = SnapshotBounds();
+  exec::ShardQueues queues;
+  queues.Build(n, shards_.size(), [&](size_t i, std::vector<uint32_t>* t) {
+    t->push_back(
+        ShardFor(first + static_cast<SubscriptionId>(i), boxes[i], bounds));
+  });
+
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const size_t nq = queues.size(s);
+    if (nq == 0) continue;
+    const uint32_t* items = queues.items(s);
+    // One shard-lock acquisition per target shard — the whole point.
+    std::lock_guard<std::mutex> lk(shards_[s]->mu);
+    for (size_t j = 0; j < nq; ++j) {
+      shards_[s]->index->Insert(first + items[j], boxes[items[j]].view());
+    }
+    shards_[s]->subs.fetch_add(nq, std::memory_order_relaxed);
+  }
+  {
+    // One owner-map publish for the whole batch.
+    std::lock_guard<std::mutex> lk(meta_mu_);
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      const size_t nq = queues.size(s);
+      const uint32_t* items = queues.items(s);
+      for (size_t j = 0; j < nq; ++j) {
+        shard_of_.emplace(first + items[j], static_cast<uint32_t>(s));
+      }
+    }
+    subscription_count_.fetch_add(n, std::memory_order_relaxed);
+  }
 }
 
 bool SubscriptionEngine::Unsubscribe(SubscriptionId id) {
@@ -105,8 +245,11 @@ bool SubscriptionEngine::Unsubscribe(SubscriptionId id) {
     erased = shards_[s]->index->Erase(id);
   }
   // The owner map is the single source of truth for liveness; a mapped id
-  // must exist in its shard.
+  // must exist in its shard. (A migration racing this call either re-homed
+  // the id before our map read — then `s` is the new shard — or observes
+  // the missing map entry and skips the id, so the erase cannot go stale.)
   ACCL_CHECK(erased);
+  shards_[s]->subs.fetch_sub(1, std::memory_order_relaxed);
   subscription_count_.fetch_sub(1, std::memory_order_relaxed);
   return true;
 }
@@ -123,9 +266,19 @@ std::vector<SubscriptionEngine::ShardInfo> SubscriptionEngine::GetShardInfos()
   infos.reserve(shards_.size());
   for (const auto& sh : shards_) {
     std::lock_guard<std::mutex> lk(sh->mu);
-    infos.push_back(ShardInfo{sh->index->size(), sh->index->cluster_count()});
+    infos.push_back(ShardInfo{sh->index->size(), sh->index->cluster_count(),
+                              sh->routed.load(std::memory_order_relaxed)});
   }
   return infos;
+}
+
+std::vector<float> SubscriptionEngine::GetRangeBoundaries() const {
+  return SnapshotBounds();
+}
+
+uint64_t SubscriptionEngine::routing_version() const {
+  std::lock_guard<std::mutex> lk(route_mu_);
+  return routing_version_;
 }
 
 Relation SubscriptionEngine::RelationFor(const Event& event,
@@ -157,14 +310,23 @@ void SubscriptionEngine::Match(const Event& event, MatchPolicy policy,
   WallTimer t;
   size_t matched = 0;
   size_t verified = 0;
-  for (const auto& sh : shards_) {
+  const auto run = [&](Shard& sh) {
+    sh.routed.fetch_add(1, std::memory_order_relaxed);
     QueryMetrics m;
-    std::lock_guard<std::mutex> lk(sh->mu);
-    sh->index->Execute(q, out, &m);
+    std::lock_guard<std::mutex> lk(sh.mu);
+    sh.index->Execute(q, out, &m);
     matched += m.result_count;
     verified += m.objects_verified;
+  };
+  if (range_routed_) {
+    std::vector<uint32_t> route;
+    RouteEvent(SnapshotBounds(), event.box, &route);
+    for (const uint32_t s : route) run(*shards_[s]);
+  } else {
+    for (const auto& sh : shards_) run(*sh);
   }
   RecordEvent(matched, verified, t.ElapsedMs());
+  MaybeAutoRebalance(1);
 }
 
 void SubscriptionEngine::MatchBatch(Span<const Event> events,
@@ -183,33 +345,53 @@ void SubscriptionEngine::MatchBatch(Span<const Event> events,
   if (ne == 0) return;
   WallTimer t;
 
-  // Per-shard scratch: one flat id vector with per-event offsets (cheaper
-  // than ne vectors per shard) plus per-event verified counts for the
-  // engine statistics.
+  // Per-shard work queues. Broadcast policies enqueue every event on every
+  // shard; kRange asks the router, under one boundary snapshot for the
+  // whole batch, which shards each event's box overlaps.
+  exec::ShardQueues queues;
+  if (range_routed_) {
+    const std::vector<float> bounds = SnapshotBounds();
+    queues.Build(ne, k, [&](size_t e, std::vector<uint32_t>* targets) {
+      RouteEvent(bounds, events[e].box, targets);
+    });
+  } else {
+    queues.BuildBroadcast(ne, k);
+  }
+  for (size_t s = 0; s < k; ++s) {
+    out->per_shard[s].events_routed = queues.size(s);
+    shards_[s]->routed.fetch_add(queues.size(s), std::memory_order_relaxed);
+  }
+
+  // Per-shard scratch: one flat id vector with per-queue-position offsets
+  // (cheaper than ne vectors per shard) plus per-position verified counts
+  // for the engine statistics.
   struct ShardScratch {
     std::vector<ObjectId> ids;
-    std::vector<size_t> offsets;      // ne + 1 entries
-    std::vector<uint64_t> verified;   // per event
+    std::vector<size_t> offsets;      // queue length + 1 entries
+    std::vector<uint64_t> verified;   // per queue position
   };
   std::vector<ShardScratch> scratch(k);
 
-  // Fan the whole batch out: one task per shard, each processing every
-  // event in batch order behind the shard mutex. Shard-local adaptation
+  // Fan the queues out: one task per shard, each draining its own queue in
+  // batch order behind the shard mutex. Shard-local adaptation
   // (statistics, reorganization) therefore sees a deterministic query
   // sequence regardless of thread count.
   const auto run_shard = [&](size_t s) {
+    const size_t nq = queues.size(s);
+    if (nq == 0) return;  // routed away: don't even take the lock
+    const uint32_t* q_items = queues.items(s);
     ShardScratch& sc = scratch[s];
-    sc.offsets.resize(ne + 1, 0);
-    sc.verified.resize(ne, 0);
+    sc.offsets.resize(nq + 1, 0);
+    sc.verified.resize(nq, 0);
     Shard& sh = *shards_[s];
     std::lock_guard<std::mutex> lk(sh.mu);
-    for (size_t e = 0; e < ne; ++e) {
-      const Event& ev = events[e];
+    for (size_t j = 0; j < nq; ++j) {
+      const Event& ev = events[q_items[j]];
       Query q(ev.box, RelationFor(ev, policy));
       QueryMetrics m;
       sh.index->Execute(q, &sc.ids, &m);
-      sc.offsets[e + 1] = sc.ids.size();
-      sc.verified[e] = m.objects_verified;
+      sc.offsets[j + 1] = sc.ids.size();
+      sc.verified[j] = m.objects_verified;
       out->per_shard[s].Add(m);
     }
   };
@@ -219,22 +401,30 @@ void SubscriptionEngine::MatchBatch(Span<const Event> events,
     for (size_t s = 0; s < k; ++s) run_shard(s);
   }
 
-  // Deterministic merge: shard order concatenation, then ObjectId sort —
-  // byte-identical output for any shard/thread configuration (each
-  // subscription lives in exactly one shard, so ids are unique).
+  // Deterministic merge: walk each shard's queue with a cursor, shard-order
+  // concatenation per event, then ObjectId sort — byte-identical output for
+  // any shard/thread/boundary configuration (each subscription lives in
+  // exactly one shard, so ids are unique).
+  std::vector<size_t> cursor(k, 0);
   std::vector<uint64_t> verified_per_event(ne, 0);
   for (size_t e = 0; e < ne; ++e) {
     std::vector<ObjectId>& dst = out->matches[e];
     size_t total = 0;
     for (size_t s = 0; s < k; ++s) {
-      total += scratch[s].offsets[e + 1] - scratch[s].offsets[e];
+      const size_t c = cursor[s];
+      if (c < queues.size(s) && queues.items(s)[c] == e) {
+        total += scratch[s].offsets[c + 1] - scratch[s].offsets[c];
+      }
     }
     dst.reserve(total);
     for (size_t s = 0; s < k; ++s) {
+      const size_t c = cursor[s];
+      if (c >= queues.size(s) || queues.items(s)[c] != e) continue;
       const ShardScratch& sc = scratch[s];
-      dst.insert(dst.end(), sc.ids.begin() + sc.offsets[e],
-                 sc.ids.begin() + sc.offsets[e + 1]);
-      verified_per_event[e] += sc.verified[e];
+      dst.insert(dst.end(), sc.ids.begin() + sc.offsets[c],
+                 sc.ids.begin() + sc.offsets[c + 1]);
+      verified_per_event[e] += sc.verified[c];
+      ++cursor[s];
     }
     std::sort(dst.begin(), dst.end());
   }
@@ -256,6 +446,228 @@ void SubscriptionEngine::MatchBatch(Span<const Event> events,
           static_cast<double>(verified_per_event[e]));
     }
   }
+  MaybeAutoRebalance(ne);
+}
+
+void SubscriptionEngine::MaybeAutoRebalance(uint64_t events) {
+  if (!range_routed_ || options_.rebalance_period == 0) return;
+  if (events_since_check_.fetch_add(events, std::memory_order_relaxed) +
+          events <
+      options_.rebalance_period) {
+    return;
+  }
+  // If an auto-rebalance is already in flight there is nothing useful to
+  // queue behind it. An atomic flag — not mutex try_lock, which the
+  // standard allows to fail spuriously — keeps the skip deterministic for
+  // deterministic call sequences (single callers always pass).
+  if (rebalance_inflight_.exchange(true, std::memory_order_acquire)) return;
+  {
+    std::lock_guard<std::mutex> lk(rebalance_mu_);
+    events_since_check_.store(0, std::memory_order_relaxed);
+    RebalanceLocked(/*force=*/false);
+  }
+  rebalance_inflight_.store(false, std::memory_order_release);
+}
+
+bool SubscriptionEngine::RebalanceOnce() {
+  if (!range_routed_) return false;
+  std::lock_guard<std::mutex> lk(rebalance_mu_);
+  return RebalanceLocked(/*force=*/true);
+}
+
+bool SubscriptionEngine::SetRangeBoundaries(const std::vector<float>& bounds) {
+  if (!range_routed_) return false;
+  if (bounds.size() != shards_.size() - 2) return false;
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    if (!(bounds[i - 1] < bounds[i])) return false;
+  }
+  std::lock_guard<std::mutex> lk(rebalance_mu_);
+  // Arbitrary table change: any shard may hold re-routed residents, so the
+  // migration scan covers all of them (overflow drains too).
+  std::vector<uint32_t> all(shards_.size());
+  std::iota(all.begin(), all.end(), 0u);
+  ApplyBoundariesLocked(bounds, all);
+  boundary_moves_.fetch_add(1, std::memory_order_relaxed);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    routed_at_reset_[s] = shards_[s]->routed.load(std::memory_order_relaxed);
+  }
+  return true;
+}
+
+bool SubscriptionEngine::RebalanceLocked(bool force) {
+  const size_t rk = shards_.size() - 1;  // range shards; overflow excluded
+  if (rk < 2) return false;
+
+  // Window loads: resident subscriptions plus events routed since the last
+  // rebalance — a shard can be hot because it is big or because the event
+  // stream concentrates on it, and a boundary move helps with both.
+  std::vector<uint64_t> load(rk);
+  uint64_t total = 0;
+  for (size_t s = 0; s < rk; ++s) {
+    const uint64_t window = shards_[s]->routed.load(std::memory_order_relaxed) -
+                            routed_at_reset_[s];
+    load[s] = shards_[s]->subs.load(std::memory_order_relaxed) + window;
+    total += load[s];
+  }
+  if (!force) {
+    if (total < options_.rebalance_min_load) return false;
+    uint64_t hottest = 0;
+    for (size_t s = 0; s < rk; ++s) hottest = std::max(hottest, load[s]);
+    const double mean = static_cast<double>(total) / static_cast<double>(rk);
+    if (static_cast<double>(hottest) <
+        options_.rebalance_trigger_ratio * mean) {
+      return false;
+    }
+  }
+  // Pick the adjacent pair with the largest load gap (only adjacent slices
+  // share a fence, so only they can trade residents with one boundary
+  // move); the heavier side donates.
+  size_t best_f = 0;
+  uint64_t best_gap = 0;
+  for (size_t f = 0; f + 1 < rk; ++f) {
+    const uint64_t gap = load[f] > load[f + 1] ? load[f] - load[f + 1]
+                                               : load[f + 1] - load[f];
+    if (gap > best_gap) {
+      best_gap = gap;
+      best_f = f;
+    }
+  }
+  if (best_gap == 0) return false;  // flat profile: nothing to gain
+  const size_t h = load[best_f] >= load[best_f + 1] ? best_f : best_f + 1;
+  const size_t l = h == best_f ? best_f + 1 : best_f;
+
+  std::vector<float> bounds = SnapshotBounds();
+  // Donor residents' leading-dimension endpoints — the one FACING the
+  // receiver. A donor resident leaves when the moving fence passes that
+  // endpoint: shedding downward, every box with lo0 < fence leaves (to
+  // the receiver if it fits, to overflow if it straddles); shedding
+  // upward, every box with hi0 >= fence leaves. Ranking by the
+  // receiver-facing endpoint therefore predicts the donor's loss
+  // *exactly*, straddlers included — ranking by the far endpoint counts
+  // only the boxes that clear the fence entirely, so the straddler spill
+  // to overflow comes on top of the plan, overshoots in dense regions,
+  // and makes repeated passes slosh the same residents back and forth
+  // forever.
+  std::vector<float> keys;
+  {
+    std::lock_guard<std::mutex> lk(shards_[h]->mu);
+    keys.reserve(shards_[h]->index->size());
+    shards_[h]->index->ForEachObject([&](ObjectId, BoxView b) {
+      keys.push_back(l < h ? b.lo(0) : b.hi(0));
+    });
+  }
+  if (keys.size() < 2) return false;
+  std::sort(keys.begin(), keys.end());
+  // Shed enough residents to halve the pair's load gap (per-resident load
+  // approximated as load[h]/keys.size()). Halving — not equal-splitting the
+  // donor — is what makes repeated passes converge to a fixed point; a
+  // move that rounds to zero residents is below the resolution of the
+  // boundary and refused.
+  size_t m = static_cast<size_t>(
+      static_cast<uint64_t>(keys.size()) * best_gap / (2 * load[h]));
+  if (m == 0) return false;
+  m = std::min(m, keys.size() - 1);
+
+  float new_fence;
+  size_t fence;  // index into bounds of the shared fence
+  if (l < h) {
+    // Receiver below: fence between slices l and h is bounds[h-1]; move it
+    // up past the m smallest lower endpoints. Those m residents leave the
+    // donor — to l when they fit the grown slice, to overflow when they
+    // span the new fence.
+    fence = h - 1;
+    new_fence = keys[m];
+    if (new_fence <= bounds[fence]) return false;  // mass sits on the edge
+  } else {
+    // Receiver above: fence bounds[h] moves down past the m largest upper
+    // endpoints; the residents whose hi0 the fence passed leave the donor.
+    fence = h;
+    new_fence = keys[keys.size() - m];
+    if (new_fence >= bounds[fence]) return false;
+    if (fence >= 1 && new_fence <= bounds[fence - 1]) return false;
+  }
+  bounds[fence] = new_fence;
+
+  // Only the donor's residents and the overflow shard's straddlers can be
+  // re-routed by a single-fence move (the receiver's slice only grew), so
+  // the migration scan — and its locks — touch exactly those two shards.
+  ApplyBoundariesLocked(std::move(bounds),
+                        {static_cast<uint32_t>(h),
+                         static_cast<uint32_t>(shards_.size() - 1)});
+  boundary_moves_.fetch_add(1, std::memory_order_relaxed);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    routed_at_reset_[s] = shards_[s]->routed.load(std::memory_order_relaxed);
+  }
+  return true;
+}
+
+size_t SubscriptionEngine::ApplyBoundariesLocked(
+    std::vector<float> new_bounds, const std::vector<uint32_t>& scan_shards) {
+  {
+    // Publish the table first: subscriptions arriving after this point
+    // route themselves with the new fences, so the scan below only ever
+    // chases a shrinking set of stale residents.
+    std::lock_guard<std::mutex> lk(route_mu_);
+    bounds_ = new_bounds;
+    ++routing_version_;
+  }
+  const size_t stride = 2 * static_cast<size_t>(schema_.dims());
+  size_t migrated = 0;
+  struct Outgoing {
+    std::vector<ObjectId> ids;
+    std::vector<float> coords;
+  };
+  for (const uint32_t src : scan_shards) {
+    // Collect residents the new table routes elsewhere; the box views die
+    // with the scan lock, so coordinates are copied out per destination.
+    std::vector<Outgoing> outgoing(shards_.size());
+    {
+      std::lock_guard<std::mutex> lk(shards_[src]->mu);
+      shards_[src]->index->ForEachObject([&](ObjectId id, BoxView b) {
+        const uint32_t dst = RangeShardFor(new_bounds, b.lo(0), b.hi(0));
+        if (dst == src) return;
+        Outgoing& o = outgoing[dst];
+        o.ids.push_back(id);
+        o.coords.insert(o.coords.end(), b.data(), b.data() + stride);
+      });
+    }
+    for (uint32_t dst = 0; dst < shards_.size(); ++dst) {
+      Outgoing& o = outgoing[dst];
+      if (o.ids.empty()) continue;
+      // Owner map + both shard locks in one atomic step: Unsubscribe and
+      // ShardOf observe each migration all-or-nothing, and matching on any
+      // shard outside {src, dst} proceeds untouched. std::scoped_lock's
+      // deadlock avoidance covers the route->shard order subscribers use.
+      std::scoped_lock lk(meta_mu_, shards_[src]->mu, shards_[dst]->mu);
+      std::vector<ObjectId> moved_ids;
+      std::vector<float> moved_coords;
+      moved_ids.reserve(o.ids.size());
+      moved_coords.reserve(o.coords.size());
+      for (size_t i = 0; i < o.ids.size(); ++i) {
+        const ObjectId id = o.ids[i];
+        auto it = shard_of_.find(id);
+        // Unsubscribed between scan and move: nothing to migrate.
+        if (it == shard_of_.end() || it->second != src) continue;
+        const bool erased = shards_[src]->index->Erase(id);
+        ACCL_CHECK(erased);
+        it->second = dst;
+        moved_ids.push_back(id);
+        moved_coords.insert(moved_coords.end(),
+                            o.coords.begin() + i * stride,
+                            o.coords.begin() + (i + 1) * stride);
+      }
+      shards_[dst]->index->BulkInsert(
+          Span<const ObjectId>(moved_ids.data(), moved_ids.size()),
+          Span<const float>(moved_coords.data(), moved_coords.size()));
+      shards_[src]->subs.fetch_sub(moved_ids.size(),
+                                   std::memory_order_relaxed);
+      shards_[dst]->subs.fetch_add(moved_ids.size(),
+                                   std::memory_order_relaxed);
+      migrated += moved_ids.size();
+    }
+  }
+  subscriptions_migrated_.fetch_add(migrated, std::memory_order_relaxed);
+  return migrated;
 }
 
 bool SubscriptionEngine::MakePointEvent(

@@ -11,13 +11,26 @@
 // Scale-out (sharding): the subscription database can be partitioned across
 // K independent AdaptiveIndex shards (EngineOptions::shards). Each
 // subscription lives in exactly one shard, chosen by a pluggable
-// partitioner; every event is matched against all shards and the per-shard
-// answers are merged deterministically (sorted by ObjectId), so the match
-// sets are byte-identical to a single-shard engine's. Reads fan out
-// concurrently across shards on the engine's thread pool; all per-shard
-// work — including Execute's statistics updates and the adaptive
-// reorganization it may trigger — runs behind that shard's mutex, so the
-// reorganization logic itself is untouched by concurrency.
+// partitioner; per-shard answers are merged deterministically (sorted by
+// ObjectId), so the match sets are byte-identical to a single-shard
+// engine's. Reads fan out concurrently across shards on the engine's
+// thread pool; all per-shard work — including Execute's statistics updates
+// and the adaptive reorganization it may trigger — runs behind that
+// shard's mutex, so the reorganization logic itself is untouched by
+// concurrency.
+//
+// Range-routed dispatch (ShardingPolicy::kRange): shards 0..K-2 own
+// contiguous slices of the leading dimension's domain, delimited by a
+// sorted boundary array; shard K-1 is the *overflow* shard holding every
+// subscription whose leading-dimension interval straddles a boundary. An
+// event is dispatched only to the shards whose slice its box overlaps
+// (two binary searches) plus the overflow shard — never broadcast — and
+// because any spatial relation the engine supports implies interval
+// overlap in every dimension, the routed match sets stay exact. Online
+// rebalancing (RebalanceOnce / automatic via rebalance_period) moves a
+// boundary toward the hottest shard and migrates the affected
+// subscriptions between shards under the existing per-shard locks, so
+// matching on untouched shards never blocks behind a reorganization.
 #pragma once
 
 #include <atomic>
@@ -58,9 +71,15 @@ enum class ShardingPolicy : uint8_t {
   /// load evenly regardless of the subscription distribution.
   kHashId = 0,
   /// Partition the leading dimension's box center into K equal slices.
-  /// Keeps spatially close subscriptions together (range-partition
-  /// precursor; see ROADMAP), at the cost of possible load skew.
+  /// Keeps spatially close subscriptions together, at the cost of possible
+  /// load skew. Events are still broadcast (the center says nothing about
+  /// extents, so no shard can be skipped).
   kLeadingDimension,
+  /// Range partitioning with routed, non-broadcast event dispatch: shards
+  /// 0..K-2 own contiguous leading-dimension slices, shard K-1 is the
+  /// overflow shard for boundary-straddling subscriptions. Requires K >= 2.
+  /// Supports online boundary rebalancing; see RebalanceOnce.
+  kRange,
 };
 
 /// Custom partitioner: maps (id, normalized subscription box, shard count)
@@ -103,15 +122,37 @@ struct EngineOptions {
   ShardingPolicy sharding = ShardingPolicy::kHashId;
   /// Overrides `sharding` when set.
   ShardPartitionFn partitioner;
+
+  // ---- kRange knobs (ignored by the other policies) ----
+  /// Initial interior boundaries: strictly ascending, size K-2 (the K-1
+  /// range shards need K-2 interior fences; the implicit outer fences are
+  /// ±infinity). Empty = uniform split of [0,1] into K-1 slices.
+  std::vector<float> range_boundaries;
+  /// Events between automatic load-imbalance checks; 0 = rebalance only on
+  /// explicit RebalanceOnce()/SetRangeBoundaries() calls.
+  uint32_t rebalance_period = 0;
+  /// Auto-rebalance triggers when the hottest range shard's window load
+  /// (resident subscriptions + events routed since the last rebalance)
+  /// exceeds this multiple of the mean range-shard load.
+  double rebalance_trigger_ratio = 1.5;
+  /// Auto-rebalance ignores imbalance until the total window load reaches
+  /// this floor (tiny shards are cheap to visit; moving them is not).
+  uint64_t rebalance_min_load = 512;
 };
 
 /// The subscription database and matcher.
 ///
-/// Thread safety: Subscribe/Unsubscribe/Match/MatchBatch may be called
-/// concurrently from any threads; shard state is guarded by per-shard
-/// mutexes and engine bookkeeping by an engine mutex. Determinism is only
-/// guaranteed for a deterministic call sequence (concurrent *callers* race
-/// for lock order like any concurrent writers would).
+/// Thread safety: Subscribe/Unsubscribe/Match/MatchBatch/SubscribeBatch and
+/// the rebalance entry points may be called concurrently from any threads;
+/// shard state is guarded by per-shard mutexes, the routing table by a
+/// routing mutex, and engine bookkeeping by an engine mutex. Determinism is
+/// only guaranteed for a deterministic call sequence (concurrent *callers*
+/// race for lock order like any concurrent writers would). A match running
+/// concurrently with a rebalance may route with the pre-move boundary table
+/// and miss subscriptions mid-migration — the same transient window a match
+/// concurrent with Unsubscribe has always had; every Match/MatchBatch call
+/// that *starts* after a rebalance call returns is exact. (Epoch-based
+/// snapshot reads that close this window are a ROADMAP item.)
 class SubscriptionEngine {
  public:
   /// Schema must be fully defined before constructing the engine.
@@ -128,6 +169,15 @@ class SubscriptionEngine {
   /// Registers a pre-built normalized subscription box.
   SubscriptionId SubscribeBox(const Box& box);
 
+  /// Registers boxes.size() subscriptions in one call; ids are assigned
+  /// contiguously in box order and returned in `*out` (its previous
+  /// contents are discarded) — observably identical to calling
+  /// SubscribeBox in a loop, but the batch is grouped per target shard so
+  /// each shard lock (and the id-allocation lock) is taken once instead
+  /// of once per subscription.
+  void SubscribeBatch(Span<const Box> boxes,
+                      std::vector<SubscriptionId>* out);
+
   /// Removes a subscription. Returns false when unknown.
   bool Unsubscribe(SubscriptionId id);
 
@@ -143,9 +193,13 @@ class SubscriptionEngine {
              std::vector<SubscriptionId>* out);
 
   /// Matches a batch of events, fanning the batch across shards on the
-  /// engine's thread pool. `out->matches[e]` is sorted by ObjectId and
-  /// byte-identical for any shard/thread configuration. Per-shard metrics
-  /// land in `out->per_shard` (shard order), aggregated into `out->total`.
+  /// engine's thread pool — per-shard work queues: broadcast policies
+  /// enqueue every event on every shard, kRange only on the shards the
+  /// router selects. `out->matches[e]` is sorted by ObjectId and
+  /// byte-identical for any shard/thread/boundary configuration. Per-shard
+  /// metrics land in `out->per_shard` (shard order), aggregated into
+  /// `out->total`; `per_shard[s].events_routed` counts the events
+  /// dispatched to shard s.
   void MatchBatch(Span<const Event> events, MatchBatchResult* out);
   void MatchBatch(Span<const Event> events, MatchPolicy policy,
                   MatchBatchResult* out);
@@ -183,8 +237,45 @@ class SubscriptionEngine {
   struct ShardInfo {
     size_t subscriptions;
     size_t clusters;
+    uint64_t routed_events;  ///< lifetime events dispatched to this shard
   };
   std::vector<ShardInfo> GetShardInfos() const;
+
+  // ---- Range routing & online rebalancing (kRange only) ----
+
+  /// True when the engine routes events by leading-dimension range.
+  bool range_routed() const { return range_routed_; }
+
+  /// Snapshot of the interior boundary array (empty for other policies).
+  std::vector<float> GetRangeBoundaries() const;
+
+  /// Monotonic counter bumped on every boundary-table change.
+  uint64_t routing_version() const;
+
+  /// Installs `bounds` (strictly ascending, size shard_count()-2) as the
+  /// boundary array and migrates every subscription whose target shard
+  /// changed — including draining overflow subscriptions that no longer
+  /// straddle. Returns false (and changes nothing) when the engine is not
+  /// range-routed or the array is malformed.
+  bool SetRangeBoundaries(const std::vector<float>& bounds);
+
+  /// One forced load-balancing step: picks the range shard with the
+  /// highest window load, moves its boundary toward it so roughly half of
+  /// its subscriptions re-route to its lighter neighbor, and migrates
+  /// them. Returns true when a boundary moved. No-op (false) for
+  /// non-range engines, K < 3, or when no productive move exists.
+  bool RebalanceOnce();
+
+  /// Lifetime rebalancing counters.
+  struct RebalanceStats {
+    uint64_t boundary_moves = 0;
+    uint64_t subscriptions_migrated = 0;
+  };
+  RebalanceStats rebalance_stats() const {
+    return RebalanceStats{
+        boundary_moves_.load(std::memory_order_relaxed),
+        subscriptions_migrated_.load(std::memory_order_relaxed)};
+  }
 
  private:
   struct Shard {
@@ -192,21 +283,79 @@ class SubscriptionEngine {
         : index(std::make_unique<AdaptiveIndex>(cfg)) {}
     std::mutex mu;  ///< serializes every index access (reads mutate stats)
     std::unique_ptr<AdaptiveIndex> index;
+    /// Lifetime events dispatched here (relaxed; observability + the
+    /// rebalancer's load signal).
+    std::atomic<uint64_t> routed{0};
+    /// Resident subscriptions (relaxed mirror of index->size(), readable
+    /// without the shard lock).
+    std::atomic<size_t> subs{0};
   };
 
-  uint32_t ShardFor(SubscriptionId id, const Box& box) const;
+  /// Shard choice for one subscription. `bounds` is only read by kRange
+  /// (callers pass the boundary snapshot they routed the rest of the
+  /// operation with).
+  uint32_t ShardFor(SubscriptionId id, const Box& box,
+                    const std::vector<float>& bounds) const;
+  /// kRange target of a box under `bounds`: its slice's shard, or the
+  /// overflow shard when the leading-dimension interval straddles a fence.
+  uint32_t RangeShardFor(const std::vector<float>& bounds,
+                         float lo0, float hi0) const;
+  /// Shards an event must visit under `bounds`: the slice span of its
+  /// leading-dimension interval plus the overflow shard, ascending.
+  void RouteEvent(const std::vector<float>& bounds, const Box& box,
+                  std::vector<uint32_t>* out) const;
+  std::vector<float> SnapshotBounds() const;
+
   static Relation RelationFor(const Event& event, MatchPolicy policy);
   void RecordEvent(size_t matches, size_t verified, double latency_ms);
 
+  /// Auto-rebalance hook, called after every match entry point.
+  void MaybeAutoRebalance(uint64_t events);
+  /// One boundary move; caller holds rebalance_mu_. `force` skips the
+  /// trigger-ratio/min-load gate.
+  bool RebalanceLocked(bool force);
+  /// Publishes `new_bounds`, then migrates every subscription in
+  /// `scan_shards` whose target changed. Caller holds rebalance_mu_.
+  /// Returns the number of subscriptions migrated.
+  size_t ApplyBoundariesLocked(std::vector<float> new_bounds,
+                               const std::vector<uint32_t>& scan_shards);
+
   AttributeSchema schema_;
   EngineOptions options_;
+  bool range_routed_ = false;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<exec::ThreadPool> pool_;  ///< null when match_threads <= 1
+
+  /// Routing table for kRange: sorted interior boundaries over the leading
+  /// dimension, size shard_count()-2. route_mu_ guards only the table
+  /// itself and is held for snapshots/publishes, never across index work —
+  /// matching is free to snapshot mid-insert and mid-migration.
+  mutable std::mutex route_mu_;
+  std::vector<float> bounds_;
+  uint64_t routing_version_ = 0;
+
+  /// Serializes rebalances (boundary publish + migration runs entirely
+  /// under it) and kRange subscribes (held from routing through owner-map
+  /// publish): a boundary change is therefore ordered strictly before or
+  /// after every subscribe, so it either routes the new subscription
+  /// itself or its migration scan sees the insert — a subscription can
+  /// never be stranded in a shard the new table doesn't route to.
+  std::mutex rebalance_mu_;
+  /// Auto-rebalance in-flight flag (mutex try_lock may fail spuriously,
+  /// which would make deterministic replays skip triggers at random).
+  std::atomic<bool> rebalance_inflight_{false};
+  /// Per-shard routed-counter snapshot at the last rebalance; the window
+  /// load is routed - routed_at_reset_. Guarded by rebalance_mu_.
+  std::vector<uint64_t> routed_at_reset_;
+  std::atomic<uint64_t> events_since_check_{0};
+  std::atomic<uint64_t> boundary_moves_{0};
+  std::atomic<uint64_t> subscriptions_migrated_{0};
 
   mutable std::mutex meta_mu_;  ///< guards next_id_, shard_of_, stats_
   SubscriptionId next_id_ = 0;
   /// Owner shard of each live subscription (needed by Unsubscribe for
-  /// custom/spatial partitioners whose input box is long gone).
+  /// custom/spatial partitioners whose input box is long gone, and kept
+  /// exact across migrations).
   std::unordered_map<SubscriptionId, uint32_t> shard_of_;
   std::atomic<size_t> subscription_count_{0};
   EngineStats stats_;

@@ -1,0 +1,26 @@
+// FNV-1a digesting for determinism oracles.
+//
+// The parity gates (bench_parallel_sdi's cross-thread/cross-mode digest,
+// tests/rebalance_fuzz_test's sharded-vs-serial replay oracle) hash the
+// exact (event index, sorted match ids) assignment and compare across
+// engine configurations; they are only a shared oracle if every gate uses
+// bit-identical hashing, so the function lives here instead of being
+// re-derived per binary.
+#pragma once
+
+#include <cstdint>
+
+namespace accl {
+
+inline constexpr uint64_t kFnvOffsetBasis = 14695981039346656037ull;
+
+/// Folds the 8 bytes of `x` (little-endian order) into FNV-1a state `h`.
+inline uint64_t Fnv1a(uint64_t h, uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (x >> (8 * i)) & 0xFF;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace accl

@@ -1,5 +1,8 @@
 #include "util/rng.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/check.h"
 
 namespace accl {
@@ -55,5 +58,23 @@ uint64_t Rng::NextBelow(uint64_t n) {
 }
 
 bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+ZipfDistribution::ZipfDistribution(size_t n, double s) {
+  ACCL_CHECK(n > 0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = acc;
+  }
+  for (double& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+size_t ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(it - cdf_.begin());
+}
 
 }  // namespace accl

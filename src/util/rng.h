@@ -6,7 +6,9 @@
 // because workload generation is itself benchmarked.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace accl {
 
@@ -40,6 +42,24 @@ class Rng {
 
  private:
   uint64_t s_[4];
+};
+
+/// Zipf(s) distribution over {0, .., n-1}: P(k) ∝ 1/(k+1)^s. The CDF is
+/// precomputed once (O(n)); Sample is a binary search. Used by the skewed
+/// sharding workloads: with s ≳ 1 a handful of ranks carry most of the
+/// mass, which is exactly the leading-dimension hot-spot that range-routed
+/// dispatch must survive.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(size_t n, double s);
+
+  size_t size() const { return cdf_.size(); }
+
+  /// Draws a rank in [0, n). Deterministic given the Rng stream.
+  size_t Sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;  ///< cdf_[k] = P(rank <= k), cdf_.back() == 1
 };
 
 }  // namespace accl

@@ -194,6 +194,125 @@ TEST(ShardedEngine, SingleEventMatchAgreesWithBatch) {
   EXPECT_EQ(engine.stats().events_processed, events.size());
 }
 
+TEST(ShardedEngine, SubscribeBatchEquivalentToLoopSubscribeForAllPolicies) {
+  // Two engines per policy, same config: one subscribes with a loop, one
+  // with SubscribeBatch. Ids, shard placement, per-shard populations,
+  // match sets, and routing metrics must all be indistinguishable.
+  const struct {
+    ShardingPolicy policy;
+    uint32_t shards;
+  } cases[] = {
+      {ShardingPolicy::kHashId, 4},
+      {ShardingPolicy::kLeadingDimension, 4},
+      {ShardingPolicy::kRange, 4},
+      {ShardingPolicy::kRange, 2},  // degenerate: one slice + overflow
+  };
+  for (const auto& c : cases) {
+    SubscriptionEngine loop_engine(UnitSchema(), Opts(c.shards, 2, c.policy));
+    SubscriptionEngine batch_engine(UnitSchema(),
+                                    Opts(c.shards, 2, c.policy));
+    Rng rng(101);
+    std::vector<Box> boxes;
+    for (int i = 0; i < 700; ++i) {
+      boxes.push_back(testutil::RandomBox(rng, kNd, 0.6f));
+    }
+    std::vector<SubscriptionId> loop_ids, batch_ids;
+    for (const Box& b : boxes) loop_ids.push_back(loop_engine.SubscribeBox(b));
+    batch_engine.SubscribeBatch(Span<const Box>(boxes.data(), boxes.size()),
+                                &batch_ids);
+    ASSERT_EQ(batch_ids, loop_ids)
+        << "policy " << static_cast<int>(c.policy);
+    for (const SubscriptionId id : loop_ids) {
+      EXPECT_EQ(batch_engine.ShardOf(id), loop_engine.ShardOf(id))
+          << "id " << id << " policy " << static_cast<int>(c.policy);
+    }
+    const auto loop_infos = loop_engine.GetShardInfos();
+    const auto batch_infos = batch_engine.GetShardInfos();
+    ASSERT_EQ(loop_infos.size(), batch_infos.size());
+    for (size_t s = 0; s < loop_infos.size(); ++s) {
+      EXPECT_EQ(batch_infos[s].subscriptions, loop_infos[s].subscriptions);
+    }
+    EXPECT_EQ(batch_engine.subscription_count(),
+              loop_engine.subscription_count());
+
+    // Both engines see identical events; match sets and per-shard metrics
+    // (executions, events routed, verification totals) must agree.
+    std::vector<Event> events = MakeEvents(rng, 48);
+    MatchBatchResult loop_res, batch_res;
+    loop_engine.MatchBatch(Span<const Event>(events.data(), events.size()),
+                           MatchPolicy::kIntersecting, &loop_res);
+    batch_engine.MatchBatch(Span<const Event>(events.data(), events.size()),
+                            MatchPolicy::kIntersecting, &batch_res);
+    EXPECT_EQ(batch_res.matches, loop_res.matches);
+    ASSERT_EQ(batch_res.per_shard.size(), loop_res.per_shard.size());
+    for (size_t s = 0; s < loop_res.per_shard.size(); ++s) {
+      EXPECT_EQ(batch_res.per_shard[s].executions,
+                loop_res.per_shard[s].executions);
+      EXPECT_EQ(batch_res.per_shard[s].events_routed,
+                loop_res.per_shard[s].events_routed);
+      EXPECT_EQ(batch_res.per_shard[s].totals.objects_verified,
+                loop_res.per_shard[s].totals.objects_verified);
+      EXPECT_EQ(batch_res.per_shard[s].totals.result_count,
+                loop_res.per_shard[s].totals.result_count);
+    }
+    EXPECT_EQ(batch_res.TotalShardVisits(), loop_res.TotalShardVisits());
+  }
+}
+
+TEST(ShardedEngine, SubscribeBatchInterleavesWithLoopSubscribeAndUnsubscribe) {
+  // Mixed lifecycle: batches, singles, and unsubscribes interleaved must
+  // replay identically on serial and sharded engines (ids included).
+  const auto drive = [](SubscriptionEngine& engine) {
+    Rng rng(202);
+    std::vector<SubscriptionId> live;
+    std::vector<std::vector<ObjectId>> matches;
+    for (int round = 0; round < 8; ++round) {
+      std::vector<Box> boxes;
+      for (int i = 0; i < 60; ++i) {
+        boxes.push_back(testutil::RandomBox(rng, kNd, 0.6f));
+      }
+      std::vector<SubscriptionId> ids;
+      engine.SubscribeBatch(Span<const Box>(boxes.data(), boxes.size()),
+                            &ids);
+      live.insert(live.end(), ids.begin(), ids.end());
+      for (int i = 0; i < 20; ++i) {
+        live.push_back(engine.SubscribeBox(testutil::RandomBox(rng, kNd)));
+      }
+      for (int i = 0; i < 25 && live.size() > 1; ++i) {
+        const size_t victim = rng.NextBelow(live.size());
+        EXPECT_TRUE(engine.Unsubscribe(live[victim]));
+        live[victim] = live.back();
+        live.pop_back();
+      }
+      std::vector<Event> events = MakeEvents(rng, 16);
+      MatchBatchResult res;
+      engine.MatchBatch(Span<const Event>(events.data(), events.size()),
+                        MatchPolicy::kCovering, &res);
+      for (auto& m : res.matches) matches.push_back(std::move(m));
+    }
+    return matches;
+  };
+  SubscriptionEngine serial(UnitSchema(), Opts(1, 0));
+  const auto expected = drive(serial);
+  for (const ShardingPolicy policy :
+       {ShardingPolicy::kHashId, ShardingPolicy::kLeadingDimension,
+        ShardingPolicy::kRange}) {
+    SubscriptionEngine sharded(UnitSchema(), Opts(5, 3, policy));
+    EXPECT_EQ(drive(sharded), expected)
+        << "policy " << static_cast<int>(policy);
+  }
+}
+
+TEST(ShardedEngine, EmptySubscribeBatchIsANoOp) {
+  SubscriptionEngine engine(UnitSchema(), Opts(4, 0));
+  std::vector<SubscriptionId> ids{123};  // must be cleared, not appended to
+  engine.SubscribeBatch(Span<const Box>(), &ids);
+  EXPECT_TRUE(ids.empty());
+  EXPECT_EQ(engine.subscription_count(), 0u);
+  const SubscriptionId next = engine.SubscribeBox(Box::FullDomain(kNd));
+  EXPECT_EQ(next, 0u);  // no ids were burned
+}
+
 TEST(ShardedEngine, LeadingDimensionPartitionSpreadsByGeometry) {
   SubscriptionEngine engine(UnitSchema(),
                             Opts(4, 0, ShardingPolicy::kLeadingDimension));
