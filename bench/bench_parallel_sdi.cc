@@ -20,13 +20,23 @@
 // LPT-simulated cost. The per-event match digest must be identical across
 // modes (routing and rebalancing are not allowed to change answers).
 //
+// A third scenario measures match-under-rebalance: the same skewed
+// workload matched continuously while a dedicated thread hammers
+// RebalanceOnce and wholesale SetRangeBoundaries swaps. Under the
+// epoch-published snapshot model every batch must still be digest-equal
+// to the quiesced run (the subscription set is fixed), so this scenario
+// both gates mid-migration exactness and prices the epoch machinery
+// (grace periods, snapshot publishes) under live traffic.
+//
 // Emits BENCH_parallel.json (override path with ACCL_PARSDI_JSON, disable
 // with an empty value) and prints the same numbers as a table.
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sdi/subscription_engine.h"
@@ -255,6 +265,112 @@ SkewedResult RunSkewedMode(const char* mode, ShardingPolicy policy,
   return r;
 }
 
+// ---- Match-under-rebalance scenario ----
+
+struct UnderRebalanceResult {
+  double wall_ms = 0.0;
+  size_t events_matched = 0;
+  uint64_t total_matches = 0;
+  uint64_t match_digest = kFnvOffsetBasis;
+  bool digests_stable = true;  ///< every pass produced the same digest
+  uint64_t boundary_moves = 0;
+  uint64_t migrated = 0;
+  uint64_t predicted_spill = 0;
+  uint64_t final_routing_version = 0;
+  uint64_t epoch_synchronizes = 0;
+  uint64_t epoch_pins = 0;
+  uint64_t snapshots_reclaimed = 0;
+};
+
+/// Matches the skewed event set `passes` times while a rebalancer thread
+/// continuously moves fences. The subscription set is fixed, so every
+/// batch's match digest must equal the quiesced skewed run's — the
+/// mid-migration exactness the snapshot/epoch model guarantees.
+UnderRebalanceResult RunMatchUnderRebalance(size_t threads, size_t subs,
+                                            size_t n_events, size_t batch,
+                                            uint32_t shards, size_t passes) {
+  EngineOptions opts;
+  opts.index.reorg_period = 100;
+  opts.default_policy = MatchPolicy::kIntersecting;
+  opts.shards = shards;
+  opts.match_threads = static_cast<uint32_t>(threads);
+  opts.sharding = ShardingPolicy::kRange;
+  AttributeSchema schema;
+  for (Dim d = 0; d < kNd; ++d) {
+    schema.AddAttribute("a" + std::to_string(d), 0.0, 1.0);
+  }
+  SubscriptionEngine engine(std::move(schema), opts);
+
+  const ZipfDistribution zipf(kZipfBins, kZipfS);
+  Rng rng(1042);  // same population as the skewed scenario
+  std::vector<Box> boxes;
+  boxes.reserve(subs);
+  for (size_t i = 0; i < subs; ++i) {
+    boxes.push_back(SkewedSubscription(rng, zipf));
+  }
+  std::vector<SubscriptionId> ids;
+  engine.SubscribeBatch(Span<const Box>(boxes.data(), boxes.size()), &ids);
+  const std::vector<Event> events = MakeSkewedEvents(1043, n_events, zipf);
+
+  std::atomic<bool> stop{false};
+  std::thread rebalancer([&] {
+    Rng rr(7);
+    const size_t nb = shards - 2;
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (rr.NextBool(0.25) && nb > 0) {
+        std::vector<float> b(nb);
+        for (size_t i = 0; i < nb; ++i) {
+          const float cell = 0.9f / static_cast<float>(nb + 1);
+          b[i] = 0.05f + cell * (static_cast<float>(i + 1) +
+                                 0.8f * (rr.NextFloat() - 0.5f));
+        }
+        engine.SetRangeBoundaries(b);
+      } else {
+        engine.RebalanceOnce();
+      }
+    }
+  });
+
+  UnderRebalanceResult r;
+  MatchBatchResult res;
+  for (size_t pass = 0; pass < passes; ++pass) {
+    uint64_t pass_digest = kFnvOffsetBasis;
+    uint64_t pass_matches = 0;
+    size_t event_index = 0;
+    WallTimer wall;
+    for (size_t off = 0; off < events.size(); off += batch) {
+      const size_t ne = std::min(batch, events.size() - off);
+      engine.MatchBatch(Span<const Event>(events.data() + off, ne), &res);
+      for (const auto& m : res.matches) {
+        pass_matches += m.size();
+        pass_digest = Fnv1a(pass_digest, event_index++);
+        for (const ObjectId id : m) pass_digest = Fnv1a(pass_digest, id);
+      }
+    }
+    r.wall_ms += wall.ElapsedMs();
+    r.events_matched += events.size();
+    if (pass == 0) {
+      r.match_digest = pass_digest;
+      r.total_matches = pass_matches;
+    } else if (pass_digest != r.match_digest) {
+      r.digests_stable = false;
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  rebalancer.join();
+
+  r.boundary_moves = engine.rebalance_stats().boundary_moves;
+  r.migrated = engine.rebalance_stats().subscriptions_migrated;
+  r.predicted_spill = engine.rebalance_stats().predicted_straddler_spill;
+  r.final_routing_version = engine.routing_version();
+  engine.SynchronizeEpochs();
+  const exec::EpochManagerStats es = engine.epoch_stats();
+  r.epoch_synchronizes = es.synchronizes;
+  r.epoch_pins = es.pins;
+  r.snapshots_reclaimed = es.reclaimed;
+  return r;
+}
+
 }  // namespace
 }  // namespace accl
 
@@ -343,6 +459,39 @@ int main() {
     return 1;
   }
 
+  // ---- Match-under-rebalance scenario ----
+  const size_t ur_passes = EnvSize("ACCL_PARSDI_UR_PASSES", 4);
+  const UnderRebalanceResult ur = RunMatchUnderRebalance(
+      sk_threads, sk_subs, sk_events, batch, shards, ur_passes);
+  std::printf(
+      "\nmatch under rebalance: %zu passes x %zu events, %zu threads\n",
+      ur_passes, sk_events, sk_threads);
+  std::printf(
+      "%12s %14s %8s %9s %7s %9s %9s %9s\n", "wall ms", "wall ev/s", "moves",
+      "migrated", "spill", "snapver", "graceper", "reclaim");
+  std::printf(
+      "%12.1f %14.0f %8llu %9llu %7llu %9llu %9llu %9llu\n", ur.wall_ms,
+      1000.0 * static_cast<double>(ur.events_matched) / ur.wall_ms,
+      static_cast<unsigned long long>(ur.boundary_moves),
+      static_cast<unsigned long long>(ur.migrated),
+      static_cast<unsigned long long>(ur.predicted_spill),
+      static_cast<unsigned long long>(ur.final_routing_version),
+      static_cast<unsigned long long>(ur.epoch_synchronizes),
+      static_cast<unsigned long long>(ur.snapshots_reclaimed));
+  // Mid-migration exactness gate: the subscription set is fixed, so every
+  // pass — rebalances in flight or not — must reproduce the quiesced
+  // skewed digest exactly.
+  if (!ur.digests_stable || ur.match_digest != skewed[0].match_digest ||
+      ur.total_matches != skewed[0].total_matches) {
+    std::fprintf(stderr,
+                 "MID-MIGRATION DIVERGENCE: digest %016llx (stable=%d) vs "
+                 "quiesced %016llx\n",
+                 static_cast<unsigned long long>(ur.match_digest),
+                 ur.digests_stable ? 1 : 0,
+                 static_cast<unsigned long long>(skewed[0].match_digest));
+    return 1;
+  }
+
   const char* path = std::getenv("ACCL_PARSDI_JSON");
   if (path == nullptr) path = "BENCH_parallel.json";
   if (*path == '\0') return 0;
@@ -399,7 +548,31 @@ int main() {
         static_cast<unsigned long long>(r.boundary_moves),
         static_cast<unsigned long long>(r.migrated), i + 1 < 3 ? "," : "");
   }
-  std::fprintf(f, "    ]\n  }\n}\n");
+  std::fprintf(f, "    ]\n  },\n");
+  std::fprintf(
+      f,
+      "  \"match_under_rebalance\": {\n"
+      "    \"passes\": %zu,\n    \"events_matched\": %zu,\n"
+      "    \"threads\": %zu,\n    \"wall_ms\": %.3f,\n"
+      "    \"wall_events_per_sec\": %.1f,\n    \"matches\": %llu,\n"
+      "    \"match_digest\": \"%016llx\",\n    \"digests_stable\": %s,\n"
+      "    \"boundary_moves\": %llu,\n    \"subscriptions_migrated\": %llu,\n"
+      "    \"predicted_straddler_spill\": %llu,\n"
+      "    \"final_routing_version\": %llu,\n"
+      "    \"epoch_synchronizes\": %llu,\n    \"epoch_pins\": %llu,\n"
+      "    \"snapshots_reclaimed\": %llu\n  }\n}\n",
+      ur_passes, ur.events_matched, sk_threads, ur.wall_ms,
+      1000.0 * static_cast<double>(ur.events_matched) / ur.wall_ms,
+      static_cast<unsigned long long>(ur.total_matches),
+      static_cast<unsigned long long>(ur.match_digest),
+      ur.digests_stable ? "true" : "false",
+      static_cast<unsigned long long>(ur.boundary_moves),
+      static_cast<unsigned long long>(ur.migrated),
+      static_cast<unsigned long long>(ur.predicted_spill),
+      static_cast<unsigned long long>(ur.final_routing_version),
+      static_cast<unsigned long long>(ur.epoch_synchronizes),
+      static_cast<unsigned long long>(ur.epoch_pins),
+      static_cast<unsigned long long>(ur.snapshots_reclaimed));
   std::fclose(f);
   std::printf("wrote %s\n", path);
   return 0;

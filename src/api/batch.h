@@ -30,6 +30,13 @@ struct ShardMetrics {
   /// shards measures routing selectivity — shard-visits per event — which
   /// is the quantity the routed engine exists to shrink.
   uint64_t events_routed = 0;
+  /// Point-in-time gauge: subscriptions resident in the engine's overflow
+  /// shard when this batch was dispatched. The range-routed engine fills it
+  /// on the overflow shard's entry only (0 elsewhere); it tracks straddler
+  /// pressure — fences repeatedly cutting dense regions push subscriptions
+  /// here, and every routed event pays an overflow visit. Merge keeps the
+  /// max (it is a gauge, not a counter).
+  uint64_t overflow_subscriptions = 0;
 
   void Add(const QueryMetrics& m) {
     totals += m;
@@ -39,6 +46,9 @@ struct ShardMetrics {
     totals += o.totals;
     executions += o.executions;
     events_routed += o.events_routed;
+    if (o.overflow_subscriptions > overflow_subscriptions) {
+      overflow_subscriptions = o.overflow_subscriptions;
+    }
   }
   void Clear() { *this = ShardMetrics(); }
 };
@@ -52,11 +62,22 @@ struct MatchBatchResult {
   std::vector<std::vector<ObjectId>> matches;  ///< per event, id-sorted
   std::vector<ShardMetrics> per_shard;         ///< indexed by shard
   QueryMetrics total;                          ///< sum over shards & events
+  /// Version of the routing snapshot the whole batch was dispatched with
+  /// (one consistent snapshot per batch; 0 for an empty batch).
+  /// Non-decreasing across a single caller's batches — a later batch can
+  /// never observe an older routing table.
+  uint64_t routing_version = 0;
+  /// Reclamation epoch the batch was pinned at while routing and executing
+  /// (0 for an empty batch). Diagnostics for the epoch subsystem: a stuck
+  /// epoch across batches means some reader is wedged pinned.
+  uint64_t epoch = 0;
 
   void Clear() {
     matches.clear();
     per_shard.clear();
     total.Clear();
+    routing_version = 0;
+    epoch = 0;
   }
 
   /// Recomputes `total` as the shard-order sum of `per_shard` (the

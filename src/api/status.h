@@ -1,0 +1,39 @@
+// Minimal status type for constructor-time and configuration validation.
+//
+// The library's internal invariants stay ACCL_CHECK aborts (violating them
+// means corruption), but *user-supplied configuration* — engine options,
+// shard counts, boundary arrays — is input, not an invariant, and bad
+// input must surface as a diagnosable error at construction instead of an
+// abort (or worse, a crash deep inside the first operation that happens to
+// exercise the bad knob). Factories return Status plus a null object;
+// validating entry points return Status directly.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace accl {
+
+class Status {
+ public:
+  /// Default-constructed Status is OK.
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    Status s;
+    s.ok_ = false;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  bool ok() const { return ok_; }
+  /// Empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+}  // namespace accl

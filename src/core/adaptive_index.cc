@@ -113,6 +113,14 @@ void AdaptiveIndex::BulkInsert(Span<const ObjectId> ids,
   }
 }
 
+size_t AdaptiveIndex::BulkErase(Span<const ObjectId> ids) {
+  size_t erased = 0;
+  for (const ObjectId id : ids) {
+    if (Erase(id)) ++erased;
+  }
+  return erased;
+}
+
 void AdaptiveIndex::ForEachObject(
     const std::function<void(ObjectId, BoxView)>& fn) const {
   for (const auto& up : clusters_) {

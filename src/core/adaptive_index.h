@@ -115,6 +115,14 @@ class AdaptiveIndex : public SpatialIndex {
   /// incremental rehashes per object.
   void BulkInsert(Span<const ObjectId> ids, Span<const float> coords);
 
+  /// Bulk erase-by-id: removes every listed id that is present and returns
+  /// how many were. Unknown ids are skipped, not errors — this is the
+  /// deferred-cleanup hook for the sharded engine's double-residency
+  /// migration, where a concurrent Unsubscribe may legitimately have
+  /// removed a source copy between the grace period and the cleanup pass.
+  /// Equivalent to calling Erase per id in order.
+  size_t BulkErase(Span<const ObjectId> ids);
+
   /// Visits every live object as (id, box view). Iteration order is
   /// cluster-table order, slot order within a cluster — deterministic for a
   /// deterministic operation history. The views are only valid inside the

@@ -1,0 +1,162 @@
+#include "exec/epoch.h"
+
+#include <thread>
+
+namespace accl::exec {
+
+namespace {
+
+/// Process-wide dense thread ordinal, assigned on first use. Only a probe
+/// seed (steady-state readers land on "their" slot immediately), never a
+/// correctness input, so sharing it across managers is fine.
+size_t ThreadOrdinal() {
+  static std::atomic<size_t> counter{0};
+  thread_local const size_t ordinal =
+      counter.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+}  // namespace
+
+EpochManager::EpochManager(size_t min_slots) {
+  SlotBlock* tail = &head_;
+  for (size_t have = SlotBlock::kSlots; have < min_slots;
+       have += SlotBlock::kSlots) {
+    auto* b = new SlotBlock();
+    tail->next.store(b, std::memory_order_release);
+    tail = b;
+  }
+}
+
+EpochManager::~EpochManager() {
+  // No reader may be pinned here (the owner is being destroyed), so every
+  // pending deleter is safe to run.
+  {
+    std::lock_guard<std::mutex> lk(retire_mu_);
+    for (Retired& r : retired_) r.deleter();
+    reclaimed_count_.fetch_add(retired_.size(), std::memory_order_relaxed);
+    retired_.clear();
+  }
+  SlotBlock* b = head_.next.load(std::memory_order_acquire);
+  while (b != nullptr) {
+    SlotBlock* next = b->next.load(std::memory_order_acquire);
+    delete b;
+    b = next;
+  }
+}
+
+EpochManager::Guard EpochManager::Pin() {
+  pins_.fetch_add(1, std::memory_order_relaxed);
+  const size_t start = ThreadOrdinal() % SlotBlock::kSlots;
+  for (;;) {
+    for (SlotBlock* b = &head_; b != nullptr;
+         b = b->next.load(std::memory_order_acquire)) {
+      for (size_t i = 0; i < SlotBlock::kSlots; ++i) {
+        Slot& s = b->slots[(start + i) % SlotBlock::kSlots];
+        uint64_t expected = 0;
+        // Epoch loaded immediately before the claim: if the publisher bumps
+        // in between, the slot just advertises a slightly stale (smaller)
+        // epoch and Synchronize waits for us conservatively.
+        const uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+        if (s.epoch.compare_exchange_strong(expected, e,
+                                            std::memory_order_seq_cst)) {
+          return Guard(&s.epoch, e);
+        }
+      }
+    }
+    Grow();  // every slot momentarily claimed: add capacity and retry
+  }
+}
+
+EpochManager::SlotBlock* EpochManager::Grow() {
+  std::lock_guard<std::mutex> lk(grow_mu_);
+  SlotBlock* tail = &head_;
+  for (SlotBlock* n = tail->next.load(std::memory_order_acquire); n != nullptr;
+       n = tail->next.load(std::memory_order_acquire)) {
+    tail = n;
+  }
+  auto* b = new SlotBlock();
+  tail->next.store(b, std::memory_order_release);
+  return b;
+}
+
+uint64_t EpochManager::MinActiveEpoch() const {
+  uint64_t min = ~0ull;
+  for (const SlotBlock* b = &head_; b != nullptr;
+       b = b->next.load(std::memory_order_acquire)) {
+    for (const Slot& s : b->slots) {
+      const uint64_t e = s.epoch.load(std::memory_order_seq_cst);
+      if (e != 0 && e < min) min = e;
+    }
+  }
+  return min;
+}
+
+void EpochManager::Retire(std::function<void()> deleter) {
+  std::lock_guard<std::mutex> lk(retire_mu_);
+  // Epoch read inside the lock: appends stay epoch-ordered, so reclamation
+  // can stop at the first too-recent entry.
+  retired_.push_back(
+      Retired{global_epoch_.load(std::memory_order_seq_cst),
+              std::move(deleter)});
+  retired_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t EpochManager::ReclaimUpTo(uint64_t min_active) {
+  // Deleters run under retire_mu_, which is what guarantees they never run
+  // concurrently with one another. They must not re-enter the manager.
+  std::lock_guard<std::mutex> lk(retire_mu_);
+  size_t ran = 0;
+  while (ran < retired_.size() && retired_[ran].epoch < min_active) {
+    retired_[ran].deleter();
+    ++ran;
+  }
+  retired_.erase(retired_.begin(), retired_.begin() + ran);
+  reclaimed_count_.fetch_add(ran, std::memory_order_relaxed);
+  return ran;
+}
+
+size_t EpochManager::TryReclaim() {
+  // If nobody is pinned, everything already retired is reclaimable: any pin
+  // that begins after this scan follows it in the seq_cst total order, so
+  // its subsequent reads observe the publications that preceded the
+  // corresponding Retire calls.
+  return ReclaimUpTo(MinActiveEpoch());
+}
+
+void EpochManager::Synchronize() {
+  synchronizes_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t next =
+      global_epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  // Wait for every reader still pinned at a pre-bump epoch. Readers never
+  // block on the caller (pins cover pure read work), so this terminates.
+  for (;;) {
+    bool busy = false;
+    for (const SlotBlock* b = &head_; b != nullptr && !busy;
+         b = b->next.load(std::memory_order_acquire)) {
+      for (const Slot& s : b->slots) {
+        const uint64_t e = s.epoch.load(std::memory_order_seq_cst);
+        if (e != 0 && e < next) {
+          busy = true;
+          break;
+        }
+      }
+    }
+    if (!busy) break;
+    std::this_thread::yield();
+  }
+  ReclaimUpTo(next);
+}
+
+EpochManagerStats EpochManager::stats() const {
+  EpochManagerStats st;
+  st.epoch = global_epoch_.load(std::memory_order_seq_cst);
+  st.pins = pins_.load(std::memory_order_relaxed);
+  st.synchronizes = synchronizes_.load(std::memory_order_relaxed);
+  st.retired = retired_count_.load(std::memory_order_relaxed);
+  st.reclaimed = reclaimed_count_.load(std::memory_order_relaxed);
+  st.retired_pending = st.retired - st.reclaimed;
+  return st;
+}
+
+}  // namespace accl::exec

@@ -8,6 +8,17 @@
 // same queue while waiting, so a pool constructed with zero workers degrades
 // to plain serial execution instead of deadlocking, and a pool of W workers
 // gives W+1-way concurrency to the fork-join sections that use it.
+//
+// Interplay with epoch-based reclamation (exec/epoch.h): a fan-out caller
+// that reads epoch-protected state pins ONCE, before submitting, and keeps
+// the guard alive across ParallelFor — the workers (and any task the helping
+// caller steals from an overlapping ParallelFor) are covered by the
+// submitting caller's pin, because every task completes before that caller's
+// guard is released. Workers therefore never pin epochs themselves, and a
+// grace period can never deadlock on the pool: Synchronize() is only called
+// with no pin held (see SubscriptionEngine::MaybeAutoRebalance), and pinned
+// readers never block on the epoch publisher. Size an EpochManager's slot
+// hint from concurrency() times the expected concurrent callers.
 #pragma once
 
 #include <condition_variable>

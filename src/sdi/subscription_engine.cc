@@ -1,7 +1,10 @@
 #include "sdi/subscription_engine.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <numeric>
+#include <utility>
 
 #include "exec/shard_queues.h"
 #include "util/check.h"
@@ -23,6 +26,11 @@ uint32_t SliceOf(const std::vector<float>& bounds, float x) {
       std::upper_bound(bounds.begin(), bounds.end(), x) - bounds.begin());
 }
 
+const std::vector<float>& NoBounds() {
+  static const std::vector<float> empty;
+  return empty;
+}
+
 }  // namespace
 
 Event Event::Point(std::vector<float> normalized_point) {
@@ -39,34 +47,96 @@ Event Event::Range(Box normalized_box) {
   return e;
 }
 
+Status SubscriptionEngine::ValidateOptions(const AttributeSchema& schema,
+                                           const EngineOptions& o) {
+  if (schema.dims() == 0) {
+    return Status::InvalidArgument(
+        "schema must define at least one attribute");
+  }
+  if (o.shards < 1) {
+    return Status::InvalidArgument("shards must be >= 1");
+  }
+  if (o.index.division_factor < 2) {
+    return Status::InvalidArgument(
+        "index.division_factor must be >= 2 (the clustering function "
+        "cannot divide a domain into fewer than two parts)");
+  }
+  if (o.index.max_clusters < 1) {
+    return Status::InvalidArgument("index.max_clusters must be >= 1");
+  }
+  if (!(o.rebalance_trigger_ratio > 0.0)) {
+    return Status::InvalidArgument(
+        "rebalance_trigger_ratio must be > 0 (and not NaN)");
+  }
+  const bool custom = static_cast<bool>(o.partitioner);
+  if (o.sharding == ShardingPolicy::kRange) {
+    if (custom) {
+      return Status::InvalidArgument(
+          "a custom partitioner is incompatible with ShardingPolicy::kRange "
+          "(it would silently disable routed dispatch and rebalancing; pick "
+          "one)");
+    }
+    if (o.shards < 2) {
+      return Status::InvalidArgument(
+          "ShardingPolicy::kRange needs shards >= 2 (K-1 slice shards plus "
+          "the overflow shard)");
+    }
+    if (!o.range_boundaries.empty()) {
+      if (o.range_boundaries.size() != static_cast<size_t>(o.shards) - 2) {
+        return Status::InvalidArgument(
+            "range_boundaries must have exactly shards-2 interior fences "
+            "(or be empty for a uniform split)");
+      }
+      for (size_t i = 1; i < o.range_boundaries.size(); ++i) {
+        if (!(o.range_boundaries[i - 1] < o.range_boundaries[i])) {
+          return Status::InvalidArgument(
+              "range_boundaries must be strictly ascending");
+        }
+      }
+    }
+  }
+  // match_threads == 0 is documented as "caller thread does everything".
+  return Status::Ok();
+}
+
+std::unique_ptr<SubscriptionEngine> SubscriptionEngine::Create(
+    AttributeSchema schema, EngineOptions options, Status* status) {
+  const Status st = ValidateOptions(schema, options);
+  if (status != nullptr) *status = st;
+  if (!st.ok()) return nullptr;
+  return std::unique_ptr<SubscriptionEngine>(
+      new SubscriptionEngine(std::move(schema), std::move(options)));
+}
+
 SubscriptionEngine::SubscriptionEngine(AttributeSchema schema,
                                        EngineOptions options)
-    : schema_(std::move(schema)), options_(std::move(options)) {
-  ACCL_CHECK(schema_.dims() > 0);
-  ACCL_CHECK(options_.shards >= 1);
+    : schema_(std::move(schema)),
+      options_(std::move(options)),
+      // Slot sizing is a contention hint: the pool's fan-out runs under the
+      // caller's single pin, so concurrent pins ~= concurrent callers.
+      epoch_(static_cast<size_t>(options_.match_threads) + 8) {
+  const Status st = ValidateOptions(schema_, options_);
+  if (!st.ok()) {
+    std::fprintf(stderr, "SubscriptionEngine: invalid configuration: %s\n",
+                 st.message().c_str());
+    std::abort();
+  }
   options_.index.nd = schema_.dims();
   shards_.reserve(options_.shards);
   for (uint32_t s = 0; s < options_.shards; ++s) {
     shards_.push_back(std::make_unique<Shard>(options_.index));
   }
+  std::vector<float> bounds;
   if (options_.sharding == ShardingPolicy::kRange && !options_.partitioner) {
-    // K-1 range shards plus the overflow shard: the smallest useful K is 2.
-    ACCL_CHECK(options_.shards >= 2);
     range_routed_ = true;
     const uint32_t rk = options_.shards - 1;  // range shards
     if (!options_.range_boundaries.empty()) {
-      ACCL_CHECK(options_.range_boundaries.size() ==
-                 static_cast<size_t>(rk) - 1);
-      for (size_t i = 1; i < options_.range_boundaries.size(); ++i) {
-        ACCL_CHECK(options_.range_boundaries[i - 1] <
-                   options_.range_boundaries[i]);
-      }
-      bounds_ = options_.range_boundaries;
+      bounds = options_.range_boundaries;
     } else {
       for (uint32_t i = 1; i < rk; ++i) {
-        bounds_.push_back(kDomainMin +
-                          (kDomainMax - kDomainMin) * static_cast<float>(i) /
-                              static_cast<float>(rk));
+        bounds.push_back(kDomainMin +
+                         (kDomainMax - kDomainMin) * static_cast<float>(i) /
+                             static_cast<float>(rk));
       }
     }
   }
@@ -76,6 +146,31 @@ SubscriptionEngine::SubscriptionEngine(AttributeSchema schema,
   if (options_.match_threads > 1) {
     pool_ = std::make_unique<exec::ThreadPool>(options_.match_threads - 1);
   }
+  auto* snap = new RoutingSnapshot();
+  snap->bounds = std::move(bounds);
+  snap->version = 1;
+  snap->shards.reserve(shards_.size());
+  for (const auto& sh : shards_) snap->shards.push_back(sh.get());
+  snapshot_.store(snap, std::memory_order_seq_cst);
+}
+
+SubscriptionEngine::~SubscriptionEngine() {
+  pool_.reset();         // join workers before tearing down routing state
+  epoch_.Synchronize();  // reclaim retired snapshots (no readers remain)
+  delete snapshot_.load(std::memory_order_acquire);
+}
+
+void SubscriptionEngine::PublishSnapshot(std::vector<float> bounds) {
+  const RoutingSnapshot* old = SnapshotUnderRebalanceLock();
+  auto* next = new RoutingSnapshot();
+  next->bounds = std::move(bounds);
+  next->version = old->version + 1;
+  next->shards = old->shards;
+  // seq_cst swap: a reader whose pin the next grace-period scan does not
+  // observe is ordered after this store and must load `next` (see the
+  // epoch manager's memory-ordering contract).
+  snapshot_.store(next, std::memory_order_seq_cst);
+  epoch_.Retire([old] { delete old; });
 }
 
 uint32_t SubscriptionEngine::RangeShardFor(const std::vector<float>& bounds,
@@ -95,11 +190,6 @@ void SubscriptionEngine::RouteEvent(const std::vector<float>& bounds,
   const uint32_t b = SliceOf(bounds, box.hi(0));
   for (uint32_t s = a; s <= b; ++s) out->push_back(s);
   out->push_back(static_cast<uint32_t>(shards_.size() - 1));
-}
-
-std::vector<float> SubscriptionEngine::SnapshotBounds() const {
-  std::lock_guard<std::mutex> lk(route_mu_);
-  return bounds_;
 }
 
 uint32_t SubscriptionEngine::ShardFor(SubscriptionId id, const Box& box,
@@ -139,18 +229,18 @@ SubscriptionId SubscriptionEngine::SubscribeBox(const Box& box) {
     id = next_id_++;
   }
   // kRange holds the rebalance lock from target choice through owner-map
-  // publish: a boundary change (publish + migration scan, which runs
-  // entirely under rebalance_mu_) is then serialized either before this
+  // publish: a boundary change (the whole double-residency protocol runs
+  // under rebalance_mu_) is then serialized either before this
   // subscription (so we route with the new table) or after it (so its
-  // migration scan sees our insert). route_mu_ itself stays a short
-  // snapshot lock, so concurrent matching never stalls behind an insert.
+  // migration scan sees our insert). Matching needs no lock we hold, so it
+  // proceeds throughout.
   std::unique_lock<std::mutex> rebalance_lk;
-  std::vector<float> bounds;
+  const std::vector<float>* bounds = &NoBounds();
   if (range_routed_) {
     rebalance_lk = std::unique_lock<std::mutex>(rebalance_mu_);
-    bounds = SnapshotBounds();
+    bounds = &SnapshotUnderRebalanceLock()->bounds;
   }
-  const uint32_t s = ShardFor(id, box, bounds);
+  const uint32_t s = ShardFor(id, box, *bounds);
   {
     std::lock_guard<std::mutex> lk(shards_[s]->mu);
     shards_[s]->index->Insert(id, box.view());
@@ -188,21 +278,22 @@ void SubscriptionEngine::SubscribeBatch(Span<const Box> boxes,
 
   // Same rebalance-lock discipline as SubscribeBox, held across the whole
   // grouped insert so a boundary change serializes entirely before or
-  // after the batch; matching only needs route_mu_, which is not held
-  // here, so it proceeds throughout.
+  // after the batch; matching routes with the epoch-published snapshot and
+  // proceeds throughout.
   std::unique_lock<std::mutex> rebalance_lk;
+  const std::vector<float>* bounds = &NoBounds();
   if (range_routed_) {
     rebalance_lk = std::unique_lock<std::mutex>(rebalance_mu_);
+    bounds = &SnapshotUnderRebalanceLock()->bounds;
   }
 
   // Group per target shard; each queue keeps batch order, so the per-shard
   // insert sequences are exactly the subsequences a SubscribeBox loop
   // would have produced.
-  const std::vector<float> bounds = SnapshotBounds();
   exec::ShardQueues queues;
   queues.Build(n, shards_.size(), [&](size_t i, std::vector<uint32_t>* t) {
     t->push_back(
-        ShardFor(first + static_cast<SubscriptionId>(i), boxes[i], bounds));
+        ShardFor(first + static_cast<SubscriptionId>(i), boxes[i], *bounds));
   });
 
   for (size_t s = 0; s < shards_.size(); ++s) {
@@ -232,24 +323,41 @@ void SubscriptionEngine::SubscribeBatch(Span<const Box> boxes,
 
 bool SubscriptionEngine::Unsubscribe(SubscriptionId id) {
   uint32_t s;
+  uint32_t second = 0;
+  bool has_second = false;
   {
     std::lock_guard<std::mutex> lk(meta_mu_);
     auto it = shard_of_.find(id);
     if (it == shard_of_.end()) return false;
     s = it->second;
     shard_of_.erase(it);
+    auto jt = second_home_.find(id);
+    if (jt != second_home_.end()) {
+      second = jt->second;
+      has_second = true;
+      second_home_.erase(jt);
+    }
   }
-  bool erased;
+  // Both map entries are gone in one atomic step, so no migration phase
+  // will touch this id again (each phase re-checks the maps under
+  // meta_mu_) — the index copies below are exclusively ours to erase, and
+  // a mapped id must exist in its mapped shard(s).
   {
     std::lock_guard<std::mutex> lk(shards_[s]->mu);
-    erased = shards_[s]->index->Erase(id);
+    const bool erased = shards_[s]->index->Erase(id);
+    ACCL_CHECK(erased);
   }
-  // The owner map is the single source of truth for liveness; a mapped id
-  // must exist in its shard. (A migration racing this call either re-homed
-  // the id before our map read — then `s` is the new shard — or observes
-  // the missing map entry and skips the id, so the erase cannot go stale.)
-  ACCL_CHECK(erased);
   shards_[s]->subs.fetch_sub(1, std::memory_order_relaxed);
+  if (has_second) {
+    // Mid-migration double residency: the destination copy was inserted
+    // under the same meta critical section that registered second_home_,
+    // so it must still be present. It never counted toward the
+    // destination's `subs` (ownership stays at the source until cleanup),
+    // so no counter update here.
+    std::lock_guard<std::mutex> lk(shards_[second]->mu);
+    const bool erased = shards_[second]->index->Erase(id);
+    ACCL_CHECK(erased);
+  }
   subscription_count_.fetch_sub(1, std::memory_order_relaxed);
   return true;
 }
@@ -273,13 +381,18 @@ std::vector<SubscriptionEngine::ShardInfo> SubscriptionEngine::GetShardInfos()
 }
 
 std::vector<float> SubscriptionEngine::GetRangeBoundaries() const {
-  return SnapshotBounds();
+  exec::EpochManager::Guard guard = epoch_.Pin();
+  // The copy happens while pinned; the guard dies after the return value
+  // is constructed.
+  return snapshot_.load(std::memory_order_seq_cst)->bounds;
 }
 
 uint64_t SubscriptionEngine::routing_version() const {
-  std::lock_guard<std::mutex> lk(route_mu_);
-  return routing_version_;
+  exec::EpochManager::Guard guard = epoch_.Pin();
+  return snapshot_.load(std::memory_order_seq_cst)->version;
 }
+
+void SubscriptionEngine::SynchronizeEpochs() { epoch_.Synchronize(); }
 
 Relation SubscriptionEngine::RelationFor(const Event& event,
                                          MatchPolicy policy) {
@@ -292,7 +405,7 @@ Relation SubscriptionEngine::RelationFor(const Event& event,
 
 void SubscriptionEngine::RecordEvent(size_t matches, size_t verified,
                                      double latency_ms) {
-  std::lock_guard<std::mutex> lk(meta_mu_);
+  std::lock_guard<std::mutex> lk(stats_mu_);
   stats_.match_latency_ms.Add(latency_ms);
   ++stats_.events_processed;
   stats_.matches_per_event.Add(static_cast<double>(matches));
@@ -310,21 +423,39 @@ void SubscriptionEngine::Match(const Event& event, MatchPolicy policy,
   WallTimer t;
   size_t matched = 0;
   size_t verified = 0;
-  const auto run = [&](Shard& sh) {
-    sh.routed.fetch_add(1, std::memory_order_relaxed);
-    QueryMetrics m;
-    std::lock_guard<std::mutex> lk(sh.mu);
-    sh.index->Execute(q, out, &m);
-    matched += m.result_count;
-    verified += m.objects_verified;
-  };
-  if (range_routed_) {
-    std::vector<uint32_t> route;
-    RouteEvent(SnapshotBounds(), event.box, &route);
-    for (const uint32_t s : route) run(*shards_[s]);
-  } else {
-    for (const auto& sh : shards_) run(*sh);
-  }
+  {
+    // The pin covers routing AND shard execution: the grace period a
+    // migration waits out must include readers that routed with the old
+    // table but have not yet looked inside the source shard.
+    exec::EpochManager::Guard guard = epoch_.Pin();
+    const RoutingSnapshot* snap = snapshot_.load(std::memory_order_seq_cst);
+    // Returns the raw (pre-dedup) match count; the kRange branch discards
+    // it and recounts after deduplication instead.
+    const auto run = [&](Shard& sh) -> size_t {
+      sh.routed.fetch_add(1, std::memory_order_relaxed);
+      QueryMetrics m;
+      std::lock_guard<std::mutex> lk(sh.mu);
+      sh.index->Execute(q, out, &m);
+      verified += m.objects_verified;
+      return m.result_count;
+    };
+    if (range_routed_) {
+      const size_t first = out->size();
+      std::vector<uint32_t> route;
+      RouteEvent(snap->bounds, event.box, &route);
+      for (const uint32_t s : route) run(*snap->shards[s]);
+      // A migrating subscription may be double-resident in two routed
+      // shards; the ObjectId sort makes duplicates adjacent and one
+      // unique pass removes them (this is also what makes the routed
+      // Match order deterministic across boundary configurations).
+      std::sort(out->begin() + first, out->end());
+      out->erase(std::unique(out->begin() + first, out->end()), out->end());
+      matched = out->size() - first;
+    } else {
+      for (const auto& sh : shards_) matched += run(*sh);
+    }
+  }  // unpin before MaybeAutoRebalance: its grace-period wait would
+     // otherwise deadlock on our own pin
   RecordEvent(matched, verified, t.ElapsedMs());
   MaybeAutoRebalance(1);
 }
@@ -345,21 +476,33 @@ void SubscriptionEngine::MatchBatch(Span<const Event> events,
   if (ne == 0) return;
   WallTimer t;
 
+  // Pin once for the whole batch; the pool workers below run under this
+  // pin (they finish before ParallelFor returns, and the guard outlives
+  // it), so they never touch the epoch machinery themselves.
+  exec::EpochManager::Guard guard = epoch_.Pin();
+  const RoutingSnapshot* snap = snapshot_.load(std::memory_order_seq_cst);
+  out->routing_version = snap->version;
+  out->epoch = guard.epoch();
+
   // Per-shard work queues. Broadcast policies enqueue every event on every
-  // shard; kRange asks the router, under one boundary snapshot for the
-  // whole batch, which shards each event's box overlaps.
+  // shard; kRange asks the router, under the one snapshot the whole batch
+  // shares, which shards each event's box overlaps.
   exec::ShardQueues queues;
   if (range_routed_) {
-    const std::vector<float> bounds = SnapshotBounds();
     queues.Build(ne, k, [&](size_t e, std::vector<uint32_t>* targets) {
-      RouteEvent(bounds, events[e].box, targets);
+      RouteEvent(snap->bounds, events[e].box, targets);
     });
+    // Overflow-pressure gauge: resident (owned) subscriptions in the
+    // overflow shard at dispatch time.
+    out->per_shard[k - 1].overflow_subscriptions =
+        snap->shards[k - 1]->subs.load(std::memory_order_relaxed);
   } else {
     queues.BuildBroadcast(ne, k);
   }
   for (size_t s = 0; s < k; ++s) {
     out->per_shard[s].events_routed = queues.size(s);
-    shards_[s]->routed.fetch_add(queues.size(s), std::memory_order_relaxed);
+    snap->shards[s]->routed.fetch_add(queues.size(s),
+                                      std::memory_order_relaxed);
   }
 
   // Per-shard scratch: one flat id vector with per-queue-position offsets
@@ -383,7 +526,7 @@ void SubscriptionEngine::MatchBatch(Span<const Event> events,
     ShardScratch& sc = scratch[s];
     sc.offsets.resize(nq + 1, 0);
     sc.verified.resize(nq, 0);
-    Shard& sh = *shards_[s];
+    Shard& sh = *snap->shards[s];
     std::lock_guard<std::mutex> lk(sh.mu);
     for (size_t j = 0; j < nq; ++j) {
       const Event& ev = events[q_items[j]];
@@ -400,11 +543,17 @@ void SubscriptionEngine::MatchBatch(Span<const Event> events,
   } else {
     for (size_t s = 0; s < k; ++s) run_shard(s);
   }
+  // Shard reads are done; the merge below only touches our own scratch.
+  // Unpinning now shortens the grace period concurrent migrations wait
+  // for — and MaybeAutoRebalance below must not run pinned.
+  guard.Release();
 
   // Deterministic merge: walk each shard's queue with a cursor, shard-order
   // concatenation per event, then ObjectId sort — byte-identical output for
-  // any shard/thread/boundary configuration (each subscription lives in
-  // exactly one shard, so ids are unique).
+  // any shard/thread/boundary configuration. Under kRange a migrating
+  // subscription can be double-resident in two routed shards, so the
+  // sorted run is also deduplicated (duplicates are adjacent; one cheap
+  // unique pass).
   std::vector<size_t> cursor(k, 0);
   std::vector<uint64_t> verified_per_event(ne, 0);
   for (size_t e = 0; e < ne; ++e) {
@@ -427,16 +576,19 @@ void SubscriptionEngine::MatchBatch(Span<const Event> events,
       ++cursor[s];
     }
     std::sort(dst.begin(), dst.end());
+    if (range_routed_) {
+      dst.erase(std::unique(dst.begin(), dst.end()), dst.end());
+    }
   }
   out->AggregateShards();
   // Latency is read after the merge so the batch path reports the same
   // end-to-end per-event cost Match() reports for its full path.
   const double per_event_ms = t.ElapsedMs() / static_cast<double>(ne);
-  // One stats-lock acquisition for the whole batch: meta_mu_ also guards id
-  // allocation, so taking it per event would serialize the batched hot path
-  // against concurrent subscribers ne times over.
+  // One stats-lock acquisition for the whole batch; stats_mu_ guards only
+  // the statistics, so the batched hot path never contends with id
+  // allocation or ownership updates.
   {
-    std::lock_guard<std::mutex> lk(meta_mu_);
+    std::lock_guard<std::mutex> lk(stats_mu_);
     for (size_t e = 0; e < ne; ++e) {
       stats_.match_latency_ms.Add(per_event_ms);
       ++stats_.events_processed;
@@ -494,6 +646,32 @@ bool SubscriptionEngine::SetRangeBoundaries(const std::vector<float>& bounds) {
   return true;
 }
 
+SubscriptionEngine::RebalanceLoadSnapshot
+SubscriptionEngine::GetRebalanceLoadSnapshot() const {
+  RebalanceLoadSnapshot snap;
+  if (!range_routed_) return snap;
+  std::lock_guard<std::mutex> lk(rebalance_mu_);
+  const size_t rk = shards_.size() - 1;
+  snap.range_loads.resize(rk);
+  for (size_t s = 0; s < rk; ++s) {
+    const uint64_t window =
+        shards_[s]->routed.load(std::memory_order_relaxed) -
+        routed_at_reset_[s];
+    snap.range_loads[s] =
+        shards_[s]->subs.load(std::memory_order_relaxed) + window;
+  }
+  snap.overflow_subscriptions =
+      shards_[rk]->subs.load(std::memory_order_relaxed);
+  snap.total_subscriptions =
+      subscription_count_.load(std::memory_order_relaxed);
+  snap.straddler_fraction =
+      snap.total_subscriptions == 0
+          ? 0.0
+          : static_cast<double>(snap.overflow_subscriptions) /
+                static_cast<double>(snap.total_subscriptions);
+  return snap;
+}
+
 bool SubscriptionEngine::RebalanceLocked(bool force) {
   const size_t rk = shards_.size() - 1;  // range shards; overflow excluded
   if (rk < 2) return false;
@@ -536,57 +714,74 @@ bool SubscriptionEngine::RebalanceLocked(bool force) {
   const size_t h = load[best_f] >= load[best_f + 1] ? best_f : best_f + 1;
   const size_t l = h == best_f ? best_f + 1 : best_f;
 
-  std::vector<float> bounds = SnapshotBounds();
-  // Donor residents' leading-dimension endpoints — the one FACING the
-  // receiver. A donor resident leaves when the moving fence passes that
-  // endpoint: shedding downward, every box with lo0 < fence leaves (to
-  // the receiver if it fits, to overflow if it straddles); shedding
-  // upward, every box with hi0 >= fence leaves. Ranking by the
-  // receiver-facing endpoint therefore predicts the donor's loss
-  // *exactly*, straddlers included — ranking by the far endpoint counts
-  // only the boxes that clear the fence entirely, so the straddler spill
-  // to overflow comes on top of the plan, overshoots in dense regions,
-  // and makes repeated passes slosh the same residents back and forth
-  // forever.
-  std::vector<float> keys;
+  std::vector<float> bounds = SnapshotUnderRebalanceLock()->bounds;
+  // Donor residents' leading-dimension extents. The move is ranked by the
+  // endpoint FACING the receiver: a donor resident leaves when the moving
+  // fence passes that endpoint — shedding downward, every box with
+  // lo0 < fence leaves (to the receiver if it fits, to overflow if it
+  // straddles); shedding upward, every box with hi0 >= fence leaves.
+  // Ranking by the receiver-facing endpoint therefore predicts the donor's
+  // loss *exactly*, straddlers included — ranking by the far endpoint
+  // counts only the boxes that clear the fence entirely, so the straddler
+  // spill to overflow comes on top of the plan, overshoots in dense
+  // regions, and makes repeated passes slosh the same residents back and
+  // forth forever. Both endpoints are kept so the planner can also report
+  // how much of the loss is straddler spill.
+  std::vector<std::pair<float, float>> exts;  // (lo0, hi0)
   {
     std::lock_guard<std::mutex> lk(shards_[h]->mu);
-    keys.reserve(shards_[h]->index->size());
+    exts.reserve(shards_[h]->index->size());
     shards_[h]->index->ForEachObject([&](ObjectId, BoxView b) {
-      keys.push_back(l < h ? b.lo(0) : b.hi(0));
+      exts.emplace_back(b.lo(0), b.hi(0));
     });
   }
-  if (keys.size() < 2) return false;
-  std::sort(keys.begin(), keys.end());
+  if (exts.size() < 2) return false;
+  const bool receiver_below = l < h;
+  std::sort(exts.begin(), exts.end(),
+            [receiver_below](const auto& a, const auto& b) {
+              return receiver_below ? a.first < b.first : a.second < b.second;
+            });
   // Shed enough residents to halve the pair's load gap (per-resident load
-  // approximated as load[h]/keys.size()). Halving — not equal-splitting the
+  // approximated as load[h]/exts.size()). Halving — not equal-splitting the
   // donor — is what makes repeated passes converge to a fixed point; a
   // move that rounds to zero residents is below the resolution of the
   // boundary and refused.
   size_t m = static_cast<size_t>(
-      static_cast<uint64_t>(keys.size()) * best_gap / (2 * load[h]));
+      static_cast<uint64_t>(exts.size()) * best_gap / (2 * load[h]));
   if (m == 0) return false;
-  m = std::min(m, keys.size() - 1);
+  m = std::min(m, exts.size() - 1);
 
   float new_fence;
   size_t fence;  // index into bounds of the shared fence
-  if (l < h) {
+  if (receiver_below) {
     // Receiver below: fence between slices l and h is bounds[h-1]; move it
     // up past the m smallest lower endpoints. Those m residents leave the
     // donor — to l when they fit the grown slice, to overflow when they
     // span the new fence.
     fence = h - 1;
-    new_fence = keys[m];
+    new_fence = exts[m].first;
     if (new_fence <= bounds[fence]) return false;  // mass sits on the edge
   } else {
     // Receiver above: fence bounds[h] moves down past the m largest upper
     // endpoints; the residents whose hi0 the fence passed leave the donor.
     fence = h;
-    new_fence = keys[keys.size() - m];
+    new_fence = exts[exts.size() - m].second;
     if (new_fence >= bounds[fence]) return false;
     if (fence >= 1 && new_fence <= bounds[fence - 1]) return false;
   }
   bounds[fence] = new_fence;
+
+  // Predicted straddler spill: departing donors that straddle the NEW
+  // fence land in the overflow shard instead of the receiver. Reported
+  // (not yet acted on) — this is the load signal for overflow-aware fence
+  // placement. Donor residents lie entirely inside slice h, so the moved
+  // fence is the only one they can straddle.
+  uint64_t spill = 0;
+  for (const auto& [lo0, hi0] : exts) {
+    if (lo0 < new_fence && hi0 >= new_fence) ++spill;
+  }
+  predicted_spill_last_.store(spill, std::memory_order_relaxed);
+  predicted_spill_total_.fetch_add(spill, std::memory_order_relaxed);
 
   // Only the donor's residents and the overflow shard's straddlers can be
   // re-routed by a single-fence move (the receiver's slice only grew), so
@@ -603,67 +798,113 @@ bool SubscriptionEngine::RebalanceLocked(bool force) {
 
 size_t SubscriptionEngine::ApplyBoundariesLocked(
     std::vector<float> new_bounds, const std::vector<uint32_t>& scan_shards) {
-  {
-    // Publish the table first: subscriptions arriving after this point
-    // route themselves with the new fences, so the scan below only ever
-    // chases a shrinking set of stale residents.
-    std::lock_guard<std::mutex> lk(route_mu_);
-    bounds_ = new_bounds;
-    ++routing_version_;
-  }
   const size_t stride = 2 * static_cast<size_t>(schema_.dims());
-  size_t migrated = 0;
+
+  // Phase 1 — scan: collect the residents the new table routes elsewhere.
+  // The box views die with the scan lock, so coordinates are copied out
+  // per destination. (Between migrations second_home_ is empty, so every
+  // physical resident seen here is an owned, single-resident copy.)
   struct Outgoing {
     std::vector<ObjectId> ids;
     std::vector<float> coords;
   };
+  struct SrcPlan {
+    uint32_t src;
+    std::vector<Outgoing> outgoing;                     // indexed by dst
+    std::vector<std::pair<ObjectId, uint32_t>> moved;   // (id, dst)
+  };
+  std::vector<SrcPlan> plans;
+  plans.reserve(scan_shards.size());
   for (const uint32_t src : scan_shards) {
-    // Collect residents the new table routes elsewhere; the box views die
-    // with the scan lock, so coordinates are copied out per destination.
-    std::vector<Outgoing> outgoing(shards_.size());
+    SrcPlan plan;
+    plan.src = src;
+    plan.outgoing.resize(shards_.size());
     {
       std::lock_guard<std::mutex> lk(shards_[src]->mu);
       shards_[src]->index->ForEachObject([&](ObjectId id, BoxView b) {
         const uint32_t dst = RangeShardFor(new_bounds, b.lo(0), b.hi(0));
         if (dst == src) return;
-        Outgoing& o = outgoing[dst];
+        Outgoing& o = plan.outgoing[dst];
         o.ids.push_back(id);
         o.coords.insert(o.coords.end(), b.data(), b.data() + stride);
       });
     }
+    plans.push_back(std::move(plan));
+  }
+
+  // Phase 2 — double-residency inserts: each moving subscription is copied
+  // into its destination shard while the source copy stays live, and its
+  // second home is registered in the SAME meta critical section as the
+  // insert, so Unsubscribe observes "entry implies both copies present"
+  // atomically. Readers still route with the old snapshot and find the
+  // source copies; a route covering both shards finds two copies, which
+  // the match-side adjacent-unique pass removes.
+  size_t migrated = 0;
+  for (SrcPlan& plan : plans) {
     for (uint32_t dst = 0; dst < shards_.size(); ++dst) {
-      Outgoing& o = outgoing[dst];
+      Outgoing& o = plan.outgoing[dst];
       if (o.ids.empty()) continue;
-      // Owner map + both shard locks in one atomic step: Unsubscribe and
-      // ShardOf observe each migration all-or-nothing, and matching on any
-      // shard outside {src, dst} proceeds untouched. std::scoped_lock's
-      // deadlock avoidance covers the route->shard order subscribers use.
-      std::scoped_lock lk(meta_mu_, shards_[src]->mu, shards_[dst]->mu);
-      std::vector<ObjectId> moved_ids;
-      std::vector<float> moved_coords;
-      moved_ids.reserve(o.ids.size());
-      moved_coords.reserve(o.coords.size());
+      std::scoped_lock lk(meta_mu_, shards_[dst]->mu);
+      std::vector<ObjectId> ins_ids;
+      std::vector<float> ins_coords;
+      ins_ids.reserve(o.ids.size());
+      ins_coords.reserve(o.coords.size());
       for (size_t i = 0; i < o.ids.size(); ++i) {
         const ObjectId id = o.ids[i];
         auto it = shard_of_.find(id);
-        // Unsubscribed between scan and move: nothing to migrate.
-        if (it == shard_of_.end() || it->second != src) continue;
-        const bool erased = shards_[src]->index->Erase(id);
-        ACCL_CHECK(erased);
-        it->second = dst;
-        moved_ids.push_back(id);
-        moved_coords.insert(moved_coords.end(),
-                            o.coords.begin() + i * stride,
-                            o.coords.begin() + (i + 1) * stride);
+        // Unsubscribed between scan and insert: nothing to migrate.
+        if (it == shard_of_.end() || it->second != plan.src) continue;
+        ins_ids.push_back(id);
+        ins_coords.insert(ins_coords.end(), o.coords.begin() + i * stride,
+                          o.coords.begin() + (i + 1) * stride);
+        second_home_.emplace(id, dst);
+        plan.moved.emplace_back(id, dst);
       }
       shards_[dst]->index->BulkInsert(
-          Span<const ObjectId>(moved_ids.data(), moved_ids.size()),
-          Span<const float>(moved_coords.data(), moved_coords.size()));
-      shards_[src]->subs.fetch_sub(moved_ids.size(),
-                                   std::memory_order_relaxed);
-      shards_[dst]->subs.fetch_add(moved_ids.size(),
-                                   std::memory_order_relaxed);
-      migrated += moved_ids.size();
+          Span<const ObjectId>(ins_ids.data(), ins_ids.size()),
+          Span<const float>(ins_coords.data(), ins_coords.size()));
+      migrated += ins_ids.size();
+    }
+  }
+
+  // Phase 3 — publish, then wait out the grace period: after Synchronize
+  // returns, every reader that routed with the old table has finished its
+  // shard reads, and any reader it did not wait for is guaranteed to have
+  // loaded the new snapshot (seq_cst publish ordering). Readers of the new
+  // table find the moving subscriptions at their destinations, so the
+  // source copies below are dead weight for every possible reader.
+  PublishSnapshot(std::move(new_bounds));
+  epoch_.Synchronize();
+
+  // Phase 4 — deferred source cleanup: flip ownership and bulk-erase the
+  // stale source copies. An id whose second_home_ entry is gone was
+  // unsubscribed mid-migration (Unsubscribe erased both copies); skip it.
+  for (SrcPlan& plan : plans) {
+    if (plan.moved.empty()) continue;
+    std::scoped_lock lk(meta_mu_, shards_[plan.src]->mu);
+    std::vector<ObjectId> erase_ids;
+    erase_ids.reserve(plan.moved.size());
+    std::vector<size_t> flips(shards_.size(), 0);
+    for (const auto& [id, dst] : plan.moved) {
+      auto jt = second_home_.find(id);
+      if (jt == second_home_.end()) continue;  // unsubscribed mid-flight
+      ACCL_DCHECK(jt->second == dst);
+      second_home_.erase(jt);
+      auto it = shard_of_.find(id);
+      ACCL_CHECK(it != shard_of_.end() && it->second == plan.src);
+      it->second = dst;
+      erase_ids.push_back(id);
+      ++flips[dst];
+    }
+    const size_t erased = shards_[plan.src]->index->BulkErase(
+        Span<const ObjectId>(erase_ids.data(), erase_ids.size()));
+    ACCL_CHECK(erased == erase_ids.size());
+    shards_[plan.src]->subs.fetch_sub(erase_ids.size(),
+                                      std::memory_order_relaxed);
+    for (uint32_t d = 0; d < shards_.size(); ++d) {
+      if (flips[d] != 0) {
+        shards_[d]->subs.fetch_add(flips[d], std::memory_order_relaxed);
+      }
     }
   }
   subscriptions_migrated_.fetch_add(migrated, std::memory_order_relaxed);
@@ -687,12 +928,12 @@ bool SubscriptionEngine::MakeRangeEvent(
 }
 
 EngineStats SubscriptionEngine::stats() const {
-  std::lock_guard<std::mutex> lk(meta_mu_);
+  std::lock_guard<std::mutex> lk(stats_mu_);
   return stats_;
 }
 
 void SubscriptionEngine::ResetStats() {
-  std::lock_guard<std::mutex> lk(meta_mu_);
+  std::lock_guard<std::mutex> lk(stats_mu_);
   stats_ = EngineStats();
 }
 

@@ -26,11 +26,21 @@
 // event is dispatched only to the shards whose slice its box overlaps
 // (two binary searches) plus the overflow shard — never broadcast — and
 // because any spatial relation the engine supports implies interval
-// overlap in every dimension, the routed match sets stay exact. Online
-// rebalancing (RebalanceOnce / automatic via rebalance_period) moves a
-// boundary toward the hottest shard and migrates the affected
-// subscriptions between shards under the existing per-shard locks, so
-// matching on untouched shards never blocks behind a reorganization.
+// overlap in every dimension, the routed match sets stay exact.
+//
+// Epoch-published routing snapshots: the fence array, the shard handle
+// table and a version number live in one immutable RoutingSnapshot behind
+// a single atomic pointer. Matchers pin a reclamation epoch
+// (exec/epoch.h), load the snapshot, and route the entire operation
+// against that one consistent table — no routing lock, no engine meta
+// lock. Rebalancing migrates subscriptions with a grace-period
+// *double-residency* protocol: moving subscriptions are inserted at their
+// destination first, the new snapshot is published, the old epoch drains,
+// and only then are the source copies erased — so a match running at any
+// instant of a migration sees every live subscription at least once (and
+// at most twice, which an adjacent-unique pass over the ObjectId-sorted
+// match set removes). Match sets are therefore byte-identical to the
+// serial oracle *during* a rebalance, not just after it returns.
 #pragma once
 
 #include <atomic>
@@ -44,7 +54,9 @@
 
 #include "api/batch.h"
 #include "api/schema.h"
+#include "api/status.h"
 #include "core/adaptive_index.h"
+#include "exec/epoch.h"
 #include "exec/thread_pool.h"
 #include "util/summary.h"
 
@@ -83,7 +95,10 @@ enum class ShardingPolicy : uint8_t {
 };
 
 /// Custom partitioner: maps (id, normalized subscription box, shard count)
-/// to a shard. The result is taken mod the shard count.
+/// to a shard. The result is taken mod the shard count. A default
+/// (empty) function means "use `sharding`"; combining a partitioner with
+/// ShardingPolicy::kRange is rejected by validation (the partitioner would
+/// silently disable routing and rebalancing).
 using ShardPartitionFn =
     std::function<uint32_t(SubscriptionId, const Box&, uint32_t)>;
 
@@ -116,11 +131,12 @@ struct EngineOptions {
   /// single-index engine, bit-for-bit.
   uint32_t shards = 1;
   /// Worker threads for MatchBatch's shard fan-out. 0 or 1 = the calling
-  /// thread does everything (still deterministic, still correct).
+  /// thread does everything (still deterministic, still correct) — zero is
+  /// a documented valid value, not an error.
   uint32_t match_threads = 0;
   /// How subscriptions are assigned to shards (ignored when K == 1).
   ShardingPolicy sharding = ShardingPolicy::kHashId;
-  /// Overrides `sharding` when set.
+  /// Overrides `sharding` when set. Incompatible with kRange (validated).
   ShardPartitionFn partitioner;
 
   // ---- kRange knobs (ignored by the other policies) ----
@@ -133,7 +149,7 @@ struct EngineOptions {
   uint32_t rebalance_period = 0;
   /// Auto-rebalance triggers when the hottest range shard's window load
   /// (resident subscriptions + events routed since the last rebalance)
-  /// exceeds this multiple of the mean range-shard load.
+  /// exceeds this multiple of the mean range-shard load. Must be > 0.
   double rebalance_trigger_ratio = 1.5;
   /// Auto-rebalance ignores imbalance until the total window load reaches
   /// this floor (tiny shards are cheap to visit; moving them is not).
@@ -142,22 +158,69 @@ struct EngineOptions {
 
 /// The subscription database and matcher.
 ///
-/// Thread safety: Subscribe/Unsubscribe/Match/MatchBatch/SubscribeBatch and
-/// the rebalance entry points may be called concurrently from any threads;
-/// shard state is guarded by per-shard mutexes, the routing table by a
-/// routing mutex, and engine bookkeeping by an engine mutex. Determinism is
-/// only guaranteed for a deterministic call sequence (concurrent *callers*
-/// race for lock order like any concurrent writers would). A match running
-/// concurrently with a rebalance may route with the pre-move boundary table
-/// and miss subscriptions mid-migration — the same transient window a match
-/// concurrent with Unsubscribe has always had; every Match/MatchBatch call
-/// that *starts* after a rebalance call returns is exact. (Epoch-based
-/// snapshot reads that close this window are a ROADMAP item.)
+/// Thread-safety contract (snapshot/epoch model):
+///
+///   - Match/MatchBatch never take the engine meta lock or any routing
+///     lock. The routed read path is: pin a reclamation epoch (wait-free —
+///     one CAS on a per-thread slot), load the current RoutingSnapshot
+///     from one atomic pointer, route every event of the call against that
+///     single consistent table, execute on the selected shards, unpin.
+///     The only locks a match takes are the per-shard mutexes (required:
+///     AdaptiveIndex::Execute is a logical read but a physical write — it
+///     updates the adaptation statistics) and, once at the end, a
+///     dedicated stats mutex. A match never blocks behind a rebalance; a
+///     rebalance never blocks behind a match except for the bounded grace
+///     period below.
+///
+///   - Subscribe/SubscribeBatch/Unsubscribe may be called concurrently
+///     from any threads. kRange subscribes serialize against rebalances
+///     (rebalance lock held from routing through owner-map publish);
+///     Unsubscribe is lock-ordered so it may run concurrently with an
+///     in-flight migration and still observe each subscription
+///     all-or-nothing.
+///
+///   - RebalanceOnce/SetRangeBoundaries migrate with grace-period double
+///     residency: (1) moving subscriptions are *inserted* at their
+///     destination shard, (2) the new snapshot is published, (3) the epoch
+///     manager waits until every reader pinned before the publish has
+///     drained, (4) the stale source copies are erased (deferred source
+///     cleanup via AdaptiveIndex::BulkErase). A reader on the old snapshot
+///     finds every moving subscription at its source; a reader on the new
+///     snapshot finds it at its destination; a reader whose route covers
+///     both shards finds it twice and deduplicates during the
+///     ObjectId-sorted merge. Match sets are therefore exact — identical
+///     to a serial oracle over the live subscription set — at every
+///     instant of a migration. Retired snapshots are reclaimed through the
+///     epoch manager's deferred retire list.
+///
+///   - Determinism: for a deterministic call sequence the results are
+///     byte-identical across shard/thread/boundary configurations
+///     (concurrent *callers* race for shard-lock order like any concurrent
+///     writers would). MatchBatchResult::routing_version is monotone per
+///     caller.
 class SubscriptionEngine {
  public:
-  /// Schema must be fully defined before constructing the engine.
+  /// Validates user-supplied configuration: shard count >= 1, kRange needs
+  /// K >= 2 and no custom partitioner, boundary arrays must have size K-2
+  /// and be strictly ascending, trigger ratio > 0, a schema with >= 1
+  /// attribute, and index knobs the structure can actually run with
+  /// (division_factor >= 2, max_clusters >= 1). match_threads == 0 is
+  /// valid (caller-thread execution).
+  static Status ValidateOptions(const AttributeSchema& schema,
+                                const EngineOptions& options);
+
+  /// Validating factory: returns null and fills `*status` (when non-null)
+  /// with the reason instead of aborting on invalid configuration.
+  static std::unique_ptr<SubscriptionEngine> Create(AttributeSchema schema,
+                                                    EngineOptions options,
+                                                    Status* status = nullptr);
+
+  /// Schema must be fully defined before constructing the engine. Invalid
+  /// configuration aborts with the ValidateOptions message (use Create for
+  /// a recoverable Status instead).
   explicit SubscriptionEngine(AttributeSchema schema,
                               EngineOptions options = {});
+  ~SubscriptionEngine();
 
   const AttributeSchema& schema() const { return schema_; }
 
@@ -178,7 +241,9 @@ class SubscriptionEngine {
   void SubscribeBatch(Span<const Box> boxes,
                       std::vector<SubscriptionId>* out);
 
-  /// Removes a subscription. Returns false when unknown.
+  /// Removes a subscription. Returns false when unknown. Safe concurrently
+  /// with an in-flight migration: a double-resident subscription is erased
+  /// from both homes.
   bool Unsubscribe(SubscriptionId id);
 
   size_t subscription_count() const {
@@ -186,8 +251,11 @@ class SubscriptionEngine {
   }
 
   /// Matches an event against the database; appends notified subscription
-  /// ids to `*out` (shard-major order; with one shard this is exactly the
-  /// classic engine's order). Uses the default policy unless overridden.
+  /// ids to `*out`. For broadcast policies the appended ids are in
+  /// shard-major order (with one shard this is exactly the classic
+  /// engine's order); for kRange they are sorted ascending by ObjectId and
+  /// deduplicated (double-residency may surface a migrating subscription
+  /// in two shards). Uses the default policy unless overridden.
   void Match(const Event& event, std::vector<SubscriptionId>* out);
   void Match(const Event& event, MatchPolicy policy,
              std::vector<SubscriptionId>* out);
@@ -195,11 +263,14 @@ class SubscriptionEngine {
   /// Matches a batch of events, fanning the batch across shards on the
   /// engine's thread pool — per-shard work queues: broadcast policies
   /// enqueue every event on every shard, kRange only on the shards the
-  /// router selects. `out->matches[e]` is sorted by ObjectId and
-  /// byte-identical for any shard/thread/boundary configuration. Per-shard
-  /// metrics land in `out->per_shard` (shard order), aggregated into
-  /// `out->total`; `per_shard[s].events_routed` counts the events
-  /// dispatched to shard s.
+  /// router selects (one snapshot for the whole batch). `out->matches[e]`
+  /// is sorted by ObjectId, duplicate-free, and byte-identical for any
+  /// shard/thread/boundary configuration — including while a rebalance is
+  /// in flight. Per-shard metrics land in `out->per_shard` (shard order),
+  /// aggregated into `out->total`; `per_shard[s].events_routed` counts the
+  /// events dispatched to shard s, and the overflow shard's entry carries
+  /// the `overflow_subscriptions` pressure gauge. `out->routing_version` /
+  /// `out->epoch` record the snapshot and epoch the batch ran under.
   void MatchBatch(Span<const Event> events, MatchBatchResult* out);
   void MatchBatch(Span<const Event> events, MatchPolicy policy,
                   MatchBatchResult* out);
@@ -230,7 +301,9 @@ class SubscriptionEngine {
   /// shard when K == 1).
   const AdaptiveIndex& index() const { return *shards_[0]->index; }
 
-  /// Shard of a live subscription, or shard_count() when unknown.
+  /// Shard of a live subscription, or shard_count() when unknown. During a
+  /// migration's double-residency window this reports the source (the
+  /// destination becomes the owner when the source copy is cleaned up).
   size_t ShardOf(SubscriptionId id) const;
 
   /// Per-shard load snapshot.
@@ -246,10 +319,11 @@ class SubscriptionEngine {
   /// True when the engine routes events by leading-dimension range.
   bool range_routed() const { return range_routed_; }
 
-  /// Snapshot of the interior boundary array (empty for other policies).
+  /// Copy of the current snapshot's interior boundary array (empty for
+  /// other policies). Taken under an epoch pin; lock-free.
   std::vector<float> GetRangeBoundaries() const;
 
-  /// Monotonic counter bumped on every boundary-table change.
+  /// Version of the current routing snapshot; bumped on every publish.
   uint64_t routing_version() const;
 
   /// Installs `bounds` (strictly ascending, size shard_count()-2) as the
@@ -262,20 +336,58 @@ class SubscriptionEngine {
   /// One forced load-balancing step: picks the range shard with the
   /// highest window load, moves its boundary toward it so roughly half of
   /// its subscriptions re-route to its lighter neighbor, and migrates
-  /// them. Returns true when a boundary moved. No-op (false) for
-  /// non-range engines, K < 3, or when no productive move exists.
+  /// them (double-residency protocol; see the class comment). Returns
+  /// true when a boundary moved. No-op (false) for non-range engines,
+  /// K < 3, or when no productive move exists.
   bool RebalanceOnce();
 
   /// Lifetime rebalancing counters.
   struct RebalanceStats {
     uint64_t boundary_moves = 0;
     uint64_t subscriptions_migrated = 0;
+    /// Straddler spill the rebalance planner predicted its fence moves
+    /// would send to the overflow shard (donor residents that straddle the
+    /// *new* fence instead of moving cleanly to the receiver). Reported,
+    /// not yet acted on — the load signal for overflow-aware fence
+    /// placement (ROADMAP). Lifetime sum and last move's value.
+    uint64_t predicted_straddler_spill = 0;
+    uint64_t last_predicted_straddler_spill = 0;
   };
   RebalanceStats rebalance_stats() const {
-    return RebalanceStats{
-        boundary_moves_.load(std::memory_order_relaxed),
-        subscriptions_migrated_.load(std::memory_order_relaxed)};
+    RebalanceStats st;
+    st.boundary_moves = boundary_moves_.load(std::memory_order_relaxed);
+    st.subscriptions_migrated =
+        subscriptions_migrated_.load(std::memory_order_relaxed);
+    st.predicted_straddler_spill =
+        predicted_spill_total_.load(std::memory_order_relaxed);
+    st.last_predicted_straddler_spill =
+        predicted_spill_last_.load(std::memory_order_relaxed);
+    return st;
   }
+
+  /// The load signal the rebalancer acts on, plus overflow pressure:
+  /// per-range-shard window loads (residents + events routed since the
+  /// last rebalance), the overflow shard's resident count, and the
+  /// straddler fraction (overflow residents / all residents). Empty for
+  /// non-range engines.
+  struct RebalanceLoadSnapshot {
+    std::vector<uint64_t> range_loads;
+    uint64_t overflow_subscriptions = 0;
+    uint64_t total_subscriptions = 0;
+    double straddler_fraction = 0.0;
+  };
+  RebalanceLoadSnapshot GetRebalanceLoadSnapshot() const;
+
+  // ---- Epoch subsystem introspection ----
+
+  /// Blocks until every in-flight match pinned before this call has
+  /// drained, then reclaims retired routing snapshots. Useful for tests
+  /// and orderly shutdown; never required for correctness.
+  void SynchronizeEpochs();
+
+  /// Counters of the engine's epoch manager (pins, grace periods, retired
+  /// and reclaimed snapshots).
+  exec::EpochManagerStats epoch_stats() const { return epoch_.stats(); }
 
  private:
   struct Shard {
@@ -287,8 +399,18 @@ class SubscriptionEngine {
     /// rebalancer's load signal).
     std::atomic<uint64_t> routed{0};
     /// Resident subscriptions (relaxed mirror of index->size(), readable
-    /// without the shard lock).
+    /// without the shard lock; double-resident copies count once, at the
+    /// owner).
     std::atomic<size_t> subs{0};
+  };
+
+  /// Immutable routing state, published whole behind `snapshot_`. Readers
+  /// obtain it under an epoch pin and never see it change; superseded
+  /// snapshots are retired through the epoch manager.
+  struct RoutingSnapshot {
+    std::vector<float> bounds;    ///< sorted interior fences (kRange)
+    uint64_t version = 0;
+    std::vector<Shard*> shards;   ///< handle table (Shard storage is stable)
   };
 
   /// Shard choice for one subscription. `bounds` is only read by kRange
@@ -304,19 +426,30 @@ class SubscriptionEngine {
   /// leading-dimension interval plus the overflow shard, ascending.
   void RouteEvent(const std::vector<float>& bounds, const Box& box,
                   std::vector<uint32_t>* out) const;
-  std::vector<float> SnapshotBounds() const;
+
+  /// Publisher-side snapshot access; caller holds rebalance_mu_ (the only
+  /// mutator), so a plain load is race-free.
+  const RoutingSnapshot* SnapshotUnderRebalanceLock() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
+  /// Allocates and publishes a snapshot with `bounds`, retiring the old
+  /// one through the epoch manager. Caller holds rebalance_mu_.
+  void PublishSnapshot(std::vector<float> bounds);
 
   static Relation RelationFor(const Event& event, MatchPolicy policy);
   void RecordEvent(size_t matches, size_t verified, double latency_ms);
 
-  /// Auto-rebalance hook, called after every match entry point.
+  /// Auto-rebalance hook, called after every match entry point (with no
+  /// epoch pinned: the grace-period wait inside would otherwise deadlock
+  /// on the caller's own pin).
   void MaybeAutoRebalance(uint64_t events);
   /// One boundary move; caller holds rebalance_mu_. `force` skips the
   /// trigger-ratio/min-load gate.
   bool RebalanceLocked(bool force);
-  /// Publishes `new_bounds`, then migrates every subscription in
-  /// `scan_shards` whose target changed. Caller holds rebalance_mu_.
-  /// Returns the number of subscriptions migrated.
+  /// Double-residency migration: inserts re-routed subscriptions at their
+  /// destinations, publishes `new_bounds`, waits out the grace period, and
+  /// erases the stale source copies. Caller holds rebalance_mu_. Returns
+  /// the number of subscriptions migrated.
   size_t ApplyBoundariesLocked(std::vector<float> new_bounds,
                                const std::vector<uint32_t>& scan_shards);
 
@@ -326,21 +459,20 @@ class SubscriptionEngine {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<exec::ThreadPool> pool_;  ///< null when match_threads <= 1
 
-  /// Routing table for kRange: sorted interior boundaries over the leading
-  /// dimension, size shard_count()-2. route_mu_ guards only the table
-  /// itself and is held for snapshots/publishes, never across index work —
-  /// matching is free to snapshot mid-insert and mid-migration.
-  mutable std::mutex route_mu_;
-  std::vector<float> bounds_;
-  uint64_t routing_version_ = 0;
+  /// Current routing snapshot; swapped only under rebalance_mu_, read by
+  /// matchers under an epoch pin. Never null after construction.
+  std::atomic<const RoutingSnapshot*> snapshot_{nullptr};
+  /// Reclamation epochs for snapshot readers (mutable: pinning is a
+  /// logically-const read).
+  mutable exec::EpochManager epoch_;
 
-  /// Serializes rebalances (boundary publish + migration runs entirely
-  /// under it) and kRange subscribes (held from routing through owner-map
+  /// Serializes rebalances (the whole double-residency protocol runs under
+  /// it) and kRange subscribes (held from routing through owner-map
   /// publish): a boundary change is therefore ordered strictly before or
   /// after every subscribe, so it either routes the new subscription
   /// itself or its migration scan sees the insert — a subscription can
   /// never be stranded in a shard the new table doesn't route to.
-  std::mutex rebalance_mu_;
+  mutable std::mutex rebalance_mu_;
   /// Auto-rebalance in-flight flag (mutex try_lock may fail spuriously,
   /// which would make deterministic replays skip triggers at random).
   std::atomic<bool> rebalance_inflight_{false};
@@ -350,14 +482,26 @@ class SubscriptionEngine {
   std::atomic<uint64_t> events_since_check_{0};
   std::atomic<uint64_t> boundary_moves_{0};
   std::atomic<uint64_t> subscriptions_migrated_{0};
+  std::atomic<uint64_t> predicted_spill_total_{0};
+  std::atomic<uint64_t> predicted_spill_last_{0};
 
-  mutable std::mutex meta_mu_;  ///< guards next_id_, shard_of_, stats_
+  /// Guards next_id_, shard_of_, second_home_ — never taken by
+  /// Match/MatchBatch.
+  mutable std::mutex meta_mu_;
   SubscriptionId next_id_ = 0;
   /// Owner shard of each live subscription (needed by Unsubscribe for
   /// custom/spatial partitioners whose input box is long gone, and kept
   /// exact across migrations).
   std::unordered_map<SubscriptionId, uint32_t> shard_of_;
+  /// Second residency during migration: id -> destination shard, present
+  /// exactly while a copy lives in both shards. Unsubscribe erases both;
+  /// the migration's cleanup pass claims ownership by removing the entry.
+  std::unordered_map<SubscriptionId, uint32_t> second_home_;
   std::atomic<size_t> subscription_count_{0};
+
+  /// Guards stats_ only (its own lock so the match path never contends
+  /// with id allocation or ownership updates).
+  mutable std::mutex stats_mu_;
   EngineStats stats_;
 };
 

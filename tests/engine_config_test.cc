@@ -1,0 +1,173 @@
+// Constructor-time configuration validation (api/status.h +
+// SubscriptionEngine::ValidateOptions/Create): invalid engine configs must
+// surface as a descriptive Status from the validating factory — or an
+// immediate, message-carrying abort from the constructor — never as a
+// crash deep inside the first Subscribe/Match that happens to exercise
+// the bad knob.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "sdi/subscription_engine.h"
+
+namespace accl {
+namespace {
+
+AttributeSchema SchemaWithDims(Dim nd) {
+  AttributeSchema s;
+  for (Dim d = 0; d < nd; ++d) {
+    s.AddAttribute("a" + std::to_string(d), 0.0, 1.0);
+  }
+  return s;
+}
+
+TEST(EngineConfig, ValidOptionsCreateAWorkingEngine) {
+  EngineOptions o;
+  o.shards = 4;
+  o.sharding = ShardingPolicy::kRange;
+  o.match_threads = 0;  // documented valid: caller-thread execution
+  Status st;
+  auto engine = SubscriptionEngine::Create(SchemaWithDims(3), o, &st);
+  ASSERT_TRUE(st.ok()) << st.message();
+  ASSERT_NE(engine, nullptr);
+  const SubscriptionId id =
+      engine->SubscribeBox(Box::FullDomain(3));
+  EXPECT_NE(id, kInvalidObject);
+  std::vector<SubscriptionId> out;
+  engine->Match(Event::Point(std::vector<float>(3, 0.5f)), &out);
+  EXPECT_EQ(out, std::vector<SubscriptionId>{id});
+}
+
+TEST(EngineConfig, CreateWithoutStatusPointerStillWorks) {
+  EngineOptions o;
+  o.shards = 1;
+  EXPECT_NE(SubscriptionEngine::Create(SchemaWithDims(2), o), nullptr);
+  o.shards = 0;
+  EXPECT_EQ(SubscriptionEngine::Create(SchemaWithDims(2), o), nullptr);
+}
+
+TEST(EngineConfig, ZeroShardsRejected) {
+  EngineOptions o;
+  o.shards = 0;
+  Status st;
+  EXPECT_EQ(SubscriptionEngine::Create(SchemaWithDims(2), o, &st), nullptr);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("shards"), std::string::npos);
+}
+
+TEST(EngineConfig, RangeNeedsAtLeastTwoShards) {
+  EngineOptions o;
+  o.shards = 1;
+  o.sharding = ShardingPolicy::kRange;
+  Status st;
+  EXPECT_EQ(SubscriptionEngine::Create(SchemaWithDims(2), o, &st), nullptr);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("kRange"), std::string::npos);
+}
+
+TEST(EngineConfig, RangeRejectsCustomPartitioner) {
+  // Silently letting the partitioner win would disable routing and
+  // rebalancing behind the caller's back; the combination is an error.
+  EngineOptions o;
+  o.shards = 4;
+  o.sharding = ShardingPolicy::kRange;
+  o.partitioner = [](SubscriptionId id, const Box&, uint32_t k) {
+    return static_cast<uint32_t>(id) % k;
+  };
+  Status st;
+  EXPECT_EQ(SubscriptionEngine::Create(SchemaWithDims(2), o, &st), nullptr);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("partitioner"), std::string::npos);
+}
+
+TEST(EngineConfig, DefaultConstructedPartitionerMeansUnset) {
+  // An empty std::function is the documented "use `sharding`" value, not a
+  // null callable to crash on during the first Subscribe.
+  EngineOptions o;
+  o.shards = 4;
+  o.sharding = ShardingPolicy::kRange;
+  o.partitioner = ShardPartitionFn();        // explicit empty
+  Status st;
+  auto engine = SubscriptionEngine::Create(SchemaWithDims(2), o, &st);
+  ASSERT_TRUE(st.ok()) << st.message();
+  ASSERT_NE(engine, nullptr);
+  EXPECT_TRUE(engine->range_routed());
+}
+
+TEST(EngineConfig, BoundaryArraySizeAndOrderValidated) {
+  EngineOptions o;
+  o.shards = 5;  // needs exactly 3 interior fences
+  o.sharding = ShardingPolicy::kRange;
+  Status st;
+
+  o.range_boundaries = {0.25f, 0.5f};  // wrong size
+  EXPECT_EQ(SubscriptionEngine::Create(SchemaWithDims(2), o, &st), nullptr);
+  EXPECT_FALSE(st.ok());
+
+  o.range_boundaries = {0.25f, 0.5f, 0.5f};  // not strictly ascending
+  EXPECT_EQ(SubscriptionEngine::Create(SchemaWithDims(2), o, &st), nullptr);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("ascending"), std::string::npos);
+
+  o.range_boundaries = {0.25f, 0.5f, 0.75f};
+  EXPECT_NE(SubscriptionEngine::Create(SchemaWithDims(2), o, &st), nullptr);
+  EXPECT_TRUE(st.ok());
+}
+
+TEST(EngineConfig, EmptySchemaRejected) {
+  Status st;
+  EXPECT_EQ(SubscriptionEngine::Create(AttributeSchema(), EngineOptions{},
+                                       &st),
+            nullptr);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("attribute"), std::string::npos);
+}
+
+TEST(EngineConfig, IndexKnobsValidated) {
+  EngineOptions o;
+  Status st;
+  o.index.division_factor = 1;  // clustering function cannot divide by 1
+  EXPECT_EQ(SubscriptionEngine::Create(SchemaWithDims(2), o, &st), nullptr);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("division_factor"), std::string::npos);
+
+  o = EngineOptions{};
+  o.index.max_clusters = 0;
+  EXPECT_EQ(SubscriptionEngine::Create(SchemaWithDims(2), o, &st), nullptr);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(EngineConfig, RebalanceTriggerRatioValidated) {
+  EngineOptions o;
+  Status st;
+  o.rebalance_trigger_ratio = 0.0;
+  EXPECT_EQ(SubscriptionEngine::Create(SchemaWithDims(2), o, &st), nullptr);
+  EXPECT_FALSE(st.ok());
+  o.rebalance_trigger_ratio = std::nan("");
+  EXPECT_EQ(SubscriptionEngine::Create(SchemaWithDims(2), o, &st), nullptr);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(EngineConfig, ValidateOptionsIsSideEffectFree) {
+  EngineOptions o;
+  o.shards = 3;
+  o.sharding = ShardingPolicy::kRange;
+  const AttributeSchema schema = SchemaWithDims(2);
+  EXPECT_TRUE(SubscriptionEngine::ValidateOptions(schema, o).ok());
+  o.shards = 0;
+  EXPECT_FALSE(SubscriptionEngine::ValidateOptions(schema, o).ok());
+}
+
+#if GTEST_HAS_DEATH_TEST
+TEST(EngineConfigDeathTest, ConstructorAbortsWithDiagnosticOnBadConfig) {
+  EngineOptions o;
+  o.shards = 1;
+  o.sharding = ShardingPolicy::kRange;
+  EXPECT_DEATH(SubscriptionEngine(SchemaWithDims(2), o),
+               "invalid configuration");
+}
+#endif
+
+}  // namespace
+}  // namespace accl

@@ -1,7 +1,9 @@
 // Deterministic parity-fuzz harness for the range-routed engine.
 //
 // A seeded operation log interleaving Subscribe / SubscribeBatch /
-// Unsubscribe / MatchBatch / forced RebalanceOnce / SetRangeBoundaries is
+// Unsubscribe / MatchBatch / forced RebalanceOnce / SetRangeBoundaries /
+// epoch-drain points (SynchronizeEpochs — forcing retired routing
+// snapshots through the grace period at arbitrary log positions) is
 // replayed through sharded kRange engines (several shard counts, thread
 // counts, and auto-rebalance settings) and through the serial single-index
 // engine; every batch's match sets — and an FNV digest over the exact
@@ -71,6 +73,7 @@ struct Op {
     kMatchBatch,
     kForceRebalance,
     kSetBoundaries,
+    kEpochDrain,
   } kind;
   Box box;                    // kSubscribe
   std::vector<Box> boxes;     // kSubscribeBatch
@@ -144,8 +147,12 @@ std::vector<Op> MakeOpLog(uint64_t seed, size_t n_ops) {
           op.events.push_back(Event::Range(FuzzBox(rng)));
         }
       }
-    } else if (roll < 0.985) {
+    } else if (roll < 0.965) {
       op.kind = Op::kForceRebalance;
+    } else if (roll < 0.985) {
+      // Epoch-drain point: retired snapshots must be reclaimable at any
+      // log position without disturbing parity.
+      op.kind = Op::kEpochDrain;
     } else {
       op.kind = Op::kSetBoundaries;
       op.bounds_seed = rng.NextU64();
@@ -212,6 +219,9 @@ ReplayResult Replay(SubscriptionEngine& engine, const std::vector<Op>& log) {
       }
       case Op::kForceRebalance:
         engine.RebalanceOnce();  // no-op (false) on non-range engines
+        break;
+      case Op::kEpochDrain:
+        engine.SynchronizeEpochs();
         break;
       case Op::kSetBoundaries:
         if (engine.range_routed() && engine.shard_count() >= 3) {
@@ -289,6 +299,13 @@ TEST(RebalanceFuzz, FuzzedLogsActuallyExerciseTheRebalancer) {
     resident += info.subscriptions;
   }
   EXPECT_EQ(resident, engine.subscription_count());
+  // Epoch hygiene: every boundary move published (and retired) a routing
+  // snapshot; after a final drain nothing may be left pending.
+  EXPECT_GT(engine.routing_version(), 1u);
+  engine.SynchronizeEpochs();
+  const exec::EpochManagerStats es = engine.epoch_stats();
+  EXPECT_EQ(es.retired_pending, 0u);
+  EXPECT_EQ(es.retired, engine.routing_version() - 1);
 }
 
 TEST(RebalanceFuzz, ConcurrentRebalanceKeepsEngineConsistent) {
