@@ -1,0 +1,85 @@
+// Shared types of the durability subsystem (src/durability/): log sequence
+// numbers, configuration, and the counter structs the WAL, checkpointer and
+// recovery path expose.
+//
+// They live in api/ — not durability/ — because the engine layer (sdi/)
+// references LSNs and durability metrics in its public surface without
+// depending on the WAL implementation, mirroring how api/metrics.h serves
+// the index layer.
+#pragma once
+
+#include <cstdint>
+
+namespace accl {
+
+/// Log sequence number: position of a record in the write-ahead log.
+/// Monotone per log, assigned at append, never reused — truncation advances
+/// the log's start but LSNs keep counting. 0 is "no LSN".
+using Lsn = uint64_t;
+inline constexpr Lsn kNoLsn = 0;
+
+/// Configuration for a durable engine (durability::OpenDurable).
+struct DurabilityOptions {
+  /// Group commit: mutators enqueue records and one flusher thread batches
+  /// them into a single append+sync, so concurrent Subscribe calls share a
+  /// sync. false = the flusher syncs one record at a time (the naive
+  /// durable engine; exists for the bench comparison and for tests that
+  /// need one I/O op per record).
+  bool group_commit = true;
+
+  /// Page size of the WAL file and of the checkpoint file.
+  uint32_t wal_page_bytes = 4096;
+  uint32_t checkpoint_page_bytes = 4096;
+
+  /// A background checkpoint is scheduled every this many acknowledged
+  /// mutations. 0 = checkpoint only on explicit CheckpointNow().
+  uint64_t checkpoint_every_mutations = 0;
+
+  /// Run scheduled checkpoints on a background worker thread (the engine's
+  /// mutators only trigger, never wait). false = the triggering mutator
+  /// runs the checkpoint inline (deterministic; used by tests).
+  bool background_checkpoints = true;
+};
+
+/// Write-ahead-log counters (WriteAheadLog::stats).
+struct WalStats {
+  uint64_t records_appended = 0;
+  uint64_t flush_batches = 0;  ///< append+sync operations the flusher ran
+  uint64_t bytes_appended = 0;
+  uint64_t truncations = 0;
+  Lsn durable_lsn = 0;
+  Lsn applied_low_water = 0;
+  /// Group-commit batching factor: acknowledged records per sync. 1.0 in
+  /// per-record-flush mode; > 1 whenever concurrent mutators shared a sync.
+  double records_per_flush() const {
+    return flush_batches == 0
+               ? 0.0
+               : static_cast<double>(records_appended) /
+                     static_cast<double>(flush_batches);
+  }
+};
+
+/// Checkpointer counters (Checkpointer::stats).
+struct CheckpointStats {
+  uint64_t checkpoints_written = 0;
+  uint64_t checkpoint_failures = 0;  ///< image write or WAL truncation failed
+  uint64_t last_subscriptions = 0;   ///< live subscriptions in the last image
+  Lsn last_lsn = 0;                  ///< WAL low-water the last image covers
+  double last_write_ms = 0.0;
+};
+
+/// What SubscriptionEngine::Recover did (diagnostics + tests).
+struct RecoveryStats {
+  bool checkpoint_loaded = false;
+  uint64_t checkpoint_subscriptions = 0;
+  Lsn checkpoint_lsn = 0;
+  uint64_t wal_records_scanned = 0;
+  uint64_t wal_records_applied = 0;
+  /// Records skipped by idempotent replay: their LSN is covered by the
+  /// checkpoint, or their subscription id is already live (a fuzzy
+  /// checkpoint captured the effect of a record past its own LSN).
+  uint64_t wal_records_skipped = 0;
+  double replay_ms = 0.0;
+};
+
+}  // namespace accl

@@ -1,0 +1,217 @@
+#include "durability/checkpoint.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "durability/wal.h"
+#include "util/check.h"
+#include "util/digest.h"
+#include "util/serialize.h"
+#include "util/timer.h"
+
+namespace accl::durability {
+
+namespace {
+
+constexpr uint32_t kCheckpointMagic = 0x41434B50u;  // "ACKP"
+constexpr uint32_t kCheckpointVersion = 1;
+
+uint32_t ChecksumOf(const uint8_t* p, size_t n) {
+  return FnvFold32(Fnv1aBytes(kFnvOffsetBasis, p, n));
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(std::unique_ptr<PagedFile> file,
+                                 SimDisk* disk)
+    : file_(std::move(file)), disk_(disk) {
+  ACCL_CHECK(file_ != nullptr);
+}
+
+std::unique_ptr<CheckpointStore> CheckpointStore::Open(
+    std::unique_ptr<PagedFile> file, SimDisk* disk) {
+  if (file == nullptr) return nullptr;
+  auto store = std::unique_ptr<CheckpointStore>(
+      new CheckpointStore(std::move(file), disk));
+  uint64_t first = 0, pages = 0, bytes = 0;
+  if (store->file_->GetDirectory(&first, &pages, &bytes)) {
+    // Re-mark the live image's run so a later Write's fresh-run allocation
+    // cannot land on top of it. A pointer that fails to mark (corrupt
+    // geometry) degrades to "no checkpoint" — recovery then starts empty
+    // and replays the whole WAL.
+    store->have_dir_ = store->file_->MarkAllocated(first, pages);
+  }
+  return store;
+}
+
+bool CheckpointStore::Write(const EngineImage& image) {
+  ByteWriter w;
+  w.PutU32(kCheckpointMagic);
+  w.PutU32(kCheckpointVersion);
+  w.PutU64(image.lsn);
+  w.PutU32(image.next_id);
+  w.PutU64(image.routing_version);
+  w.PutU32(image.nd);
+  w.PutU32(static_cast<uint32_t>(image.fences.size()));
+  for (const float f : image.fences) w.PutF32(f);
+  const uint64_t n = image.ids.size();
+  ACCL_CHECK(image.coords.size() ==
+             n * 2 * static_cast<size_t>(image.nd));
+  w.PutU64(n);
+  w.PutBytes(image.ids.data(), n * sizeof(SubscriptionId));
+  w.PutBytes(image.coords.data(), image.coords.size() * sizeof(float));
+  const uint32_t crc = ChecksumOf(w.bytes().data(), w.size());
+  w.PutU32(crc);
+
+  if (disk_ != nullptr && disk_->NextOpFails()) return false;
+  uint64_t old_first = 0, old_pages = 0, old_bytes = 0;
+  const bool had =
+      have_dir_ && file_->GetDirectory(&old_first, &old_pages, &old_bytes);
+  const uint64_t pages = std::max<uint64_t>(
+      1, (w.size() + file_->page_bytes() - 1) / file_->page_bytes());
+  const uint64_t first = file_->AllocateRun(pages);
+  // Shadow-paging order: blob into the fresh run and synced to disk BEFORE
+  // the directory pointer flips to it; the flip itself is re-synced so the
+  // header referencing the new image is durable before the old run is
+  // reusable.
+  if (!file_->WriteAt(first, 0, w.bytes().data(), w.size()) ||
+      !file_->Sync()) {
+    file_->FreeRun(first, pages);
+    return false;
+  }
+  if (disk_ != nullptr) {
+    disk_->Seek();
+    disk_->Transfer(w.size());
+  }
+  if (disk_ != nullptr && disk_->NextOpFails()) {
+    file_->FreeRun(first, pages);
+    return false;
+  }
+  if (!file_->SetDirectory(first, pages, w.size())) {
+    // The durable header still references the old image; the fresh run is
+    // unreferenced and safe to reuse.
+    file_->FreeRun(first, pages);
+    return false;
+  }
+  if (!file_->Sync()) {
+    // The flip happened in memory but may or may not be durable: the
+    // on-disk header can reference EITHER run. Free neither — both hold
+    // fully-written images, so whichever header survives a crash points at
+    // intact data. The stale run's pages leak until the file is recreated;
+    // a bounded price on a failure path, never a torn checkpoint.
+    have_dir_ = true;
+    return false;
+  }
+  if (disk_ != nullptr) disk_->Seek();  // header flip
+  if (had) file_->FreeRun(old_first, old_pages);
+  have_dir_ = true;
+  ++writes_;
+  return true;
+}
+
+bool CheckpointStore::Read(EngineImage* out) {
+  if (!have_dir_) return false;
+  uint64_t first = 0, pages = 0, bytes = 0;
+  if (!file_->GetDirectory(&first, &pages, &bytes)) return false;
+  if (bytes < 4) return false;
+  if (disk_ != nullptr && disk_->NextOpFails()) return false;
+  std::vector<uint8_t> blob(bytes);
+  if (!file_->ReadAt(first, 0, blob.data(), bytes)) return false;
+  if (disk_ != nullptr) disk_->SequentialRead(bytes);
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, blob.data() + bytes - 4, 4);
+  if (ChecksumOf(blob.data(), bytes - 4) != stored_crc) return false;
+  ByteReader r(blob.data(), bytes - 4);
+  uint32_t magic = 0, version = 0, n_fences = 0;
+  if (!r.GetU32(&magic) || magic != kCheckpointMagic) return false;
+  if (!r.GetU32(&version) || version != kCheckpointVersion) return false;
+  if (!r.GetU64(&out->lsn)) return false;
+  if (!r.GetU32(&out->next_id)) return false;
+  if (!r.GetU64(&out->routing_version)) return false;
+  if (!r.GetU32(&out->nd) || out->nd == 0) return false;
+  if (!r.GetU32(&n_fences)) return false;
+  out->fences.resize(n_fences);
+  for (uint32_t i = 0; i < n_fences; ++i) {
+    if (!r.GetF32(&out->fences[i])) return false;
+  }
+  uint64_t n = 0;
+  if (!r.GetU64(&n)) return false;
+  const size_t stride = 2 * static_cast<size_t>(out->nd);
+  if (r.remaining() != n * (sizeof(SubscriptionId) + stride * 4)) {
+    return false;
+  }
+  out->ids.resize(n);
+  out->coords.resize(n * stride);
+  if (n != 0) {
+    if (!r.GetBytes(out->ids.data(), n * sizeof(SubscriptionId))) {
+      return false;
+    }
+    if (!r.GetBytes(out->coords.data(), out->coords.size() * 4)) {
+      return false;
+    }
+  }
+  return r.exhausted();
+}
+
+// ------------------------------------------------------------ Checkpointer
+
+Checkpointer::Checkpointer(SubscriptionEngine* engine, WriteAheadLog* wal,
+                           CheckpointStore* store, Options options)
+    : engine_(engine), wal_(wal), store_(store), options_(options) {
+  ACCL_CHECK(engine_ != nullptr && wal_ != nullptr && store_ != nullptr);
+  if (options_.background) {
+    pool_ = std::make_unique<exec::ThreadPool>(1);
+  }
+}
+
+Checkpointer::~Checkpointer() {
+  // Drains any queued background checkpoint while engine/wal/store are
+  // still alive.
+  pool_.reset();
+}
+
+bool Checkpointer::CheckpointNow() {
+  std::lock_guard<std::mutex> run(run_mu_);
+  WallTimer t;
+  EngineImage image;
+  engine_->CaptureDurableImage(&image);
+  bool ok = store_->Write(image);
+  if (ok) ok = wal_->Truncate(image.lsn);
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  if (ok) {
+    ++stats_.checkpoints_written;
+    stats_.last_subscriptions = image.ids.size();
+    stats_.last_lsn = image.lsn;
+    stats_.last_write_ms = t.ElapsedMs();
+  } else {
+    ++stats_.checkpoint_failures;
+  }
+  return ok;
+}
+
+void Checkpointer::OnMutations(uint64_t n) {
+  if (options_.every_mutations == 0) return;
+  if (mutations_since_.fetch_add(n, std::memory_order_relaxed) + n <
+      options_.every_mutations) {
+    return;
+  }
+  if (inflight_.exchange(true, std::memory_order_acquire)) return;
+  mutations_since_.store(0, std::memory_order_relaxed);
+  const auto job = [this] {
+    CheckpointNow();
+    inflight_.store(false, std::memory_order_release);
+  };
+  if (pool_ != nullptr) {
+    pool_->Submit(job);
+  } else {
+    job();
+  }
+}
+
+CheckpointStats Checkpointer::stats() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  return stats_;
+}
+
+}  // namespace accl::durability

@@ -1,0 +1,156 @@
+// Checkpointing for the durable SDI engine, plus the wiring helper that
+// assembles a fully durable engine (WAL + checkpoints + recovery).
+//
+// A checkpoint is one self-contained, checksummed image of the engine —
+// every live subscription (id + normalized box), the routing fences and
+// version, the id allocator, and the WAL LSN the image covers — written
+// through the PagedFile shadow-paging path ClusterFileStore established:
+// the blob goes into a *fresh* page run, is synced, and only then does the
+// one-block directory pointer flip to it (header write + sync); the old
+// image's run is freed afterwards. A crash at any point leaves either the
+// old or the new checkpoint intact, never a torn one — and the blob
+// checksum rejects a torn run even if a stale header survives.
+//
+// The Checkpointer drives the lifecycle: capture a fuzzy image from the
+// engine (epoch-pinned, per-shard locks only — matching never stalls),
+// write it, then truncate the WAL up to the image's LSN. Scheduling is by
+// acknowledged-mutation count; the triggering mutator only submits the
+// job to a private background worker (exec::ThreadPool) and returns.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/durability.h"
+#include "api/status.h"
+#include "api/types.h"
+#include "exec/thread_pool.h"
+#include "sdi/subscription_engine.h"
+#include "storage/paged_store.h"
+#include "storage/sim_disk.h"
+
+namespace accl::durability {
+
+class WriteAheadLog;
+
+/// Checkpointable image of a SubscriptionEngine (see
+/// SubscriptionEngine::CaptureDurableImage for capture semantics).
+struct EngineImage {
+  Lsn lsn = kNoLsn;  ///< WAL applied low-water the image covers
+  SubscriptionId next_id = 0;
+  uint64_t routing_version = 0;
+  Dim nd = 0;
+  std::vector<float> fences;            ///< kRange interior fences (or empty)
+  std::vector<SubscriptionId> ids;      ///< live subscriptions
+  std::vector<float> coords;            ///< ids.size() * 2 * nd floats
+};
+
+/// Shadow-paged single-image store over a PagedFile.
+class CheckpointStore {
+ public:
+  /// Wraps a page file (fresh or reopened). A reopened file's live
+  /// checkpoint run is re-marked allocated so later writes cannot clobber
+  /// it; a corrupt directory pointer degrades to "no checkpoint".
+  static std::unique_ptr<CheckpointStore> Open(std::unique_ptr<PagedFile> file,
+                                               SimDisk* disk = nullptr);
+
+  /// Writes `image` shadow-paged (fresh run -> sync -> directory flip ->
+  /// sync -> free old run). On failure the previous checkpoint remains
+  /// intact and readable.
+  bool Write(const EngineImage& image);
+
+  /// Loads the current checkpoint. False when none was ever written or the
+  /// stored blob fails validation (checksum, geometry).
+  bool Read(EngineImage* out);
+
+  bool has_checkpoint() const { return have_dir_; }
+  uint64_t writes() const { return writes_; }
+
+ private:
+  CheckpointStore(std::unique_ptr<PagedFile> file, SimDisk* disk);
+
+  std::unique_ptr<PagedFile> file_;
+  SimDisk* disk_;
+  bool have_dir_ = false;
+  uint64_t writes_ = 0;
+};
+
+/// Schedules and runs checkpoints against one engine + WAL + store.
+class Checkpointer {
+ public:
+  struct Options {
+    /// Schedule a checkpoint every this many acknowledged mutations
+    /// (OnMutations). 0 = only explicit CheckpointNow calls.
+    uint64_t every_mutations = 0;
+    /// Run scheduled checkpoints on a private background worker; false
+    /// runs them inline on the triggering mutator (deterministic tests).
+    bool background = true;
+  };
+
+  /// None of the pointers are owned; all must outlive the checkpointer.
+  Checkpointer(SubscriptionEngine* engine, WriteAheadLog* wal,
+               CheckpointStore* store, Options options);
+  /// Joins any in-flight background checkpoint.
+  ~Checkpointer();
+
+  Checkpointer(const Checkpointer&) = delete;
+  Checkpointer& operator=(const Checkpointer&) = delete;
+
+  /// Capture + write + WAL-truncate, serialized against other checkpoint
+  /// runs. Returns false when the image write or the truncation failed
+  /// (the previous checkpoint stays valid either way).
+  bool CheckpointNow();
+
+  /// Mutation-count trigger, called by the engine after acknowledged
+  /// mutations. Never blocks on the checkpoint itself in background mode.
+  void OnMutations(uint64_t n);
+
+  CheckpointStats stats() const;
+
+ private:
+  SubscriptionEngine* engine_;
+  WriteAheadLog* wal_;
+  CheckpointStore* store_;
+  Options options_;
+
+  std::mutex run_mu_;  ///< serializes CheckpointNow bodies
+  std::atomic<uint64_t> mutations_since_{0};
+  std::atomic<bool> inflight_{false};
+
+  mutable std::mutex stats_mu_;
+  CheckpointStats stats_;
+
+  /// Private single worker so background checkpoints never contend with
+  /// the engine's match pool; destroyed first (declared last) so the
+  /// destructor's join happens while every other member is still alive.
+  std::unique_ptr<exec::ThreadPool> pool_;
+};
+
+/// A fully wired durable engine. Members are declared in dependency order
+/// so destruction (reverse order) tears down safely: checkpointer joins
+/// its background job first, then the engine (detaching from the WAL),
+/// then the stores, then the WAL's flusher.
+struct DurableEngine {
+  std::unique_ptr<WriteAheadLog> wal;
+  std::unique_ptr<CheckpointStore> checkpoints;
+  std::unique_ptr<SubscriptionEngine> engine;
+  std::unique_ptr<Checkpointer> checkpointer;
+  RecoveryStats recovery;
+};
+
+/// Opens (or creates) the WAL + checkpoint files at the given paths,
+/// recovers the engine from them, and wires the mutation hooks and the
+/// checkpointer. `disk` (optional, not owned) is charged for WAL and
+/// checkpoint I/O and drives fault injection. Returns false with `*status`
+/// filled on failure. Implemented in durability/recovery.cc.
+bool OpenDurable(AttributeSchema schema, EngineOptions engine_options,
+                 const DurabilityOptions& durability_options,
+                 const std::string& wal_path,
+                 const std::string& checkpoint_path, SimDisk* disk,
+                 DurableEngine* out, Status* status = nullptr);
+
+}  // namespace accl::durability

@@ -1,0 +1,219 @@
+// Crash recovery: SubscriptionEngine::Recover (checkpoint load + idempotent
+// WAL-tail replay) and durability::OpenDurable (the fully wired durable
+// engine: files -> WAL -> checkpoint store -> recovered engine -> hooks).
+//
+// Replay idempotence, which is what makes the fuzzy checkpoint sound:
+//   - Records with lsn <= checkpoint LSN are gone (truncated) or skipped —
+//     the image is guaranteed to contain their effect (the LSN is the WAL's
+//     applied low-water, read before the image scan).
+//   - A subscribe whose id is already live is skipped (dedup by id): the
+//     fuzzy scan may have captured the effect of a record *past* the
+//     checkpoint LSN. Ids are never reused, so id-presence is an exact
+//     "already applied" test.
+//   - An unsubscribe of an unknown id is a no-op — either its subscribe was
+//     also past the image scan (both replay, in LSN order), or the capture
+//     already saw the removal.
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "durability/checkpoint.h"
+#include "durability/wal.h"
+#include "sdi/subscription_engine.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace accl {
+
+std::unique_ptr<SubscriptionEngine> SubscriptionEngine::Recover(
+    AttributeSchema schema, EngineOptions options,
+    durability::CheckpointStore* checkpoints, durability::WriteAheadLog* wal,
+    Status* status, RecoveryStats* recovery) {
+  RecoveryStats local_stats;
+  RecoveryStats& rs = recovery != nullptr ? *recovery : local_stats;
+  rs = RecoveryStats();
+
+  durability::EngineImage image;
+  const bool have_image =
+      checkpoints != nullptr && checkpoints->Read(&image);
+  if (have_image) {
+    if (image.nd != schema.dims()) {
+      if (status != nullptr) {
+        *status = Status::InvalidArgument(
+            "checkpoint dimensionality does not match the schema");
+      }
+      return nullptr;
+    }
+    rs.checkpoint_loaded = true;
+    rs.checkpoint_subscriptions = image.ids.size();
+    rs.checkpoint_lsn = image.lsn;
+    // Restore the checkpointed fence array when it fits the configured
+    // shard count; otherwise keep the configured boundaries — the restore
+    // below re-routes every subscription under whatever table the engine
+    // starts with, so shard-count changes across a restart are legal.
+    if (options.sharding == ShardingPolicy::kRange && options.shards >= 2 &&
+        image.fences.size() == static_cast<size_t>(options.shards) - 2) {
+      options.range_boundaries = image.fences;
+    }
+  }
+
+  std::unique_ptr<SubscriptionEngine> engine =
+      Create(std::move(schema), std::move(options), status);
+  if (engine == nullptr) return nullptr;
+
+  WallTimer timer;
+  if (have_image) {
+    engine->RestoreSubscriptions(
+        Span<const SubscriptionId>(image.ids.data(), image.ids.size()),
+        image.coords.data());
+    std::lock_guard<std::mutex> lk(engine->meta_mu_);
+    if (image.next_id > engine->next_id_) engine->next_id_ = image.next_id;
+  }
+
+  if (wal != nullptr) {
+    // LSNs allocated after recovery must sort after everything the
+    // checkpoint covers, even when the log was fully truncated (empty
+    // scan): the log cannot know the checkpoint's LSN, so tell it.
+    wal->ReserveLsnsThrough(image.lsn);
+    SubscriptionEngine* e = engine.get();
+    std::vector<SubscriptionId> ids;
+    std::vector<float> coords;
+    const bool replay_ok =
+        wal->Replay(image.lsn, [&](const durability::WalRecord& rec) {
+      ++rs.wal_records_scanned;
+      switch (rec.type) {
+        case durability::WalRecordType::kSubscribe:
+        case durability::WalRecordType::kSubscribeBatch: {
+          if (rec.nd != e->schema_.dims()) {
+            ++rs.wal_records_skipped;  // foreign record; never ours
+            return;
+          }
+          ids.clear();
+          coords.clear();
+          const size_t stride = 2 * static_cast<size_t>(rec.nd);
+          bool skipped_any = false;
+          for (uint32_t i = 0; i < rec.count; ++i) {
+            const SubscriptionId id = rec.first_id + i;
+            if (e->ShardOf(id) != e->shards_.size()) {
+              skipped_any = true;  // fuzzy image already holds it
+              continue;
+            }
+            ids.push_back(id);
+            coords.insert(coords.end(), rec.coords.data() + i * stride,
+                          rec.coords.data() + (i + 1) * stride);
+          }
+          if (!ids.empty()) {
+            e->RestoreSubscriptions(
+                Span<const SubscriptionId>(ids.data(), ids.size()),
+                coords.data());
+            ++rs.wal_records_applied;
+          }
+          if (skipped_any || ids.empty()) ++rs.wal_records_skipped;
+          // Ids past the image's allocator mark must stay allocated even
+          // when every subscription in the record was deduplicated.
+          std::lock_guard<std::mutex> lk(e->meta_mu_);
+          if (rec.first_id + rec.count > e->next_id_) {
+            e->next_id_ = rec.first_id + rec.count;
+          }
+          break;
+        }
+        case durability::WalRecordType::kUnsubscribe:
+          if (e->ApplyUnsubscribe(rec.first_id)) {
+            ++rs.wal_records_applied;
+          } else {
+            ++rs.wal_records_skipped;  // capture already saw the removal
+          }
+          break;
+      }
+        });
+    if (!replay_ok) {
+      // A read I/O failure mid-scan: the prefix replayed so far may be
+      // missing acknowledged records. Refusing is the only honest answer.
+      if (status != nullptr) {
+        *status = Status::InvalidArgument(
+            "WAL replay hit a read I/O error; recovery is incomplete");
+      }
+      return nullptr;
+    }
+  }
+  rs.replay_ms = timer.ElapsedMs();
+  if (status != nullptr) *status = Status::Ok();
+  return engine;
+}
+
+namespace durability {
+
+namespace {
+
+/// Opens `path` as a page file, creating it only when it does not exist.
+/// An existing file that fails Open's validation returns nullptr — it may
+/// hold the only copy of acknowledged records, and PagedFile::Create
+/// truncates, so "corrupt" must surface as an error, never as a silently
+/// fresh (empty) durability state.
+std::unique_ptr<PagedFile> OpenOrCreate(const std::string& path,
+                                        uint32_t page_bytes) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return PagedFile::Create(path, page_bytes);
+  }
+  return PagedFile::Open(path);
+}
+
+}  // namespace
+
+bool OpenDurable(AttributeSchema schema, EngineOptions engine_options,
+                 const DurabilityOptions& durability_options,
+                 const std::string& wal_path,
+                 const std::string& checkpoint_path, SimDisk* disk,
+                 DurableEngine* out, Status* status) {
+  *out = DurableEngine();
+  std::unique_ptr<PagedFile> wal_file =
+      OpenOrCreate(wal_path, durability_options.wal_page_bytes);
+  if (wal_file == nullptr) {
+    if (status != nullptr) {
+      *status = Status::InvalidArgument("cannot open or create WAL file: " +
+                                        wal_path);
+    }
+    return false;
+  }
+  WriteAheadLog::Options wal_opts;
+  wal_opts.group_commit = durability_options.group_commit;
+  wal_opts.disk = disk;
+  out->wal = WriteAheadLog::Open(std::move(wal_file), wal_opts);
+  if (out->wal == nullptr) {
+    if (status != nullptr) {
+      *status = Status::InvalidArgument(
+          "WAL tail scan failed (I/O error on backed bytes): " + wal_path);
+    }
+    return false;
+  }
+
+  std::unique_ptr<PagedFile> ckpt_file =
+      OpenOrCreate(checkpoint_path, durability_options.checkpoint_page_bytes);
+  if (ckpt_file == nullptr) {
+    if (status != nullptr) {
+      *status = Status::InvalidArgument(
+          "cannot open or create checkpoint file: " + checkpoint_path);
+    }
+    return false;
+  }
+  out->checkpoints = CheckpointStore::Open(std::move(ckpt_file), disk);
+
+  out->engine = SubscriptionEngine::Recover(
+      std::move(schema), std::move(engine_options), out->checkpoints.get(),
+      out->wal.get(), status, &out->recovery);
+  if (out->engine == nullptr) return false;
+
+  out->engine->AttachDurability(out->wal.get());
+  Checkpointer::Options cp_opts;
+  cp_opts.every_mutations = durability_options.checkpoint_every_mutations;
+  cp_opts.background = durability_options.background_checkpoints;
+  out->checkpointer = std::make_unique<Checkpointer>(
+      out->engine.get(), out->wal.get(), out->checkpoints.get(), cp_opts);
+  out->engine->SetCheckpointer(out->checkpointer.get());
+  return true;
+}
+
+}  // namespace durability
+}  // namespace accl

@@ -1,0 +1,363 @@
+#include "durability/wal.h"
+
+#include <cstring>
+#include <utility>
+
+#include "util/check.h"
+#include "util/digest.h"
+#include "util/serialize.h"
+
+namespace accl::durability {
+
+namespace {
+
+/// Frames larger than this are treated as corruption, not allocated.
+constexpr uint32_t kMaxFrameBytes = 1u << 26;
+
+/// Record checksum: FNV-1a over the payload, then the LSN folded on top
+/// (so Append can hash the payload outside the log mutex and finish with
+/// the just-assigned LSN in O(1)), folded to the 32 bits the frame stores.
+uint32_t FrameChecksum(const uint8_t* payload, size_t n, Lsn lsn) {
+  return FnvFold32(Fnv1a(Fnv1aBytes(kFnvOffsetBasis, payload, n), lsn));
+}
+
+}  // namespace
+
+WriteAheadLog::WriteAheadLog(std::unique_ptr<PagedFile> file, Options options)
+    : file_(std::move(file)), options_(options) {}
+
+std::unique_ptr<WriteAheadLog> WriteAheadLog::Create(
+    std::unique_ptr<PagedFile> file, Options options) {
+  return Open(std::move(file), options);  // a fresh file scans to an empty
+                                          // prefix; one path serves both
+}
+
+std::unique_ptr<WriteAheadLog> WriteAheadLog::Open(
+    std::unique_ptr<PagedFile> file, Options options) {
+  if (file == nullptr) return nullptr;
+  auto log = std::unique_ptr<WriteAheadLog>(
+      new WriteAheadLog(std::move(file), options));
+  // Find the durable tail: the end of the valid frame prefix. No flusher
+  // is running yet, so the scan needs no locks.
+  Lsn max_lsn = kNoLsn;
+  uint64_t off = 0;
+  bool io_error = false;
+  log->ScanPrefix(
+      [&](const WalRecord& rec) {
+        max_lsn = rec.lsn;
+        return true;
+      },
+      &off, &io_error);
+  // A read failure on backed bytes means the tail position is unknowable;
+  // appending there could overwrite durable records. Refuse to open.
+  if (io_error) return nullptr;
+  log->tail_ = off;
+  log->durable_lsn_ = max_lsn;
+  log->applied_upto_ = max_lsn;  // recovery replays (applies) the prefix
+                                 // before the log is used again
+  log->next_lsn_ = max_lsn + 1;
+  log->flusher_ = std::thread([l = log.get()] { l->FlusherLoop(); });
+  return log;
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  flush_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+}
+
+Lsn WriteAheadLog::Append(WalRecordType type, ObjectId first_id,
+                          uint32_t count, Dim nd, const float* coords) {
+  // Encode and hash the payload OUTSIDE the log mutex: a large batch
+  // record must not serialize concurrent mutators. Only LSN assignment,
+  // the O(1) checksum finish, and the queue push run under the lock.
+  ByteWriter payload;
+  payload.PutU8(static_cast<uint8_t>(type));
+  payload.PutU32(first_id);
+  if (type != WalRecordType::kUnsubscribe) {
+    payload.PutU32(count);
+    payload.PutU32(nd);
+    payload.PutBytes(coords, static_cast<size_t>(count) * 2 * nd * 4);
+  }
+  const uint64_t base_hash =
+      Fnv1aBytes(kFnvOffsetBasis, payload.bytes().data(), payload.size());
+  Pending p;
+  p.payload.assign(payload.bytes().begin(), payload.bytes().end());
+  const uint32_t len = static_cast<uint32_t>(p.payload.size());
+
+  std::unique_lock<std::mutex> lk(mu_);
+  if (broken_) return kNoLsn;
+  const Lsn lsn = next_lsn_++;
+  p.lsn = lsn;
+  const uint32_t crc = FnvFold32(Fnv1a(base_hash, lsn));
+  std::memcpy(p.header, &len, 4);
+  std::memcpy(p.header + 4, &crc, 4);
+  std::memcpy(p.header + 8, &lsn, 8);
+  pending_bytes_ += kFrameHeaderBytes + p.payload.size();
+  pending_.push(std::move(p));
+  ++records_appended_;
+  lk.unlock();
+  flush_cv_.notify_one();
+  return lsn;
+}
+
+Lsn WriteAheadLog::AppendSubscribe(ObjectId id, Dim nd, const float* coords) {
+  return Append(WalRecordType::kSubscribe, id, 1, nd, coords);
+}
+
+Lsn WriteAheadLog::AppendSubscribeBatch(ObjectId first_id, uint32_t count,
+                                        Dim nd, const float* coords) {
+  ACCL_CHECK(count > 0);
+  return Append(WalRecordType::kSubscribeBatch, first_id, count, nd, coords);
+}
+
+Lsn WriteAheadLog::AppendUnsubscribe(ObjectId id) {
+  return Append(WalRecordType::kUnsubscribe, id, 1, 0, nullptr);
+}
+
+void WriteAheadLog::FlusherLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    flush_cv_.wait(
+        lk, [&] { return stop_ || (!pending_.empty() && !broken_); });
+    if (broken_ || pending_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    // Group commit drains the whole queue into one append+sync; per-record
+    // mode takes exactly one frame, so every record pays its own sync.
+    std::vector<uint8_t> batch;
+    batch.reserve(options_.group_commit
+                      ? pending_bytes_
+                      : kFrameHeaderBytes + pending_.front().payload.size());
+    Lsn last = kNoLsn;
+    size_t take = options_.group_commit ? pending_.size() : 1;
+    while (take-- > 0) {
+      Pending& p = pending_.front();
+      batch.insert(batch.end(), p.header, p.header + kFrameHeaderBytes);
+      batch.insert(batch.end(), p.payload.begin(), p.payload.end());
+      last = p.lsn;
+      pending_bytes_ -= kFrameHeaderBytes + p.payload.size();
+      pending_.pop();
+    }
+    const uint64_t off = tail_;
+    tail_ += batch.size();
+    lk.unlock();
+    const bool ok = WriteAndSync(off, batch);
+    lk.lock();
+    if (ok) {
+      durable_lsn_ = last;
+      ++flush_batches_;
+      bytes_appended_ += batch.size();
+    } else {
+      // The failed batch was never acknowledged; everything still queued
+      // can never become durable either. Break the log and wake every
+      // waiter so no caller acknowledges a lost mutation.
+      broken_ = true;
+      while (!pending_.empty()) pending_.pop();
+      pending_bytes_ = 0;
+    }
+    durable_cv_.notify_all();
+  }
+}
+
+bool WriteAheadLog::WriteAndSync(uint64_t off,
+                                 const std::vector<uint8_t>& bytes) {
+  std::lock_guard<std::mutex> lk(io_mu_);
+  if (options_.disk != nullptr && options_.disk->NextOpFails()) return false;
+  if (!file_->StreamWrite(off, bytes.data(), bytes.size())) return false;
+  if (!file_->Sync()) return false;
+  if (options_.disk != nullptr) {
+    options_.disk->Seek();  // the sync's head positioning
+    options_.disk->Transfer(bytes.size());
+  }
+  return true;
+}
+
+bool WriteAheadLog::WaitDurable(Lsn lsn) {
+  if (lsn == kNoLsn) return false;  // a failed Append never becomes durable
+  std::unique_lock<std::mutex> lk(mu_);
+  durable_cv_.wait(lk, [&] { return durable_lsn_ >= lsn || broken_; });
+  return durable_lsn_ >= lsn;
+}
+
+void WriteAheadLog::MarkApplied(Lsn lsn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (lsn <= applied_upto_) return;
+  if (lsn == applied_upto_ + 1) {
+    applied_upto_ = lsn;
+    while (!applied_ooo_.empty() && applied_ooo_.top() == applied_upto_ + 1) {
+      applied_upto_ = applied_ooo_.top();
+      applied_ooo_.pop();
+    }
+  } else {
+    applied_ooo_.push(lsn);
+  }
+}
+
+Lsn WriteAheadLog::applied_low_water() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return applied_upto_;
+}
+
+Lsn WriteAheadLog::durable_lsn() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return durable_lsn_;
+}
+
+Lsn WriteAheadLog::max_lsn() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return next_lsn_ - 1;
+}
+
+void WriteAheadLog::ReserveLsnsThrough(Lsn lsn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (lsn >= next_lsn_) next_lsn_ = lsn + 1;
+  if (lsn > durable_lsn_) durable_lsn_ = lsn;
+  if (lsn > applied_upto_) {
+    applied_upto_ = lsn;
+    while (!applied_ooo_.empty() && applied_ooo_.top() <= applied_upto_ + 1) {
+      if (applied_ooo_.top() == applied_upto_ + 1) {
+        applied_upto_ = applied_ooo_.top();
+      }
+      applied_ooo_.pop();
+    }
+  }
+}
+
+bool WriteAheadLog::broken() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return broken_;
+}
+
+bool WriteAheadLog::DecodeFrameAt(uint64_t off, uint64_t limit,
+                                  WalRecord* out, uint64_t* next,
+                                  bool* io_error) {
+  *io_error = false;
+  if (off + kFrameHeaderBytes > limit) return false;
+  uint32_t len = 0, crc = 0;
+  uint8_t hdr[kFrameHeaderBytes];
+  // Every read below stays within `limit`, bytes the file claims to back:
+  // a failure is a real I/O error, not a torn tail.
+  if (!file_->StreamRead(off, hdr, kFrameHeaderBytes)) {
+    *io_error = true;
+    return false;
+  }
+  std::memcpy(&len, hdr, 4);
+  std::memcpy(&crc, hdr + 4, 4);
+  std::memcpy(&out->lsn, hdr + 8, 8);
+  if (len == 0 || len > kMaxFrameBytes || out->lsn == kNoLsn) return false;
+  if (off + kFrameHeaderBytes + len > limit) return false;  // torn tail
+  std::vector<uint8_t> payload(len);
+  if (!file_->StreamRead(off + kFrameHeaderBytes, payload.data(), len)) {
+    *io_error = true;
+    return false;
+  }
+  if (FrameChecksum(payload.data(), len, out->lsn) != crc) return false;
+  ByteReader r(payload);
+  uint8_t type = 0;
+  if (!r.GetU8(&type)) return false;
+  if (type < static_cast<uint8_t>(WalRecordType::kSubscribe) ||
+      type > static_cast<uint8_t>(WalRecordType::kUnsubscribe)) {
+    return false;
+  }
+  out->type = static_cast<WalRecordType>(type);
+  if (!r.GetU32(&out->first_id)) return false;
+  if (out->type == WalRecordType::kUnsubscribe) {
+    out->count = 1;
+    out->nd = 0;
+    out->coords.clear();
+  } else {
+    if (!r.GetU32(&out->count) || !r.GetU32(&out->nd)) return false;
+    if (out->count == 0 || out->nd == 0) return false;
+    const size_t floats = static_cast<size_t>(out->count) * 2 * out->nd;
+    if (r.remaining() != floats * 4) return false;
+    out->coords.resize(floats);
+    if (!r.GetBytes(out->coords.data(), floats * 4)) return false;
+  }
+  if (!r.exhausted()) return false;
+  *next = off + kFrameHeaderBytes + len;
+  return true;
+}
+
+bool WriteAheadLog::ScanPrefix(
+    const std::function<bool(const WalRecord&)>& visit, uint64_t* end_off,
+    bool* io_error) {
+  uint64_t off = file_->stream_start();
+  const uint64_t limit = file_->payload_bytes();
+  WalRecord rec;
+  uint64_t next = off;
+  Lsn prev = kNoLsn;
+  *io_error = false;
+  while (DecodeFrameAt(off, limit, &rec, &next, io_error)) {
+    if (prev != kNoLsn && rec.lsn != prev + 1) break;  // stale frame
+    if (!visit(rec)) break;  // caller stop: frame not consumed
+    prev = rec.lsn;
+    off = next;
+  }
+  *end_off = off;
+  return !*io_error;
+}
+
+bool WriteAheadLog::Replay(Lsn after,
+                           const std::function<void(const WalRecord&)>& fn) {
+  std::lock_guard<std::mutex> io(io_mu_);
+  uint64_t end = 0;
+  bool io_error = false;
+  ScanPrefix(
+      [&](const WalRecord& rec) {
+        if (rec.lsn > after) fn(rec);
+        return true;
+      },
+      &end, &io_error);
+  // A torn tail is a clean end of log; a failed read of backed bytes is
+  // not — the caller must not treat the scanned prefix as complete.
+  return !io_error;
+}
+
+bool WriteAheadLog::Truncate(Lsn up_to) {
+  if (up_to == kNoLsn) return true;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (up_to > applied_upto_) return false;  // would lose unapplied records
+    // After an I/O failure the in-memory tail/geometry may not match the
+    // file; moving the durable start pointer then risks cutting into
+    // records that are still the only copy. A broken log is read-only.
+    if (broken_) return false;
+  }
+  std::unique_lock<std::mutex> io(io_mu_);
+  if (options_.disk != nullptr && options_.disk->NextOpFails()) return false;
+  uint64_t off = 0;
+  bool io_error = false;
+  ScanPrefix([&](const WalRecord& rec) { return rec.lsn <= up_to; }, &off,
+             &io_error);
+  if (io_error) return false;
+  if (off == file_->stream_start()) return true;  // nothing to drop
+  // Header flip + fsync: the truncation point must actually be durable —
+  // replay idempotence would mask a lost flip, but the contract (and the
+  // reclaimed log space) shouldn't depend on that.
+  if (!file_->SetStreamStart(off)) return false;
+  if (!file_->Sync()) return false;
+  if (options_.disk != nullptr) options_.disk->Seek();  // header flip
+  io.unlock();
+  std::lock_guard<std::mutex> lk(mu_);
+  ++truncations_;
+  return true;
+}
+
+WalStats WriteAheadLog::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  WalStats st;
+  st.records_appended = records_appended_;
+  st.flush_batches = flush_batches_;
+  st.bytes_appended = bytes_appended_;
+  st.truncations = truncations_;
+  st.durable_lsn = durable_lsn_;
+  st.applied_low_water = applied_upto_;
+  return st;
+}
+
+}  // namespace accl::durability

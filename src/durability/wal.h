@@ -1,0 +1,220 @@
+// Write-ahead log for the SDI subscription database.
+//
+// Every mutation (Subscribe / SubscribeBatch / Unsubscribe) is encoded as
+// one length+checksum-framed record and appended to a PagedFile byte
+// stream *before* it is applied to the engine; a caller's mutation is
+// acknowledged only once its record is on disk. Recovery replays the
+// surviving record sequence on top of the newest checkpoint
+// (durability/checkpoint.h, sdi recovery factory), so acknowledged
+// mutations survive a crash and an un-acknowledged tail is at worst
+// absent — never torn: the per-record checksum makes a partial tail
+// detectable, and replay stops at the first invalid frame.
+//
+// Group commit: mutators never touch the file. Append() encodes the
+// record, assigns its LSN under the log mutex, enqueues it, and returns;
+// the caller then blocks in WaitDurable() on its commit LSN. One flusher
+// thread drains the queue — the whole queue per iteration in group-commit
+// mode, one record at a time in per-record mode — writes the batch with a
+// single StreamWrite and one Sync (fflush+fsync), and advances the
+// durable LSN, waking every caller whose record the batch covered. N
+// concurrent mutators therefore share one fsync instead of paying one
+// each; WalStats::records_per_flush reports the achieved batching factor.
+//
+// The stream's tail is not persisted: recovery scans frames from the
+// file's stream_start until the first invalid frame (zero length, bad
+// checksum, short payload, or non-contiguous LSN). Truncation after a
+// checkpoint advances the durable stream_start pointer past every record
+// the checkpoint covers; LSNs are never reused. (Space before
+// stream_start is currently dead — log rotation/compaction is a ROADMAP
+// follow-up.)
+//
+// Fault injection: an optional SimDisk is consulted (NextOpFails) once
+// per flush batch and once per truncation, and charged Seek/Transfer for
+// the simulated cost. An injected failure breaks the log permanently
+// (broken()): the failed record was never written, every waiter past the
+// durable LSN gets `false`, and later appends fail fast — exactly the
+// "crash at this I/O op" the recovery matrix test drives.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "api/durability.h"
+#include "api/span.h"
+#include "api/types.h"
+#include "storage/paged_store.h"
+#include "storage/sim_disk.h"
+
+namespace accl::durability {
+
+/// Record kinds, one per engine mutation.
+enum class WalRecordType : uint8_t {
+  kSubscribe = 1,
+  kSubscribeBatch = 2,
+  kUnsubscribe = 3,
+};
+
+/// Decoded record handed to Replay callbacks.
+struct WalRecord {
+  WalRecordType type = WalRecordType::kSubscribe;
+  Lsn lsn = kNoLsn;
+  ObjectId first_id = kInvalidObject;  ///< id, or first id of a batch
+  uint32_t count = 0;                  ///< subscriptions in the record
+  Dim nd = 0;                          ///< 0 for kUnsubscribe
+  std::vector<float> coords;           ///< count * 2 * nd floats
+};
+
+class WriteAheadLog {
+ public:
+  struct Options {
+    bool group_commit = true;
+    SimDisk* disk = nullptr;  ///< optional; not owned, not thread-safe
+  };
+
+  /// Wraps a fresh (empty) page file. Returns nullptr when `file` is null.
+  static std::unique_ptr<WriteAheadLog> Create(
+      std::unique_ptr<PagedFile> file, Options options);
+
+  /// Wraps an existing log: scans from stream_start for the valid record
+  /// prefix, positions the append tail after it, and continues LSNs past
+  /// the highest one found. Works on a fresh file too (empty prefix).
+  static std::unique_ptr<WriteAheadLog> Open(std::unique_ptr<PagedFile> file,
+                                             Options options);
+
+  /// Stops the flusher after draining already-enqueued records (clean
+  /// shutdown; a simulated crash breaks the log first, which drops them).
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  // ---- Appending (any thread) ----
+
+  /// Enqueue one mutation record; returns its LSN (kNoLsn when the log is
+  /// broken). `coords` is the subscription's 2*nd normalized limits.
+  Lsn AppendSubscribe(ObjectId id, Dim nd, const float* coords);
+  /// One record covering `count` subscriptions with contiguous ids
+  /// starting at `first_id`; `coords` holds count*2*nd floats.
+  Lsn AppendSubscribeBatch(ObjectId first_id, uint32_t count, Dim nd,
+                           const float* coords);
+  Lsn AppendUnsubscribe(ObjectId id);
+
+  /// Blocks until every record up to `lsn` is on disk. False when the log
+  /// broke before reaching it — the caller's record may not be durable and
+  /// the mutation must not be acknowledged.
+  bool WaitDurable(Lsn lsn);
+
+  // ---- Apply tracking (checkpoint low-water) ----
+
+  /// Marks `lsn`'s mutation as applied to the engine. Called by mutators
+  /// after WaitDurable + apply; the low-water mark below is what makes a
+  /// fuzzy checkpoint's LSN safe to truncate to.
+  void MarkApplied(Lsn lsn);
+
+  /// Highest L such that every record with lsn <= L has been applied. A
+  /// checkpoint scan started after reading this value is guaranteed to
+  /// contain the effect of every record it covers.
+  Lsn applied_low_water() const;
+
+  Lsn durable_lsn() const;
+  /// Highest LSN ever allocated (or scanned at Open).
+  Lsn max_lsn() const;
+  /// Continues LSN allocation (and the applied low-water) past `lsn`;
+  /// recovery calls this with the checkpoint LSN so records logged after a
+  /// fully-truncated log reopens always sort after the checkpoint.
+  void ReserveLsnsThrough(Lsn lsn);
+
+  /// True once an I/O failure broke the log (permanent until reopen).
+  bool broken() const;
+
+  // ---- Recovery & truncation ----
+
+  /// Scans the valid record prefix in LSN order, invoking `fn` for every
+  /// record with lsn > `after`. Stops cleanly at the first invalid frame
+  /// (torn tail). Returns false only on a read I/O failure — the scan may
+  /// then have missed durable records and recovery must not proceed as if
+  /// the log simply ended.
+  bool Replay(Lsn after, const std::function<void(const WalRecord&)>& fn);
+
+  /// Durably (header flip + fsync) advances the stream start past every
+  /// record with lsn <= `up_to` (no-op when none qualify). Requires
+  /// up_to <= applied_low_water() — truncating past an unapplied record
+  /// would lose it — and refuses on a broken log (its in-memory geometry
+  /// may no longer match the file).
+  bool Truncate(Lsn up_to);
+
+  WalStats stats() const;
+
+ private:
+  WriteAheadLog(std::unique_ptr<PagedFile> file, Options options);
+
+  /// Frame layout: [u32 len][u32 crc][u64 lsn][payload]. The LSN lives in
+  /// the 16-byte header — not the payload — so Append can encode and
+  /// checksum the payload entirely outside the log mutex and only fold the
+  /// just-assigned LSN into the checksum (O(1)) inside it; a large batch
+  /// record therefore never serializes concurrent mutators.
+  static constexpr uint64_t kFrameHeaderBytes = 16;
+  struct Pending {
+    Lsn lsn;
+    uint8_t header[kFrameHeaderBytes];
+    std::vector<uint8_t> payload;
+  };
+
+  Lsn Append(WalRecordType type, ObjectId first_id, uint32_t count, Dim nd,
+             const float* coords);
+  void FlusherLoop();
+  /// One framed batch -> StreamWrite + Sync, with the SimDisk consult.
+  bool WriteAndSync(uint64_t off, const std::vector<uint8_t>& bytes);
+  /// Decodes the frame at `off`; false when invalid/torn — scanning stops
+  /// there. A false with `*io_error` set means a read failed on bytes the
+  /// file claims to back: the scan result is unreliable, not a clean tail.
+  /// `*next` is the offset just past a decoded frame.
+  bool DecodeFrameAt(uint64_t off, uint64_t limit, WalRecord* out,
+                     uint64_t* next, bool* io_error);
+  /// The one valid-prefix walk Open/Replay/Truncate all share: decodes
+  /// frames from stream_start, stops at the first invalid frame or LSN
+  /// discontinuity (stale bytes), or when `visit` returns false (that
+  /// frame is then NOT consumed). `*end_off` is the offset just past the
+  /// last consumed frame. Returns false on a read I/O failure. Caller
+  /// holds io_mu_ (or no flusher is running yet).
+  bool ScanPrefix(const std::function<bool(const WalRecord&)>& visit,
+                  uint64_t* end_off, bool* io_error);
+
+  std::unique_ptr<PagedFile> file_;
+  Options options_;
+
+  /// Serializes every PagedFile access (FILE* is not thread-safe): the
+  /// flusher's writes, Replay's scans, Truncate's header flip.
+  std::mutex io_mu_;
+
+  mutable std::mutex mu_;  ///< queue, LSN allocation, durable/applied state
+  std::condition_variable flush_cv_;    ///< flusher: work available / stop
+  std::condition_variable durable_cv_;  ///< waiters: durable advanced / broke
+  std::queue<Pending> pending_;
+  uint64_t pending_bytes_ = 0;
+  Lsn next_lsn_ = 1;
+  Lsn durable_lsn_ = 0;
+  uint64_t tail_ = 0;  ///< append offset (absolute payload bytes)
+  bool broken_ = false;
+  bool stop_ = false;
+
+  /// Applied low-water: every lsn <= applied_upto_ is applied;
+  /// out-of-order completions park in the heap until contiguous.
+  Lsn applied_upto_ = 0;
+  std::priority_queue<Lsn, std::vector<Lsn>, std::greater<Lsn>> applied_ooo_;
+
+  uint64_t records_appended_ = 0;
+  uint64_t flush_batches_ = 0;
+  uint64_t bytes_appended_ = 0;
+  uint64_t truncations_ = 0;
+
+  std::thread flusher_;
+};
+
+}  // namespace accl::durability

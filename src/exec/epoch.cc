@@ -1,6 +1,9 @@
 #include "exec/epoch.h"
 
+#include <algorithm>
 #include <thread>
+
+#include "util/timer.h"
 
 namespace accl::exec {
 
@@ -130,6 +133,7 @@ void EpochManager::Synchronize() {
       global_epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
   // Wait for every reader still pinned at a pre-bump epoch. Readers never
   // block on the caller (pins cover pure read work), so this terminates.
+  WallTimer wait_timer;
   for (;;) {
     bool busy = false;
     for (const SlotBlock* b = &head_; b != nullptr && !busy;
@@ -145,6 +149,16 @@ void EpochManager::Synchronize() {
     if (!busy) break;
     std::this_thread::yield();
   }
+  // Record how long the grace period blocked this publisher — the price a
+  // rebalance pays for each snapshot it retires; stats() derives p50/p99
+  // over the resident window.
+  {
+    const double waited_ms = wait_timer.ElapsedMs();
+    std::lock_guard<std::mutex> lk(telemetry_mu_);
+    grace_ms_[grace_count_ % kGraceSamples] = waited_ms;
+    ++grace_count_;
+    if (waited_ms > grace_max_ms_) grace_max_ms_ = waited_ms;
+  }
   ReclaimUpTo(next);
 }
 
@@ -156,6 +170,20 @@ EpochManagerStats EpochManager::stats() const {
   st.retired = retired_count_.load(std::memory_order_relaxed);
   st.reclaimed = reclaimed_count_.load(std::memory_order_relaxed);
   st.retired_pending = st.retired - st.reclaimed;
+  {
+    std::lock_guard<std::mutex> lk(telemetry_mu_);
+    st.grace_waits = grace_count_;
+    st.grace_wait_max_ms = grace_max_ms_;
+    const size_t n = static_cast<size_t>(
+        std::min<uint64_t>(grace_count_, kGraceSamples));
+    if (n > 0) {
+      double window[kGraceSamples];
+      std::copy(grace_ms_, grace_ms_ + n, window);
+      std::sort(window, window + n);
+      st.grace_wait_p50_ms = window[n / 2];
+      st.grace_wait_p99_ms = window[(n * 99) / 100];
+    }
+  }
   return st;
 }
 

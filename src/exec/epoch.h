@@ -62,6 +62,14 @@ struct EpochManagerStats {
   uint64_t retired = 0;          ///< lifetime Retire() calls
   uint64_t reclaimed = 0;        ///< retired entries whose deleter has run
   uint64_t retired_pending = 0;  ///< retired entries awaiting reclamation
+  /// Grace-period wait telemetry: how long Synchronize() calls blocked
+  /// waiting for pre-bump readers to drain. Percentiles are computed over
+  /// a sliding window of the most recent waits (EpochManager::
+  /// kGraceSamples), so they track current behavior, not lifetime history.
+  uint64_t grace_waits = 0;       ///< Synchronize() calls measured
+  double grace_wait_p50_ms = 0.0;
+  double grace_wait_p99_ms = 0.0;
+  double grace_wait_max_ms = 0.0;  ///< lifetime maximum
 };
 
 class EpochManager {
@@ -149,6 +157,9 @@ class EpochManager {
 
   EpochManagerStats stats() const;
 
+  /// Sliding-window size for the grace-wait percentile telemetry.
+  static constexpr size_t kGraceSamples = 256;
+
  private:
   // One reader slot per cache line; 0 = quiescent, else the pinned epoch.
   struct alignas(64) Slot {
@@ -181,6 +192,14 @@ class EpochManager {
   std::atomic<uint64_t> synchronizes_{0};
   std::atomic<uint64_t> retired_count_{0};
   std::atomic<uint64_t> reclaimed_count_{0};
+
+  /// Grace-wait telemetry ring: the most recent kGraceSamples Synchronize
+  /// wait durations (ms). Guarded by telemetry_mu_ (its own lock so
+  /// recording never contends with retire/reclaim).
+  mutable std::mutex telemetry_mu_;
+  double grace_ms_[kGraceSamples] = {};
+  uint64_t grace_count_ = 0;
+  double grace_max_ms_ = 0.0;
 };
 
 }  // namespace accl::exec

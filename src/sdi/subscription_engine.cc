@@ -4,8 +4,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <numeric>
+#include <unordered_set>
 #include <utility>
 
+#include "durability/checkpoint.h"
+#include "durability/wal.h"
 #include "exec/shard_queues.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -67,6 +70,11 @@ Status SubscriptionEngine::ValidateOptions(const AttributeSchema& schema,
   if (!(o.rebalance_trigger_ratio > 0.0)) {
     return Status::InvalidArgument(
         "rebalance_trigger_ratio must be > 0 (and not NaN)");
+  }
+  if (o.rebalance_fence_candidates < 1) {
+    return Status::InvalidArgument(
+        "rebalance_fence_candidates must be >= 1 (1 = the single-candidate "
+        "gap-halving planner)");
   }
   const bool custom = static_cast<bool>(o.partitioner);
   if (o.sharding == ShardingPolicy::kRange) {
@@ -228,6 +236,22 @@ SubscriptionId SubscriptionEngine::SubscribeBox(const Box& box) {
     std::lock_guard<std::mutex> lk(meta_mu_);
     id = next_id_++;
   }
+  if (wal_ != nullptr) {
+    // Durable path: the record must be on disk before the subscription is
+    // applied or acknowledged. A broken log refuses the mutation (the
+    // allocated id is simply never used — ids are not reused anyway).
+    const Lsn lsn = wal_->AppendSubscribe(id, schema_.dims(), box.data());
+    if (!wal_->WaitDurable(lsn)) return kInvalidObject;
+    ApplySubscribe(id, box);
+    wal_->MarkApplied(lsn);
+  } else {
+    ApplySubscribe(id, box);
+  }
+  NotifyCheckpointer(1);
+  return id;
+}
+
+void SubscriptionEngine::ApplySubscribe(SubscriptionId id, const Box& box) {
   // kRange holds the rebalance lock from target choice through owner-map
   // publish: a boundary change (the whole double-residency protocol runs
   // under rebalance_mu_) is then serialized either before this
@@ -255,7 +279,6 @@ SubscriptionId SubscriptionEngine::SubscribeBox(const Box& box) {
     shard_of_.emplace(id, s);
     subscription_count_.fetch_add(1, std::memory_order_relaxed);
   }
-  return id;
 }
 
 void SubscriptionEngine::SubscribeBatch(Span<const Box> boxes,
@@ -271,11 +294,34 @@ void SubscriptionEngine::SubscribeBatch(Span<const Box> boxes,
     first = next_id_;
     next_id_ += static_cast<SubscriptionId>(n);
   }
+  if (wal_ != nullptr) {
+    // One WAL record (and typically one shared sync) for the whole batch.
+    // On log failure `out` stays empty: none of the batch is acknowledged
+    // and none is applied.
+    const size_t stride = 2 * static_cast<size_t>(schema_.dims());
+    std::vector<float> flat(n * stride);
+    for (size_t i = 0; i < n; ++i) {
+      std::copy(boxes[i].data(), boxes[i].data() + stride,
+                flat.data() + i * stride);
+    }
+    const Lsn lsn = wal_->AppendSubscribeBatch(
+        first, static_cast<uint32_t>(n), schema_.dims(), flat.data());
+    if (!wal_->WaitDurable(lsn)) return;
+    ApplySubscribeBatch(first, boxes);
+    wal_->MarkApplied(lsn);
+  } else {
+    ApplySubscribeBatch(first, boxes);
+  }
   out->reserve(n);
   for (size_t i = 0; i < n; ++i) {
     out->push_back(first + static_cast<SubscriptionId>(i));
   }
+  NotifyCheckpointer(n);
+}
 
+void SubscriptionEngine::ApplySubscribeBatch(SubscriptionId first,
+                                             Span<const Box> boxes) {
+  const size_t n = boxes.size();
   // Same rebalance-lock discipline as SubscribeBox, held across the whole
   // grouped insert so a boundary change serializes entirely before or
   // after the batch; matching routes with the epoch-published snapshot and
@@ -322,6 +368,23 @@ void SubscriptionEngine::SubscribeBatch(Span<const Box> boxes,
 }
 
 bool SubscriptionEngine::Unsubscribe(SubscriptionId id) {
+  if (wal_ == nullptr) return ApplyUnsubscribe(id);
+  {
+    // Don't log mutations that are no-ops from this caller's view. The
+    // check races concurrent unsubscribes of the same id, but a logged
+    // no-op record replays as a no-op — harmless either way.
+    std::lock_guard<std::mutex> lk(meta_mu_);
+    if (shard_of_.find(id) == shard_of_.end()) return false;
+  }
+  const Lsn lsn = wal_->AppendUnsubscribe(id);
+  if (!wal_->WaitDurable(lsn)) return false;
+  const bool ok = ApplyUnsubscribe(id);
+  wal_->MarkApplied(lsn);
+  NotifyCheckpointer(1);
+  return ok;
+}
+
+bool SubscriptionEngine::ApplyUnsubscribe(SubscriptionId id) {
   uint32_t s;
   uint32_t second = 0;
   bool has_second = false;
@@ -393,6 +456,110 @@ uint64_t SubscriptionEngine::routing_version() const {
 }
 
 void SubscriptionEngine::SynchronizeEpochs() { epoch_.Synchronize(); }
+
+void SubscriptionEngine::AttachDurability(durability::WriteAheadLog* wal) {
+  wal_ = wal;
+}
+
+void SubscriptionEngine::SetCheckpointer(durability::Checkpointer* cp) {
+  checkpointer_ = cp;
+}
+
+void SubscriptionEngine::NotifyCheckpointer(uint64_t mutations) {
+  if (checkpointer_ != nullptr) checkpointer_->OnMutations(mutations);
+}
+
+void SubscriptionEngine::CaptureDurableImage(
+    durability::EngineImage* out) const {
+  // The low-water is read BEFORE any shard scan: every record at or below
+  // it was applied (MarkApplied) before this point, and each apply's shard
+  // insert completed under the shard lock the scan takes below — so the
+  // image provably contains the effect of every record it claims to cover.
+  out->lsn = wal_ != nullptr ? wal_->applied_low_water() : kNoLsn;
+  out->nd = schema_.dims();
+  out->ids.clear();
+  out->coords.clear();
+  {
+    std::lock_guard<std::mutex> lk(meta_mu_);
+    out->next_id = next_id_;
+  }
+  // kRange: hold the rebalance lock so a double-residency migration is
+  // ordered entirely before or after the scan — otherwise a subscription
+  // mid-flight from a not-yet-scanned source into an already-scanned
+  // destination would be invisible to both scans (and, being older than
+  // the WAL tail, lost). Subscribes briefly serialize with the capture;
+  // matching takes no lock we hold and never stalls.
+  std::unique_lock<std::mutex> rebalance_lk;
+  if (range_routed_) {
+    rebalance_lk = std::unique_lock<std::mutex>(rebalance_mu_);
+  }
+  exec::EpochManager::Guard guard = epoch_.Pin();
+  const RoutingSnapshot* snap = snapshot_.load(std::memory_order_seq_cst);
+  out->fences = snap->bounds;
+  out->routing_version = snap->version;
+  const size_t stride = 2 * static_cast<size_t>(schema_.dims());
+  std::unordered_set<SubscriptionId> seen;
+  for (Shard* sh : snap->shards) {
+    std::lock_guard<std::mutex> lk(sh->mu);
+    sh->index->ForEachObject([&](ObjectId id, BoxView b) {
+      if (!seen.insert(id).second) return;  // double-resident: capture once
+      out->ids.push_back(id);
+      out->coords.insert(out->coords.end(), b.data(), b.data() + stride);
+    });
+  }
+}
+
+void SubscriptionEngine::RestoreSubscriptions(Span<const SubscriptionId> ids,
+                                              const float* coords) {
+  const size_t n = ids.size();
+  if (n == 0) return;
+  const size_t stride = 2 * static_cast<size_t>(schema_.dims());
+  std::unique_lock<std::mutex> rebalance_lk;
+  const std::vector<float>* bounds = &NoBounds();
+  if (range_routed_) {
+    rebalance_lk = std::unique_lock<std::mutex>(rebalance_mu_);
+    bounds = &SnapshotUnderRebalanceLock()->bounds;
+  }
+  // Group per target shard (the SubscribeBatch fast path) and land each
+  // group with one BulkInsert behind one lock acquisition.
+  exec::ShardQueues queues;
+  queues.Build(n, shards_.size(), [&](size_t i, std::vector<uint32_t>* t) {
+    t->push_back(ShardFor(ids[i], Box(BoxView(coords + i * stride,
+                                              schema_.dims())),
+                          *bounds));
+  });
+  SubscriptionId max_id = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const size_t nq = queues.size(s);
+    if (nq == 0) continue;
+    const uint32_t* items = queues.items(s);
+    std::vector<ObjectId> ins_ids;
+    std::vector<float> ins_coords;
+    ins_ids.reserve(nq);
+    ins_coords.reserve(nq * stride);
+    for (size_t j = 0; j < nq; ++j) {
+      const SubscriptionId id = ids[items[j]];
+      ins_ids.push_back(id);
+      ins_coords.insert(ins_coords.end(), coords + items[j] * stride,
+                        coords + (items[j] + 1) * stride);
+      max_id = std::max(max_id, id);
+    }
+    {
+      std::lock_guard<std::mutex> lk(shards_[s]->mu);
+      shards_[s]->index->BulkInsert(
+          Span<const ObjectId>(ins_ids.data(), ins_ids.size()),
+          Span<const float>(ins_coords.data(), ins_coords.size()));
+    }
+    shards_[s]->subs.fetch_add(nq, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(meta_mu_);
+    for (const ObjectId id : ins_ids) {
+      shard_of_.emplace(id, static_cast<uint32_t>(s));
+    }
+  }
+  subscription_count_.fetch_add(n, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(meta_mu_);
+  if (max_id + 1 > next_id_) next_id_ = max_id + 1;
+}
 
 Relation SubscriptionEngine::RelationFor(const Event& event,
                                          MatchPolicy policy) {
@@ -751,37 +918,90 @@ bool SubscriptionEngine::RebalanceLocked(bool force) {
   if (m == 0) return false;
   m = std::min(m, exts.size() - 1);
 
-  float new_fence;
-  size_t fence;  // index into bounds of the shared fence
-  if (receiver_below) {
-    // Receiver below: fence between slices l and h is bounds[h-1]; move it
-    // up past the m smallest lower endpoints. Those m residents leave the
-    // donor — to l when they fit the grown slice, to overflow when they
-    // span the new fence.
-    fence = h - 1;
-    new_fence = exts[m].first;
-    if (new_fence <= bounds[fence]) return false;  // mass sits on the edge
-  } else {
-    // Receiver above: fence bounds[h] moves down past the m largest upper
-    // endpoints; the residents whose hi0 the fence passed leave the donor.
-    fence = h;
-    new_fence = exts[exts.size() - m].second;
-    if (new_fence >= bounds[fence]) return false;
-    if (fence >= 1 && new_fence <= bounds[fence - 1]) return false;
+  // The index (into bounds) of the fence the pair shares. Receiver below:
+  // bounds[h-1] moves up past the shed residents' smallest lower
+  // endpoints; receiver above: bounds[h] moves down past their largest
+  // upper endpoints.
+  const size_t fence = receiver_below ? h - 1 : h;
+
+  // Fence position implied by shedding `j` residents, or false when the
+  // position is unusable (mass sits on the current fence, or the move
+  // would break the boundary array's strict ascent).
+  const auto fence_for = [&](size_t j, float* out_fence) -> bool {
+    if (receiver_below) {
+      const float f = exts[j].first;
+      if (f <= bounds[fence]) return false;
+      *out_fence = f;
+      return true;
+    }
+    const float f = exts[exts.size() - j].second;
+    if (f >= bounds[fence]) return false;
+    if (fence >= 1 && f <= bounds[fence - 1]) return false;
+    *out_fence = f;
+    return true;
+  };
+  // Straddler spill a fence position predicts: departing donors that
+  // straddle the NEW fence land in the overflow shard instead of the
+  // receiver. Donor residents lie entirely inside slice h, so the moved
+  // fence is the only one they can straddle.
+  const auto spill_for = [&](float f) {
+    uint64_t spill = 0;
+    for (const auto& [lo0, hi0] : exts) {
+      if (lo0 < f && hi0 >= f) ++spill;
+    }
+    return spill;
+  };
+
+  // Overflow-aware fence placement: the exact halving count m is one
+  // candidate; the planner also evaluates shed counts within ±25% of m —
+  // every candidate still roughly halves the load gap — and deviates from
+  // m only for a candidate predicting less than HALF of m's straddler
+  // spill (tie-breaking toward m). A fence repeatedly cutting a dense
+  // region is what inflates the overflow shard (every routed event pays an
+  // overflow visit), so trading a quarter of the balance step for a fence
+  // that lands in a gap is a good deal — but small spill differences must
+  // not win, or the planner drifts off the halving point at every pass and
+  // repeated passes converge noticeably slower.
+  // rebalance_fence_candidates == 1 reproduces the single-candidate
+  // planner exactly.
+  const size_t n_cand =
+      std::max<uint32_t>(1, options_.rebalance_fence_candidates);
+  const size_t j_lo = n_cand == 1 ? m : std::max<size_t>(1, m - m / 4);
+  const size_t j_hi = n_cand == 1 ? m : std::min(exts.size() - 1, m + m / 4);
+  float fence_m = 0.0f;
+  const bool have_m = fence_for(m, &fence_m);
+  const uint64_t spill_m = have_m ? spill_for(fence_m) : 0;
+  bool have = false;
+  float new_fence = 0.0f;
+  uint64_t best_spill = 0;
+  size_t best_dist = 0;
+  for (size_t c = 0; c < n_cand; ++c) {
+    const size_t j =
+        n_cand == 1
+            ? m
+            : j_lo + (j_hi - j_lo) * c / std::max<size_t>(1, n_cand - 1);
+    float f;
+    if (!fence_for(j, &f)) continue;
+    const uint64_t spill = spill_for(f);
+    const size_t dist = j > m ? j - m : m - j;
+    if (!have || spill < best_spill ||
+        (spill == best_spill && dist < best_dist)) {
+      have = true;
+      new_fence = f;
+      best_spill = spill;
+      best_dist = dist;
+    }
+  }
+  if (!have) return false;  // no candidate clears the current fences
+  if (have_m && 2 * best_spill >= spill_m) {
+    // The alternatives don't save enough: stay on the exact halving point.
+    new_fence = fence_m;
+    best_spill = spill_m;
   }
   bounds[fence] = new_fence;
 
-  // Predicted straddler spill: departing donors that straddle the NEW
-  // fence land in the overflow shard instead of the receiver. Reported
-  // (not yet acted on) — this is the load signal for overflow-aware fence
-  // placement. Donor residents lie entirely inside slice h, so the moved
-  // fence is the only one they can straddle.
-  uint64_t spill = 0;
-  for (const auto& [lo0, hi0] : exts) {
-    if (lo0 < new_fence && hi0 >= new_fence) ++spill;
-  }
-  predicted_spill_last_.store(spill, std::memory_order_relaxed);
-  predicted_spill_total_.fetch_add(spill, std::memory_order_relaxed);
+  predicted_spill_last_.store(best_spill, std::memory_order_relaxed);
+  predicted_spill_total_.fetch_add(best_spill, std::memory_order_relaxed);
 
   // Only the donor's residents and the overflow shard's straddlers can be
   // re-routed by a single-fence move (the receiver's slice only grew), so

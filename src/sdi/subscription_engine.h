@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "api/batch.h"
+#include "api/durability.h"
 #include "api/schema.h"
 #include "api/status.h"
 #include "core/adaptive_index.h"
@@ -61,6 +62,13 @@
 #include "util/summary.h"
 
 namespace accl {
+
+namespace durability {
+class WriteAheadLog;
+class Checkpointer;
+class CheckpointStore;
+struct EngineImage;
+}  // namespace durability
 
 /// Identifier handed out for registered subscriptions.
 using SubscriptionId = ObjectId;
@@ -154,6 +162,12 @@ struct EngineOptions {
   /// Auto-rebalance ignores imbalance until the total window load reaches
   /// this floor (tiny shards are cheap to visit; moving them is not).
   uint64_t rebalance_min_load = 512;
+  /// Fence positions RebalanceOnce evaluates per move (>= 1). 1 reproduces
+  /// the single-candidate gap-halving planner; larger values let the
+  /// planner pick, among shed counts within ±25% of the exact halving
+  /// count (so every candidate still roughly halves the load gap), the
+  /// fence predicting the least straddler spill into the overflow shard.
+  uint32_t rebalance_fence_candidates = 9;
 };
 
 /// The subscription database and matcher.
@@ -389,6 +403,49 @@ class SubscriptionEngine {
   /// and reclaimed snapshots).
   exec::EpochManagerStats epoch_stats() const { return epoch_.stats(); }
 
+  // ---- Durability (src/durability/) ----
+
+  /// Attaches a write-ahead log: every later Subscribe/SubscribeBatch/
+  /// Unsubscribe appends its record to `wal` and is acknowledged only
+  /// once the record is durable (group commit; see durability/wal.h). On
+  /// log failure the mutation is refused (kInvalidObject / empty id list /
+  /// false) and never applied. Call while quiesced; `wal` is not owned
+  /// and must outlive every later mutation.
+  void AttachDurability(durability::WriteAheadLog* wal);
+
+  /// Registers the checkpointer notified after every acknowledged
+  /// mutation (drives its every-N-mutations scheduling). Not owned.
+  void SetCheckpointer(durability::Checkpointer* cp);
+
+  durability::WriteAheadLog* wal() const { return wal_; }
+
+  /// Captures a checkpointable image: every live subscription (id + box),
+  /// the routing fences/version, the id allocator, and the WAL applied
+  /// low-water the image covers. Fuzzy with respect to concurrent
+  /// mutations — it runs under an epoch pin and per-shard locks, so
+  /// MatchBatch never stalls; a mutation racing the capture may or may
+  /// not be included, and replaying the WAL tail past image.lsn
+  /// (idempotently) reconstructs the exact engine either way. For kRange
+  /// the capture additionally holds the rebalance lock so a migration's
+  /// double-residency window cannot hide a subscription from the scan
+  /// (each id is captured exactly once).
+  void CaptureDurableImage(durability::EngineImage* out) const;
+
+  /// Crash recovery factory: loads the newest valid checkpoint from
+  /// `checkpoints` (null/absent/corrupt degrades to an empty image),
+  /// rebuilds the shards through the grouped BulkInsert fast path, then
+  /// replays `wal`'s surviving tail idempotently — records at or below
+  /// the checkpoint LSN are gone (truncated) or skipped, and a subscribe
+  /// whose id is already live (a fuzzy checkpoint captured an effect past
+  /// its own LSN) is deduplicated by id. Returns nullptr with `*status`
+  /// filled on invalid configuration or a checkpoint/schema dimensionality
+  /// mismatch. The recovered engine is not yet attached to the WAL; see
+  /// durability::OpenDurable for the fully wired path.
+  static std::unique_ptr<SubscriptionEngine> Recover(
+      AttributeSchema schema, EngineOptions options,
+      durability::CheckpointStore* checkpoints, durability::WriteAheadLog* wal,
+      Status* status = nullptr, RecoveryStats* recovery = nullptr);
+
  private:
   struct Shard {
     explicit Shard(const AdaptiveConfig& cfg)
@@ -439,6 +496,20 @@ class SubscriptionEngine {
   static Relation RelationFor(const Event& event, MatchPolicy policy);
   void RecordEvent(size_t matches, size_t verified, double latency_ms);
 
+  /// Non-durable mutation bodies: the routing + shard insert/erase +
+  /// owner-map bookkeeping the public entry points run after (or instead
+  /// of) the WAL round trip.
+  void ApplySubscribe(SubscriptionId id, const Box& box);
+  void ApplySubscribeBatch(SubscriptionId first, Span<const Box> boxes);
+  bool ApplyUnsubscribe(SubscriptionId id);
+  /// Recovery-only bulk restore: inserts the (id, box) pairs — ids given,
+  /// not allocated — grouped per target shard via BulkInsert, and bumps
+  /// next_id_ past the highest id seen. `coords` is ids.size()*2*nd
+  /// floats. Single-threaded use (the engine is not yet published).
+  void RestoreSubscriptions(Span<const SubscriptionId> ids,
+                            const float* coords);
+  void NotifyCheckpointer(uint64_t mutations);
+
   /// Auto-rebalance hook, called after every match entry point (with no
   /// epoch pinned: the grace-period wait inside would otherwise deadlock
   /// on the caller's own pin).
@@ -456,6 +527,10 @@ class SubscriptionEngine {
   AttributeSchema schema_;
   EngineOptions options_;
   bool range_routed_ = false;
+  /// Durability hooks; null = volatile engine (the default). Set by
+  /// AttachDurability/SetCheckpointer, read by the mutation entry points.
+  durability::WriteAheadLog* wal_ = nullptr;
+  durability::Checkpointer* checkpointer_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<exec::ThreadPool> pool_;  ///< null when match_threads <= 1
 

@@ -28,6 +28,10 @@ struct FileHeader {
   uint64_t dir_first;
   uint64_t dir_pages;
   uint64_t dir_bytes;
+  /// Append-stream front-truncation pointer. Files written before the
+  /// field existed carry zeros in the (always 4096-byte) header block, so
+  /// they read back as "stream starts at 0" — no version bump needed.
+  uint64_t stream_start;
 };
 
 }  // namespace
@@ -50,7 +54,8 @@ std::unique_ptr<PagedFile> PagedFile::Create(const std::string& path,
   if (page_bytes < 64) return nullptr;
   std::FILE* f = std::fopen(path.c_str(), "wb+");
   if (f == nullptr) return nullptr;
-  FileHeader h{kFileMagic, kFileVersion, page_bytes, 0, 0, kNoDirectory, 0, 0};
+  FileHeader h{kFileMagic, kFileVersion, page_bytes, 0, 0,
+               kNoDirectory, 0,           0,          0};
   // Flush the fresh header to the OS before handing the file out. "wb+"
   // already truncated any previous (possibly corrupt) contents, so on any
   // failure here we remove the remnant entirely: a half-created file must
@@ -103,6 +108,9 @@ std::unique_ptr<PagedFile> PagedFile::Open(const std::string& path) {
       return reject();
     }
   }
+  // The stream-start pointer must lie inside the backed payload (page_count
+  // is already validated against the actual file size above).
+  if (h.stream_start > h.page_count * h.page_bytes) return reject();
   auto pf = std::unique_ptr<PagedFile>(new PagedFile());
   pf->file_ = f;
   pf->page_bytes_ = h.page_bytes;
@@ -110,14 +118,15 @@ std::unique_ptr<PagedFile> PagedFile::Open(const std::string& path) {
   pf->dir_first_ = h.dir_first;
   pf->dir_pages_ = h.dir_pages;
   pf->dir_bytes_ = h.dir_bytes;
+  pf->stream_start_ = h.stream_start;
   // All pages start free; the directory loader re-marks live runs.
   if (h.page_count > 0) pf->free_runs_.push_back({0, h.page_count});
   return pf;
 }
 
 bool PagedFile::PersistHeader() {
-  FileHeader h{kFileMagic, kFileVersion, page_bytes_,  0,
-               page_count_, dir_first_,  dir_pages_,   dir_bytes_};
+  FileHeader h{kFileMagic, kFileVersion, page_bytes_, 0,          page_count_,
+               dir_first_, dir_pages_,   dir_bytes_,  stream_start_};
   if (!WriteHeaderTo(file_, h)) return false;
   return std::fflush(file_) == 0;
 }
@@ -236,6 +245,53 @@ bool PagedFile::WriteAt(uint64_t first_page, uint64_t off, const void* data,
 bool PagedFile::Sync() {
   if (std::fflush(file_) != 0) return false;
   return fsync(fileno(file_)) == 0;
+}
+
+bool PagedFile::SetStreamStart(uint64_t off) {
+  if (off < stream_start_ || off > payload_bytes()) return false;
+  const uint64_t prev = stream_start_;
+  stream_start_ = off;
+  if (PersistHeader()) return true;
+  stream_start_ = prev;  // keep agreeing with the last durable header
+  return false;
+}
+
+bool PagedFile::StreamWrite(uint64_t off, const void* data, uint64_t len) {
+  if (off + len > payload_bytes()) {
+    // Grow whole pages at the tail (at least 16 per growth to amortize the
+    // header persist below). Deliberately bypasses the free-run list: a
+    // stream file's space is one monotone region, and reusing an interior
+    // freed run would break the "absolute offset = file position" contract.
+    const uint64_t need = off + len - payload_bytes();
+    const uint64_t pages =
+        std::max<uint64_t>(16, (need + page_bytes_ - 1) / page_bytes_);
+    page_count_ += pages;
+    pages_in_use_ += pages;
+    const uint64_t new_size = kHeaderBytes + page_count_ * page_bytes_;
+    // Roll the in-memory geometry back on any growth failure: a later
+    // successful header write must never durably record a page_count the
+    // file doesn't actually back (Open would then reject the whole file).
+    // The fsync between the size extension and the header write orders
+    // their durability the same way: the header block is an overwrite that
+    // writeback can persist independently, and a crash leaving the grown
+    // page_count on disk without the grown file would also get the file
+    // rejected at reopen.
+    if (ftruncate(fileno(file_), static_cast<off_t>(new_size)) != 0 ||
+        fsync(fileno(file_)) != 0 || !PersistHeader()) {
+      page_count_ -= pages;
+      pages_in_use_ -= pages;
+      return false;
+    }
+    // The header persist also matters for recovery: a reopen derives the
+    // readable payload from the header's page_count, and a stale count
+    // would hide a synced tail.
+  }
+  return WriteAt(0, off, data, len);
+}
+
+bool PagedFile::StreamRead(uint64_t off, void* out, uint64_t len) {
+  if (off + len > payload_bytes()) return false;
+  return ReadAt(0, off, out, len);
 }
 
 // --------------------------------------------------------- ClusterFileStore

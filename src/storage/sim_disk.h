@@ -73,6 +73,7 @@ class SimDisk {
 
   /// Consumes one operation; true when the armed fault fires.
   bool NextOpFails() {
+    ++io_ops_;
     if (!fail_armed_) return false;
     if (ops_until_fail_ == 0) {
       ++faults_injected_;
@@ -84,6 +85,12 @@ class SimDisk {
 
   uint64_t faults_injected() const { return faults_injected_; }
 
+  /// Lifetime NextOpFails consultations (armed or not). A fault-free dry
+  /// run's count is the size of the crash-point matrix: arming
+  /// FailAfter(k) for every k < io_ops() drives the fault through every
+  /// logical I/O operation the workload performs.
+  uint64_t io_ops() const { return io_ops_; }
+
  private:
   double access_ms_;
   double ms_per_byte_;
@@ -93,6 +100,7 @@ class SimDisk {
   bool fail_armed_ = false;
   uint64_t ops_until_fail_ = 0;
   uint64_t faults_injected_ = 0;
+  uint64_t io_ops_ = 0;
 };
 
 }  // namespace accl

@@ -8,6 +8,7 @@
 // re-derived per binary.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace accl {
@@ -21,6 +22,23 @@ inline uint64_t Fnv1a(uint64_t h, uint64_t x) {
     h *= 1099511628211ull;
   }
   return h;
+}
+
+/// Folds `n` raw bytes into FNV-1a state `h`. The durability layer's
+/// record/checkpoint checksums chain this (payload first, trailing fields
+/// after), so the state-in/state-out form matters.
+inline uint64_t Fnv1aBytes(uint64_t h, const void* p, size_t n) {
+  const auto* b = static_cast<const uint8_t*>(p);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= b[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Folds a 64-bit FNV state to the 32 bits stored in on-disk checksums.
+inline uint32_t FnvFold32(uint64_t h) {
+  return static_cast<uint32_t>(h ^ (h >> 32));
 }
 
 }  // namespace accl

@@ -175,6 +175,12 @@ TEST(EpochMigration, DigestExactDuringContinuousRebalance) {
   EXPECT_EQ(es.retired_pending, 0u);
   EXPECT_GT(es.synchronizes, 0u);
   EXPECT_GT(es.pins, 0u);
+  // Grace-wait telemetry is populated: every Synchronize measured its
+  // wait, and the window percentiles are ordered sanely.
+  EXPECT_EQ(es.grace_waits, es.synchronizes);
+  EXPECT_GE(es.grace_wait_p50_ms, 0.0);
+  EXPECT_GE(es.grace_wait_p99_ms, es.grace_wait_p50_ms);
+  EXPECT_GE(es.grace_wait_max_ms, es.grace_wait_p99_ms);
 
   // Residency bookkeeping survived: every subscription owned exactly once.
   size_t resident = 0;
