@@ -27,9 +27,21 @@ struct DurabilityOptions {
   /// need one I/O op per record).
   bool group_commit = true;
 
-  /// Page size of the WAL file and of the checkpoint file.
+  /// Page size of the WAL segment files and of the checkpoint file.
   uint32_t wal_page_bytes = 4096;
   uint32_t checkpoint_page_bytes = 4096;
+
+  /// The WAL rotates to a fresh segment file once the tail segment's frame
+  /// bytes exceed this (soft limit: a batch is never split across
+  /// segments). Checkpoint truncation then drops whole covered segments in
+  /// O(1) unlinks, so the log's on-disk footprint stays bounded.
+  uint64_t wal_segment_bytes = 1 << 20;
+
+  /// Truncated segments kept as recycled spares instead of unlinked; a
+  /// rotation reuses a spare (rename + preamble rewrite) before creating a
+  /// fresh file. Recycled bytes are exactly the stale-frame surface the
+  /// per-frame generation stamp guards against.
+  uint32_t wal_spare_segments = 1;
 
   /// A background checkpoint is scheduled every this many acknowledged
   /// mutations. 0 = checkpoint only on explicit CheckpointNow().
@@ -49,6 +61,14 @@ struct WalStats {
   uint64_t truncations = 0;
   Lsn durable_lsn = 0;
   Lsn applied_low_water = 0;
+  // ---- Segment lifecycle (rotation + truncation GC) ----
+  uint64_t live_segments = 0;       ///< segment files currently in the chain
+  uint64_t spare_segments = 0;      ///< recycled files waiting for reuse
+  uint64_t tail_segment_seq = 0;    ///< generation stamp of the append tail
+  uint64_t segments_rotated = 0;    ///< rotations the flusher performed
+  uint64_t segments_recycled = 0;   ///< rotations served from the spare pool
+  uint64_t segments_unlinked = 0;   ///< truncated segments removed from disk
+  uint64_t segments_spared = 0;     ///< truncated segments renamed to spares
   /// Group-commit batching factor: acknowledged records per sync. 1.0 in
   /// per-record-flush mode; > 1 whenever concurrent mutators shared a sync.
   double records_per_flush() const {
@@ -66,6 +86,26 @@ struct CheckpointStats {
   uint64_t last_subscriptions = 0;   ///< live subscriptions in the last image
   Lsn last_lsn = 0;                  ///< WAL low-water the last image covers
   double last_write_ms = 0.0;
+};
+
+/// Log-shipping / warm-standby counters (durability::LogShipper::stats).
+struct ReplicationStats {
+  Lsn cursor_lsn = 0;          ///< highest LSN applied on the follower
+  Lsn source_durable_lsn = 0;  ///< highest LSN seen in the source log at the
+                               ///< last completed ship pass
+  /// Replication lag at the last completed pass:
+  /// source_durable_lsn - cursor_lsn (records the follower still owes).
+  uint64_t lag_records = 0;
+  uint64_t ship_passes = 0;        ///< completed ShipOnce calls
+  uint64_t records_applied = 0;    ///< records replayed into the follower
+  uint64_t bytes_shipped = 0;      ///< frame bytes copied into the mirror
+  uint64_t segments_mirrored = 0;  ///< mirror segment files created
+  uint64_t mirror_segments_unlinked = 0;  ///< mirror GC following the source
+  /// Ship passes that re-based the follower from the source's checkpoint
+  /// because the log records behind the cursor were already truncated away.
+  uint64_t checkpoint_catchups = 0;
+  uint64_t ship_errors = 0;  ///< failed ShipOnce calls (I/O; retryable)
+  bool promoted = false;
 };
 
 /// What SubscriptionEngine::Recover did (diagnostics + tests).

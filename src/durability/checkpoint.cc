@@ -177,7 +177,13 @@ bool Checkpointer::CheckpointNow() {
   EngineImage image;
   engine_->CaptureDurableImage(&image);
   bool ok = store_->Write(image);
-  if (ok) ok = wal_->Truncate(image.lsn);
+  if (ok) {
+    // The image is durable; truncation is an optimization, but a refused or
+    // failed one still counts as a checkpoint failure so callers notice the
+    // log is not shrinking (the Status detail says why).
+    const Status trunc = wal_->Truncate(image.lsn);
+    ok = trunc.ok();
+  }
   std::lock_guard<std::mutex> lk(stats_mu_);
   if (ok) {
     ++stats_.checkpoints_written;

@@ -142,7 +142,15 @@ struct DurableEngine {
   RecoveryStats recovery;
 };
 
-/// Opens (or creates) the WAL + checkpoint files at the given paths,
+/// Opens `path` as a page file, creating it only when it does not exist.
+/// An existing file that fails Open's validation returns nullptr — it may
+/// hold the only copy of durable state, and PagedFile::Create truncates, so
+/// "corrupt" must surface as an error, never as a silently fresh file.
+std::unique_ptr<PagedFile> OpenOrCreatePagedFile(const std::string& path,
+                                                 uint32_t page_bytes);
+
+/// Opens (or creates) the WAL segment chain rooted at `wal_path` (the
+/// base of the `<wal_path>.<seq:08>` files) and the checkpoint file,
 /// recovers the engine from them, and wires the mutation hooks and the
 /// checkpointer. `disk` (optional, not owned) is charged for WAL and
 /// checkpoint I/O and drives fault injection. Returns false with `*status`

@@ -13,6 +13,10 @@
 //   - An unsubscribe of an unknown id is a no-op — either its subscribe was
 //     also past the image scan (both replay, in LSN order), or the capture
 //     already saw the removal.
+//
+// The same rules make ApplyReplicated safe as the follower's apply path
+// (durability/shipping.h): a ship pass that re-reads frames it already
+// applied, or that follows a checkpoint catch-up, changes nothing.
 #include <sys/stat.h>
 
 #include <algorithm>
@@ -25,6 +29,55 @@
 #include "util/timer.h"
 
 namespace accl {
+
+void SubscriptionEngine::ApplyReplicated(const durability::WalRecord& rec,
+                                         RecoveryStats* rs) {
+  ++rs->wal_records_scanned;
+  switch (rec.type) {
+    case durability::WalRecordType::kSubscribe:
+    case durability::WalRecordType::kSubscribeBatch: {
+      if (rec.nd != schema_.dims()) {
+        ++rs->wal_records_skipped;  // foreign record; never ours
+        return;
+      }
+      std::vector<SubscriptionId> ids;
+      std::vector<float> coords;
+      const size_t stride = 2 * static_cast<size_t>(rec.nd);
+      bool skipped_any = false;
+      for (uint32_t i = 0; i < rec.count; ++i) {
+        const SubscriptionId id = rec.first_id + i;
+        if (ShardOf(id) != shards_.size()) {
+          skipped_any = true;  // fuzzy image / earlier pass already holds it
+          continue;
+        }
+        ids.push_back(id);
+        coords.insert(coords.end(), rec.coords.data() + i * stride,
+                      rec.coords.data() + (i + 1) * stride);
+      }
+      if (!ids.empty()) {
+        RestoreSubscriptions(
+            Span<const SubscriptionId>(ids.data(), ids.size()),
+            coords.data());
+        ++rs->wal_records_applied;
+      }
+      if (skipped_any || ids.empty()) ++rs->wal_records_skipped;
+      // Ids past the image's allocator mark must stay allocated even when
+      // every subscription in the record was deduplicated.
+      std::lock_guard<std::mutex> lk(meta_mu_);
+      if (rec.first_id + rec.count > next_id_) {
+        next_id_ = rec.first_id + rec.count;
+      }
+      break;
+    }
+    case durability::WalRecordType::kUnsubscribe:
+      if (ApplyUnsubscribe(rec.first_id)) {
+        ++rs->wal_records_applied;
+      } else {
+        ++rs->wal_records_skipped;  // capture already saw the removal
+      }
+      break;
+  }
+}
 
 std::unique_ptr<SubscriptionEngine> SubscriptionEngine::Recover(
     AttributeSchema schema, EngineOptions options,
@@ -77,55 +130,9 @@ std::unique_ptr<SubscriptionEngine> SubscriptionEngine::Recover(
     // scan): the log cannot know the checkpoint's LSN, so tell it.
     wal->ReserveLsnsThrough(image.lsn);
     SubscriptionEngine* e = engine.get();
-    std::vector<SubscriptionId> ids;
-    std::vector<float> coords;
     const bool replay_ok =
         wal->Replay(image.lsn, [&](const durability::WalRecord& rec) {
-      ++rs.wal_records_scanned;
-      switch (rec.type) {
-        case durability::WalRecordType::kSubscribe:
-        case durability::WalRecordType::kSubscribeBatch: {
-          if (rec.nd != e->schema_.dims()) {
-            ++rs.wal_records_skipped;  // foreign record; never ours
-            return;
-          }
-          ids.clear();
-          coords.clear();
-          const size_t stride = 2 * static_cast<size_t>(rec.nd);
-          bool skipped_any = false;
-          for (uint32_t i = 0; i < rec.count; ++i) {
-            const SubscriptionId id = rec.first_id + i;
-            if (e->ShardOf(id) != e->shards_.size()) {
-              skipped_any = true;  // fuzzy image already holds it
-              continue;
-            }
-            ids.push_back(id);
-            coords.insert(coords.end(), rec.coords.data() + i * stride,
-                          rec.coords.data() + (i + 1) * stride);
-          }
-          if (!ids.empty()) {
-            e->RestoreSubscriptions(
-                Span<const SubscriptionId>(ids.data(), ids.size()),
-                coords.data());
-            ++rs.wal_records_applied;
-          }
-          if (skipped_any || ids.empty()) ++rs.wal_records_skipped;
-          // Ids past the image's allocator mark must stay allocated even
-          // when every subscription in the record was deduplicated.
-          std::lock_guard<std::mutex> lk(e->meta_mu_);
-          if (rec.first_id + rec.count > e->next_id_) {
-            e->next_id_ = rec.first_id + rec.count;
-          }
-          break;
-        }
-        case durability::WalRecordType::kUnsubscribe:
-          if (e->ApplyUnsubscribe(rec.first_id)) {
-            ++rs.wal_records_applied;
-          } else {
-            ++rs.wal_records_skipped;  // capture already saw the removal
-          }
-          break;
-      }
+          e->ApplyReplicated(rec, &rs);
         });
     if (!replay_ok) {
       // A read I/O failure mid-scan: the prefix replayed so far may be
@@ -144,15 +151,8 @@ std::unique_ptr<SubscriptionEngine> SubscriptionEngine::Recover(
 
 namespace durability {
 
-namespace {
-
-/// Opens `path` as a page file, creating it only when it does not exist.
-/// An existing file that fails Open's validation returns nullptr — it may
-/// hold the only copy of acknowledged records, and PagedFile::Create
-/// truncates, so "corrupt" must surface as an error, never as a silently
-/// fresh (empty) durability state.
-std::unique_ptr<PagedFile> OpenOrCreate(const std::string& path,
-                                        uint32_t page_bytes) {
+std::unique_ptr<PagedFile> OpenOrCreatePagedFile(const std::string& path,
+                                                 uint32_t page_bytes) {
   struct stat st;
   if (::stat(path.c_str(), &st) != 0) {
     return PagedFile::Create(path, page_bytes);
@@ -160,37 +160,30 @@ std::unique_ptr<PagedFile> OpenOrCreate(const std::string& path,
   return PagedFile::Open(path);
 }
 
-}  // namespace
-
 bool OpenDurable(AttributeSchema schema, EngineOptions engine_options,
                  const DurabilityOptions& durability_options,
                  const std::string& wal_path,
                  const std::string& checkpoint_path, SimDisk* disk,
                  DurableEngine* out, Status* status) {
   *out = DurableEngine();
-  std::unique_ptr<PagedFile> wal_file =
-      OpenOrCreate(wal_path, durability_options.wal_page_bytes);
-  if (wal_file == nullptr) {
-    if (status != nullptr) {
-      *status = Status::InvalidArgument("cannot open or create WAL file: " +
-                                        wal_path);
-    }
-    return false;
-  }
   WriteAheadLog::Options wal_opts;
   wal_opts.group_commit = durability_options.group_commit;
   wal_opts.disk = disk;
-  out->wal = WriteAheadLog::Open(std::move(wal_file), wal_opts);
+  wal_opts.page_bytes = durability_options.wal_page_bytes;
+  wal_opts.segment_bytes = durability_options.wal_segment_bytes;
+  wal_opts.spare_segments = durability_options.wal_spare_segments;
+  out->wal = WriteAheadLog::Open(wal_path, wal_opts);
   if (out->wal == nullptr) {
     if (status != nullptr) {
-      *status = Status::InvalidArgument(
-          "WAL tail scan failed (I/O error on backed bytes): " + wal_path);
+      *status = Status::IOError(
+          "cannot open the WAL segment chain at " + wal_path +
+          " (file error, or a read failed on backed bytes)");
     }
     return false;
   }
 
-  std::unique_ptr<PagedFile> ckpt_file =
-      OpenOrCreate(checkpoint_path, durability_options.checkpoint_page_bytes);
+  std::unique_ptr<PagedFile> ckpt_file = OpenOrCreatePagedFile(
+      checkpoint_path, durability_options.checkpoint_page_bytes);
   if (ckpt_file == nullptr) {
     if (status != nullptr) {
       *status = Status::InvalidArgument(

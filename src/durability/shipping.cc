@@ -1,0 +1,331 @@
+// Log shipping implementation: mirror the source segment chain
+// byte-verbatim, re-base from its checkpoint when the cursor falls behind
+// the log, apply behind the replication cursor, promote on failover. See
+// shipping.h for the model.
+#include "durability/shipping.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "durability/wal.h"
+#include "storage/paged_store.h"
+
+namespace accl::durability {
+namespace {
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+LogShipper::LogShipper(AttributeSchema schema, EngineOptions engine_options,
+                       Options options)
+    : schema_(std::move(schema)),
+      engine_options_(std::move(engine_options)),
+      options_(std::move(options)) {}
+
+LogShipper::~LogShipper() = default;
+
+std::unique_ptr<LogShipper> LogShipper::Create(AttributeSchema schema,
+                                               EngineOptions engine_options,
+                                               Options options,
+                                               Status* status) {
+  // A fresh shipper is a fresh follower: whatever replica artifacts a
+  // previous incarnation left are superseded, and keeping them would let a
+  // stale mirror chain disagree with the empty engine below.
+  RemoveWalFiles(options.replica_wal_base);
+  std::remove(options.replica_checkpoint_path.c_str());
+
+  auto shipper = std::unique_ptr<LogShipper>(new LogShipper(
+      std::move(schema), std::move(engine_options), std::move(options)));
+
+  std::unique_ptr<PagedFile> ckpt_file = OpenOrCreatePagedFile(
+      shipper->options_.replica_checkpoint_path,
+      shipper->options_.checkpoint_page_bytes);
+  if (ckpt_file == nullptr) {
+    if (status != nullptr) {
+      *status = Status::IOError("cannot create the replica checkpoint file: " +
+                                shipper->options_.replica_checkpoint_path);
+    }
+    return nullptr;
+  }
+  shipper->replica_ckpts_ =
+      CheckpointStore::Open(std::move(ckpt_file), shipper->options_.disk);
+
+  shipper->engine_ = SubscriptionEngine::Create(
+      shipper->schema_, shipper->engine_options_, status);
+  if (shipper->engine_ == nullptr) return nullptr;
+  shipper->engine_->SetRole(SubscriptionEngine::EngineRole::kFollower);
+  if (status != nullptr) *status = Status::Ok();
+  return shipper;
+}
+
+Status LogShipper::SyncCheckpoint(bool need_rebase) {
+  EngineImage image;
+  bool have_image = false;
+  if (FileExists(options_.source_checkpoint_path)) {
+    // Re-open per pass: the primary writes through its own handle, so a
+    // cached snapshot would never see a new directory flip. Source reads
+    // are never charged to the disk — only replica-side writes are ours.
+    std::unique_ptr<PagedFile> src_file =
+        PagedFile::Open(options_.source_checkpoint_path);
+    if (src_file != nullptr) {
+      std::unique_ptr<CheckpointStore> src =
+          CheckpointStore::Open(std::move(src_file), nullptr);
+      have_image = src->Read(&image);
+    }
+  }
+
+  if (have_image && image.lsn > replica_ckpt_lsn_) {
+    // Image-level copy: re-validated on read, re-written shadow-paged into
+    // the replica store (which consults the shared disk), never byte-cloned.
+    if (!replica_ckpts_->Write(image)) {
+      return Status::IOError("replica checkpoint write failed");
+    }
+    replica_ckpt_lsn_ = image.lsn;
+  }
+  if (have_image) {
+    stats_.source_durable_lsn =
+        std::max(stats_.source_durable_lsn, image.lsn);
+  }
+  if (!need_rebase) return Status::Ok();
+
+  if (replica_ckpt_lsn_ <= cursor_lsn_) {
+    // The source truncated records past the cursor AND its checkpoint does
+    // not cover them — the WAL's truncate precondition makes this
+    // impossible for an intact source, so surface it rather than ship a
+    // log with a hole.
+    return Status::FailedPrecondition(
+        "source log has a gap behind the replication cursor and no "
+        "checkpoint covers it");
+  }
+  // Re-base: rebuild the follower from the (already replica-durable)
+  // image. Dedup in ApplyReplicated would not help here — the image also
+  // reflects unsubscribes the cursor never saw — so the engine is rebuilt,
+  // not patched.
+  Status st;
+  std::unique_ptr<SubscriptionEngine> rebuilt = SubscriptionEngine::Recover(
+      schema_, engine_options_, replica_ckpts_.get(), /*wal=*/nullptr, &st,
+      &apply_stats_);
+  if (rebuilt == nullptr) return st;
+  rebuilt->SetRole(SubscriptionEngine::EngineRole::kFollower);
+  engine_ = std::move(rebuilt);
+  cursor_lsn_ = replica_ckpt_lsn_;
+  mirror_max_lsn_ = 0;  // pre-gap mirror content no longer constrains copies
+  ++stats_.checkpoint_catchups;
+  return Status::Ok();
+}
+
+Status LogShipper::ShipSegment(const SegmentFileInfo& info, bool* stop) {
+  *stop = false;
+  std::unique_ptr<WalSegment> src = WalSegment::Open(info.path);
+  if (src == nullptr || src->seq() != info.seq) {
+    // Torn creation or a crash mid-recycle (name and preamble disagree):
+    // the source's own reopen garbage-collects this file; nothing past it
+    // is valid log.
+    *stop = true;
+    return Status::Ok();
+  }
+
+  auto it = mirror_.find(info.seq);
+  uint64_t off =
+      it != mirror_.end() ? it->second.tail : kSegmentPreambleBytes;
+
+  // Validate + decode the new frames first; the verbatim copy below only
+  // happens for frames that decoded clean and kept LSN continuity.
+  std::vector<WalRecord> recs;
+  std::vector<uint8_t> buf;
+  uint64_t end = off;
+  // Continuity is tracked locally and committed to mirror_max_lsn_ only
+  // once the batch is mirror-durable: a pass that decoded frames but then
+  // failed the mirror write must leave no trace, or the retry would see
+  // its own aborted progress as a continuity break.
+  Lsn copied_max = mirror_max_lsn_;
+  for (;;) {
+    WalRecord rec;
+    uint64_t next = 0;
+    bool io_error = false;
+    if (!src->DecodeFrameAt(end, &rec, &next, &io_error)) {
+      if (io_error) {
+        return Status::IOError("source segment read failed: " + info.path);
+      }
+      break;  // clean tail (or a seal — the next segment decides)
+    }
+    if (copied_max != 0 && rec.lsn != copied_max + 1) {
+      // A decodable frame that breaks LSN continuity is not a seal; it is
+      // stale or foreign. Ship nothing from here on.
+      *stop = true;
+      return Status::Ok();
+    }
+    const size_t frame_bytes = static_cast<size_t>(next - end);
+    buf.resize(buf.size() + frame_bytes);
+    if (!src->Read(end, buf.data() + buf.size() - frame_bytes, frame_bytes)) {
+      return Status::IOError("source segment read failed: " + info.path);
+    }
+    copied_max = rec.lsn;
+    recs.push_back(std::move(rec));
+    end = next;
+  }
+  if (recs.empty()) return Status::Ok();
+
+  if (it == mirror_.end()) {
+    std::unique_ptr<WalSegment> seg = WalSegment::Create(
+        SegmentPath(options_.replica_wal_base, info.seq),
+        options_.wal_page_bytes, info.seq, src->base_lsn(), options_.disk);
+    if (seg == nullptr) {
+      return Status::IOError("cannot create mirror segment for " + info.path);
+    }
+    Mirror m;
+    m.seg = std::move(seg);
+    it = mirror_.emplace(info.seq, std::move(m)).first;
+    ++stats_.segments_mirrored;
+  }
+  Mirror& m = it->second;
+
+  // One consult per shipped batch, mirroring the WAL flusher's policy.
+  if (options_.disk != nullptr) {
+    if (options_.disk->NextOpFails()) {
+      return Status::IOError("injected fault on mirror segment write");
+    }
+    options_.disk->Seek();
+    options_.disk->Transfer(buf.size());
+  }
+  if (!m.seg->Write(m.tail, buf.data(), buf.size()) || !m.seg->Sync()) {
+    return Status::IOError("mirror segment write failed: " + m.seg->path());
+  }
+  m.tail = end;
+  m.last_lsn = recs.back().lsn;
+  mirror_max_lsn_ = copied_max;
+  stats_.bytes_shipped += buf.size();
+
+  // Apply behind the cursor only after the bytes are mirror-durable, so a
+  // promoted node's files always cover its in-memory state.
+  for (const WalRecord& rec : recs) {
+    if (rec.lsn <= cursor_lsn_) continue;
+    engine_->ApplyReplicated(rec, &apply_stats_);
+    cursor_lsn_ = rec.lsn;
+    ++stats_.records_applied;
+  }
+  return Status::Ok();
+}
+
+Status LogShipper::GcMirror(uint64_t oldest_live_seq) {
+  for (auto it = mirror_.begin(); it != mirror_.end();) {
+    const Mirror& m = it->second;
+    const bool covered =
+        m.last_lsn == kNoLsn || m.last_lsn <= replica_ckpt_lsn_;
+    if (it->first >= oldest_live_seq || !covered) {
+      ++it;
+      continue;
+    }
+    if (options_.disk != nullptr) {
+      if (options_.disk->NextOpFails()) {
+        return Status::IOError("injected fault on mirror segment unlink");
+      }
+      options_.disk->NoteUnlink();
+    }
+    const std::string path = m.seg->path();
+    it = mirror_.erase(it);  // close the handle before unlinking
+    std::remove(path.c_str());
+    ++stats_.mirror_segments_unlinked;
+  }
+  return Status::Ok();
+}
+
+Status LogShipper::ShipOnce() {
+  if (engine_ == nullptr) {
+    return Status::FailedPrecondition("shipper was already promoted");
+  }
+  const std::vector<SegmentFileInfo> live =
+      ListSegmentFiles(options_.source_wal_base);
+
+  // Gap check: records the follower still owes start at cursor+1; the
+  // oldest live segment's base LSN is the oldest record the log can still
+  // serve. Anything older must come from the checkpoint.
+  bool need_rebase = false;
+  if (!live.empty()) {
+    std::unique_ptr<WalSegment> oldest = WalSegment::Open(live.front().path);
+    if (oldest != nullptr && oldest->seq() == live.front().seq) {
+      need_rebase = cursor_lsn_ + 1 < oldest->base_lsn();
+    }
+  }
+  Status st = SyncCheckpoint(need_rebase);
+  if (st.ok()) {
+    for (const SegmentFileInfo& info : live) {
+      bool stop = false;
+      st = ShipSegment(info, &stop);
+      if (!st.ok() || stop) break;
+    }
+  }
+  if (st.ok() && !live.empty()) {
+    st = GcMirror(live.front().seq);
+  }
+  if (!st.ok()) {
+    ++stats_.ship_errors;
+    return st;
+  }
+  ++stats_.ship_passes;
+  stats_.cursor_lsn = cursor_lsn_;
+  stats_.source_durable_lsn =
+      std::max(stats_.source_durable_lsn, mirror_max_lsn_);
+  stats_.lag_records = stats_.source_durable_lsn > cursor_lsn_
+                           ? stats_.source_durable_lsn - cursor_lsn_
+                           : 0;
+  return Status::Ok();
+}
+
+Status LogShipper::Promote(const DurabilityOptions& durability_options,
+                           DurableEngine* out) {
+  if (engine_ == nullptr) {
+    return Status::FailedPrecondition("shipper was already promoted");
+  }
+  // Final catch-up against the (dead) source's files: after a crash the
+  // surviving valid prefix is exactly the acknowledged prefix, so this
+  // pass is what makes promotion lose nothing that was ever acked.
+  Status st = ShipOnce();
+  if (!st.ok()) return st;
+
+  // Close the mirror handles, then reopen the chain as a real WAL — its
+  // open-time walk re-validates every frame we shipped.
+  mirror_.clear();
+  WriteAheadLog::Options wal_opts;
+  wal_opts.group_commit = durability_options.group_commit;
+  wal_opts.disk = options_.disk;
+  wal_opts.page_bytes = durability_options.wal_page_bytes;
+  wal_opts.segment_bytes = durability_options.wal_segment_bytes;
+  wal_opts.spare_segments = durability_options.wal_spare_segments;
+  std::unique_ptr<WriteAheadLog> wal =
+      WriteAheadLog::Open(options_.replica_wal_base, wal_opts);
+  if (wal == nullptr) {
+    return Status::IOError("cannot open the mirror chain as a WAL: " +
+                           options_.replica_wal_base);
+  }
+  // After a checkpoint catch-up the cursor can sit past every mirrored
+  // frame; new LSNs must still sort after it.
+  wal->ReserveLsnsThrough(cursor_lsn_);
+
+  *out = DurableEngine();
+  out->wal = std::move(wal);
+  out->checkpoints = std::move(replica_ckpts_);
+  out->engine = std::move(engine_);
+  out->engine->SetRole(SubscriptionEngine::EngineRole::kPrimary);
+  out->engine->AttachDurability(out->wal.get());
+  Checkpointer::Options cp_opts;
+  cp_opts.every_mutations = durability_options.checkpoint_every_mutations;
+  cp_opts.background = durability_options.background_checkpoints;
+  out->checkpointer = std::make_unique<Checkpointer>(
+      out->engine.get(), out->wal.get(), out->checkpoints.get(), cp_opts);
+  out->engine->SetCheckpointer(out->checkpointer.get());
+  out->recovery = apply_stats_;
+  stats_.promoted = true;
+  stats_.cursor_lsn = cursor_lsn_;
+  return Status::Ok();
+}
+
+}  // namespace accl::durability

@@ -1,5 +1,6 @@
 #include "durability/wal.h"
 
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
@@ -9,53 +10,106 @@
 
 namespace accl::durability {
 
-namespace {
-
-/// Frames larger than this are treated as corruption, not allocated.
-constexpr uint32_t kMaxFrameBytes = 1u << 26;
-
-/// Record checksum: FNV-1a over the payload, then the LSN folded on top
-/// (so Append can hash the payload outside the log mutex and finish with
-/// the just-assigned LSN in O(1)), folded to the 32 bits the frame stores.
-uint32_t FrameChecksum(const uint8_t* payload, size_t n, Lsn lsn) {
-  return FnvFold32(Fnv1a(Fnv1aBytes(kFnvOffsetBasis, payload, n), lsn));
-}
-
-}  // namespace
-
-WriteAheadLog::WriteAheadLog(std::unique_ptr<PagedFile> file, Options options)
-    : file_(std::move(file)), options_(options) {}
+WriteAheadLog::WriteAheadLog(std::string base_path, Options options)
+    : base_path_(std::move(base_path)), options_(options) {}
 
 std::unique_ptr<WriteAheadLog> WriteAheadLog::Create(
-    std::unique_ptr<PagedFile> file, Options options) {
-  return Open(std::move(file), options);  // a fresh file scans to an empty
-                                          // prefix; one path serves both
+    const std::string& base_path, Options options) {
+  return Open(base_path, options);  // a fresh directory scans to an empty
+                                    // chain; one path serves both
 }
 
 std::unique_ptr<WriteAheadLog> WriteAheadLog::Open(
-    std::unique_ptr<PagedFile> file, Options options) {
-  if (file == nullptr) return nullptr;
+    const std::string& base_path, Options options) {
   auto log = std::unique_ptr<WriteAheadLog>(
-      new WriteAheadLog(std::move(file), options));
-  // Find the durable tail: the end of the valid frame prefix. No flusher
-  // is running yet, so the scan needs no locks.
+      new WriteAheadLog(base_path, options));
+
+  // Adopt spares left by a previous life; rotation reuses them.
+  for (const SegmentFileInfo& f : ListSpareFiles(base_path)) {
+    log->spares_.push_back(f.path);
+  }
+
+  // The live chain is the maximal contiguous-seq suffix of files whose
+  // preambles validate and agree with their names. Everything else is the
+  // leftover of some interrupted lifecycle op — a torn create, a crashed
+  // recycle (renamed but preamble not yet rewritten), a stray below a
+  // truncation gap — and holds nothing durable: collect it.
+  std::vector<SegmentFileInfo> infos = ListSegmentFiles(base_path);
+  std::vector<std::unique_ptr<WalSegment>> opened(infos.size());
+  while (!infos.empty()) {
+    opened.back() = WalSegment::Open(infos.back().path);
+    if (opened.back() != nullptr &&
+        opened.back()->seq() == infos.back().seq) {
+      break;
+    }
+    std::remove(infos.back().path.c_str());
+    infos.pop_back();
+    opened.pop_back();
+  }
+  size_t first_live = infos.empty() ? 0 : infos.size() - 1;
+  while (first_live > 0 &&
+         infos[first_live - 1].seq + 1 == infos[first_live].seq) {
+    opened[first_live - 1] = WalSegment::Open(infos[first_live - 1].path);
+    if (opened[first_live - 1] == nullptr ||
+        opened[first_live - 1]->seq() != infos[first_live - 1].seq) {
+      break;
+    }
+    --first_live;
+  }
+  for (size_t i = 0; i < first_live; ++i) {
+    std::remove(infos[i].path.c_str());
+  }
+  for (size_t i = first_live; i < infos.size(); ++i) {
+    LiveSeg ls;
+    ls.seg = std::move(opened[i]);
+    log->segments_.push_back(std::move(ls));
+  }
+
+  if (log->segments_.empty()) {
+    // Fresh log. Open-time I/O is recovery I/O: no fault consult, no
+    // simulated charge (matching the checkpoint store's open behavior).
+    std::unique_ptr<WalSegment> seg =
+        WalSegment::Create(SegmentPath(base_path, 1), options.page_bytes,
+                           /*seq=*/1, /*base_lsn=*/1, /*disk=*/nullptr);
+    if (seg == nullptr) return nullptr;
+    LiveSeg ls;
+    ls.seg = std::move(seg);
+    log->segments_.push_back(std::move(ls));
+  }
+
+  // Find the durable tail: the end of the valid frame prefix across the
+  // chain. No flusher is running yet, so the walk needs no locks.
   Lsn max_lsn = kNoLsn;
-  uint64_t off = 0;
+  size_t end_idx = 0;
+  uint64_t end_off = kSegmentPreambleBytes;
   bool io_error = false;
-  log->ScanPrefix(
-      [&](const WalRecord& rec) {
+  log->ValidPrefixWalk(
+      0,
+      [&](const WalRecord& rec, size_t idx) {
+        LiveSeg& ls = log->segments_[idx];
+        if (ls.first_lsn == kNoLsn) ls.first_lsn = rec.lsn;
+        ls.last_lsn = rec.lsn;
         max_lsn = rec.lsn;
-        return true;
       },
-      &off, &io_error);
+      &end_idx, &end_off, &io_error);
   // A read failure on backed bytes means the tail position is unknowable;
   // appending there could overwrite durable records. Refuse to open.
   if (io_error) return nullptr;
-  log->tail_ = off;
+  // Segments past the walk's end hold nothing reachable (frames are
+  // written strictly sequentially, so a valid chain cannot resume after a
+  // stop) — drop them so the append tail is the chain's last segment.
+  while (log->segments_.size() > end_idx + 1) {
+    std::remove(log->segments_.back().seg->path().c_str());
+    log->segments_.pop_back();
+  }
+  log->segments_.back().tail = end_off;
+
+  log->next_seq_ = log->segments_.back().seg->seq() + 1;
   log->durable_lsn_ = max_lsn;
   log->applied_upto_ = max_lsn;  // recovery replays (applies) the prefix
                                  // before the log is used again
   log->next_lsn_ = max_lsn + 1;
+  log->UpdateSegmentGauges();
   log->flusher_ = std::thread([l = log.get()] { l->FlusherLoop(); });
   return log;
 }
@@ -72,8 +126,10 @@ WriteAheadLog::~WriteAheadLog() {
 Lsn WriteAheadLog::Append(WalRecordType type, ObjectId first_id,
                           uint32_t count, Dim nd, const float* coords) {
   // Encode and hash the payload OUTSIDE the log mutex: a large batch
-  // record must not serialize concurrent mutators. Only LSN assignment,
-  // the O(1) checksum finish, and the queue push run under the lock.
+  // record must not serialize concurrent mutators. Only LSN assignment and
+  // the queue push run under the lock; the flusher folds the LSN and the
+  // target segment's generation into the checksum in O(1) at placement
+  // (the generation is unknowable here — rotation picks the segment).
   ByteWriter payload;
   payload.PutU8(static_cast<uint8_t>(type));
   payload.PutU32(first_id);
@@ -82,20 +138,15 @@ Lsn WriteAheadLog::Append(WalRecordType type, ObjectId first_id,
     payload.PutU32(nd);
     payload.PutBytes(coords, static_cast<size_t>(count) * 2 * nd * 4);
   }
-  const uint64_t base_hash =
-      Fnv1aBytes(kFnvOffsetBasis, payload.bytes().data(), payload.size());
   Pending p;
+  p.payload_hash =
+      Fnv1aBytes(kFnvOffsetBasis, payload.bytes().data(), payload.size());
   p.payload.assign(payload.bytes().begin(), payload.bytes().end());
-  const uint32_t len = static_cast<uint32_t>(p.payload.size());
 
   std::unique_lock<std::mutex> lk(mu_);
   if (broken_) return kNoLsn;
   const Lsn lsn = next_lsn_++;
   p.lsn = lsn;
-  const uint32_t crc = FnvFold32(Fnv1a(base_hash, lsn));
-  std::memcpy(p.header, &len, 4);
-  std::memcpy(p.header + 4, &crc, 4);
-  std::memcpy(p.header + 8, &lsn, 8);
   pending_bytes_ += kFrameHeaderBytes + p.payload.size();
   pending_.push(std::move(p));
   ++records_appended_;
@@ -129,29 +180,25 @@ void WriteAheadLog::FlusherLoop() {
     }
     // Group commit drains the whole queue into one append+sync; per-record
     // mode takes exactly one frame, so every record pays its own sync.
-    std::vector<uint8_t> batch;
-    batch.reserve(options_.group_commit
-                      ? pending_bytes_
-                      : kFrameHeaderBytes + pending_.front().payload.size());
-    Lsn last = kNoLsn;
+    std::vector<Pending> items;
     size_t take = options_.group_commit ? pending_.size() : 1;
+    items.reserve(take);
+    uint64_t batch_bytes = 0;
     while (take-- > 0) {
       Pending& p = pending_.front();
-      batch.insert(batch.end(), p.header, p.header + kFrameHeaderBytes);
-      batch.insert(batch.end(), p.payload.begin(), p.payload.end());
-      last = p.lsn;
+      batch_bytes += kFrameHeaderBytes + p.payload.size();
       pending_bytes_ -= kFrameHeaderBytes + p.payload.size();
+      items.push_back(std::move(p));
       pending_.pop();
     }
-    const uint64_t off = tail_;
-    tail_ += batch.size();
+    const Lsn last = items.back().lsn;
     lk.unlock();
-    const bool ok = WriteAndSync(off, batch);
+    const bool ok = WriteBatch(items);
     lk.lock();
     if (ok) {
       durable_lsn_ = last;
       ++flush_batches_;
-      bytes_appended_ += batch.size();
+      bytes_appended_ += batch_bytes;
     } else {
       // The failed batch was never acknowledged; everything still queued
       // can never become durable either. Break the log and wake every
@@ -164,16 +211,79 @@ void WriteAheadLog::FlusherLoop() {
   }
 }
 
-bool WriteAheadLog::WriteAndSync(uint64_t off,
-                                 const std::vector<uint8_t>& bytes) {
+bool WriteAheadLog::WriteBatch(const std::vector<Pending>& items) {
   std::lock_guard<std::mutex> lk(io_mu_);
+  LiveSeg* tail = &segments_.back();
+  if (tail->tail - kSegmentPreambleBytes >= options_.segment_bytes) {
+    // The new segment's preamble records the first LSN it will hold.
+    if (!RotateLocked(items.front().lsn)) return false;
+    tail = &segments_.back();
+  }
+  // Frame the batch under this segment's generation stamp: O(1) checksum
+  // finish per record from the pre-hashed payload.
+  const uint64_t gen = tail->seg->seq();
+  uint64_t total = 0;
+  for (const Pending& p : items) {
+    total += kFrameHeaderBytes + p.payload.size();
+  }
+  std::vector<uint8_t> bytes;
+  bytes.reserve(total);
+  for (const Pending& p : items) {
+    uint8_t hdr[kFrameHeaderBytes];
+    const uint32_t len = static_cast<uint32_t>(p.payload.size());
+    const uint32_t crc = FrameChecksumFromHash(p.payload_hash, p.lsn, gen);
+    std::memcpy(hdr, &len, 4);
+    std::memcpy(hdr + 4, &crc, 4);
+    std::memcpy(hdr + 8, &p.lsn, 8);
+    std::memcpy(hdr + 16, &gen, 8);
+    bytes.insert(bytes.end(), hdr, hdr + kFrameHeaderBytes);
+    bytes.insert(bytes.end(), p.payload.begin(), p.payload.end());
+  }
   if (options_.disk != nullptr && options_.disk->NextOpFails()) return false;
-  if (!file_->StreamWrite(off, bytes.data(), bytes.size())) return false;
-  if (!file_->Sync()) return false;
+  if (!tail->seg->Write(tail->tail, bytes.data(), bytes.size())) return false;
+  if (!tail->seg->Sync()) return false;
   if (options_.disk != nullptr) {
     options_.disk->Seek();  // the sync's head positioning
     options_.disk->Transfer(bytes.size());
   }
+  // The flusher-recorded watermarks: (lsn, segment, offset). Truncate
+  // drops whole segments by comparing last_lsn, Replay skips them the
+  // same way — neither ever re-scans frames.
+  if (tail->first_lsn == kNoLsn) tail->first_lsn = items.front().lsn;
+  tail->last_lsn = items.back().lsn;
+  tail->tail += bytes.size();
+  return true;
+}
+
+bool WriteAheadLog::RotateLocked(Lsn base_lsn) {
+  const uint64_t seq = next_seq_++;
+  const std::string live = SegmentPath(base_path_, seq);
+  std::unique_ptr<WalSegment> seg;
+  if (!spares_.empty()) {
+    // Recycle: rename the spare into the chain, then rewrite its preamble
+    // under the new seq. Its old bytes stay — the generation stamp keeps
+    // them dead. A crash between the two steps leaves a name/preamble
+    // mismatch the next open garbage-collects.
+    const std::string spare = spares_.back();
+    if (options_.disk != nullptr && options_.disk->NextOpFails()) {
+      return false;
+    }
+    if (std::rename(spare.c_str(), live.c_str()) != 0) return false;
+    if (options_.disk != nullptr) options_.disk->NoteRename();
+    spares_.pop_back();
+    seg = WalSegment::Recycle(live, seq, base_lsn, options_.disk);
+    if (seg == nullptr) return false;
+    segments_recycled_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    seg = WalSegment::Create(live, options_.page_bytes, seq, base_lsn,
+                             options_.disk);
+    if (seg == nullptr) return false;
+  }
+  LiveSeg ls;
+  ls.seg = std::move(seg);
+  segments_.push_back(std::move(ls));
+  segments_rotated_.fetch_add(1, std::memory_order_relaxed);
+  UpdateSegmentGauges();
   return true;
 }
 
@@ -233,71 +343,59 @@ bool WriteAheadLog::broken() const {
   return broken_;
 }
 
-bool WriteAheadLog::DecodeFrameAt(uint64_t off, uint64_t limit,
-                                  WalRecord* out, uint64_t* next,
-                                  bool* io_error) {
+bool WriteAheadLog::ValidPrefixWalk(
+    size_t start_index,
+    const std::function<void(const WalRecord&, size_t)>& visit,
+    size_t* end_index, uint64_t* end_off, bool* io_error) {
+  ACCL_CHECK(start_index < segments_.size());
   *io_error = false;
-  if (off + kFrameHeaderBytes > limit) return false;
-  uint32_t len = 0, crc = 0;
-  uint8_t hdr[kFrameHeaderBytes];
-  // Every read below stays within `limit`, bytes the file claims to back:
-  // a failure is a real I/O error, not a torn tail.
-  if (!file_->StreamRead(off, hdr, kFrameHeaderBytes)) {
-    *io_error = true;
-    return false;
-  }
-  std::memcpy(&len, hdr, 4);
-  std::memcpy(&crc, hdr + 4, 4);
-  std::memcpy(&out->lsn, hdr + 8, 8);
-  if (len == 0 || len > kMaxFrameBytes || out->lsn == kNoLsn) return false;
-  if (off + kFrameHeaderBytes + len > limit) return false;  // torn tail
-  std::vector<uint8_t> payload(len);
-  if (!file_->StreamRead(off + kFrameHeaderBytes, payload.data(), len)) {
-    *io_error = true;
-    return false;
-  }
-  if (FrameChecksum(payload.data(), len, out->lsn) != crc) return false;
-  ByteReader r(payload);
-  uint8_t type = 0;
-  if (!r.GetU8(&type)) return false;
-  if (type < static_cast<uint8_t>(WalRecordType::kSubscribe) ||
-      type > static_cast<uint8_t>(WalRecordType::kUnsubscribe)) {
-    return false;
-  }
-  out->type = static_cast<WalRecordType>(type);
-  if (!r.GetU32(&out->first_id)) return false;
-  if (out->type == WalRecordType::kUnsubscribe) {
-    out->count = 1;
-    out->nd = 0;
-    out->coords.clear();
-  } else {
-    if (!r.GetU32(&out->count) || !r.GetU32(&out->nd)) return false;
-    if (out->count == 0 || out->nd == 0) return false;
-    const size_t floats = static_cast<size_t>(out->count) * 2 * out->nd;
-    if (r.remaining() != floats * 4) return false;
-    out->coords.resize(floats);
-    if (!r.GetBytes(out->coords.data(), floats * 4)) return false;
-  }
-  if (!r.exhausted()) return false;
-  *next = off + kFrameHeaderBytes + len;
-  return true;
-}
-
-bool WriteAheadLog::ScanPrefix(
-    const std::function<bool(const WalRecord&)>& visit, uint64_t* end_off,
-    bool* io_error) {
-  uint64_t off = file_->stream_start();
-  const uint64_t limit = file_->payload_bytes();
-  WalRecord rec;
-  uint64_t next = off;
+  size_t idx = start_index;
+  uint64_t off = kSegmentPreambleBytes;
   Lsn prev = kNoLsn;
-  *io_error = false;
-  while (DecodeFrameAt(off, limit, &rec, &next, io_error)) {
-    if (prev != kNoLsn && rec.lsn != prev + 1) break;  // stale frame
-    if (!visit(rec)) break;  // caller stop: frame not consumed
-    prev = rec.lsn;
-    off = next;
+  WalRecord rec;
+  uint64_t next = 0;
+  for (;;) {
+    WalSegment& seg = *segments_[idx].seg;
+    bool io = false;
+    if (seg.DecodeFrameAt(off, &rec, &next, &io) &&
+        (prev == kNoLsn || rec.lsn == prev + 1)) {
+      visit(rec, idx);
+      prev = rec.lsn;
+      off = next;
+      continue;
+    }
+    if (io) {
+      *io_error = true;
+      break;
+    }
+    // This segment yields no further frame: a torn/absent tail, a sealed
+    // segment's end, or stale recycled bytes. The boundary decides which:
+    // a next segment whose first frame continues the LSN chain means this
+    // was a rotation seal; a final empty segment is a just-rotated tail
+    // the walk ends *inside* (appends resume at its start). Anything else
+    // ends the walk here.
+    if (idx + 1 >= segments_.size()) break;
+    bool peek_io = false;
+    const bool peeked = segments_[idx + 1].seg->DecodeFrameAt(
+        kSegmentPreambleBytes, &rec, &next, &peek_io);
+    if (peek_io) {
+      *io_error = true;
+      break;
+    }
+    if (peeked && (prev == kNoLsn || rec.lsn == prev + 1)) {
+      ++idx;
+      off = kSegmentPreambleBytes;
+      continue;  // the main loop re-decodes and consumes the peeked frame
+    }
+    if (!peeked && idx + 2 == segments_.size()) {
+      // Crash between the rotation's seal and the next segment's first
+      // write: the tail is the empty (or stale-recycled) final segment.
+      ++idx;
+      off = kSegmentPreambleBytes;
+    }
+    break;
   }
+  *end_index = idx;
   *end_off = off;
   return !*io_error;
 }
@@ -305,58 +403,113 @@ bool WriteAheadLog::ScanPrefix(
 bool WriteAheadLog::Replay(Lsn after,
                            const std::function<void(const WalRecord&)>& fn) {
   std::lock_guard<std::mutex> io(io_mu_);
-  uint64_t end = 0;
+  // Watermark skip: whole segments at or below the cursor are not even
+  // decoded. (The walk re-anchors LSN continuity at the first segment it
+  // actually reads.)
+  size_t start = 0;
+  while (start + 1 < segments_.size() &&
+         segments_[start].last_lsn != kNoLsn &&
+         segments_[start].last_lsn <= after) {
+    ++start;
+  }
+  size_t end_idx = 0;
+  uint64_t end_off = 0;
   bool io_error = false;
-  ScanPrefix(
-      [&](const WalRecord& rec) {
+  ValidPrefixWalk(
+      start,
+      [&](const WalRecord& rec, size_t) {
         if (rec.lsn > after) fn(rec);
-        return true;
       },
-      &end, &io_error);
+      &end_idx, &end_off, &io_error);
   // A torn tail is a clean end of log; a failed read of backed bytes is
   // not — the caller must not treat the scanned prefix as complete.
   return !io_error;
 }
 
-bool WriteAheadLog::Truncate(Lsn up_to) {
-  if (up_to == kNoLsn) return true;
+Status WriteAheadLog::Truncate(Lsn up_to) {
+  if (up_to == kNoLsn) return Status::Ok();
   {
     std::lock_guard<std::mutex> lk(mu_);
-    if (up_to > applied_upto_) return false;  // would lose unapplied records
-    // After an I/O failure the in-memory tail/geometry may not match the
-    // file; moving the durable start pointer then risks cutting into
-    // records that are still the only copy. A broken log is read-only.
-    if (broken_) return false;
+    if (up_to > applied_upto_) {
+      // Truncating past an unapplied record would lose the only copy of a
+      // mutation whose effect no checkpoint can contain yet.
+      return Status::FailedPrecondition(
+          "WAL truncate to LSN " + std::to_string(up_to) +
+          " exceeds the applied low-water " + std::to_string(applied_upto_) +
+          "; a record above the low-water is durable but not yet applied");
+    }
+    // After an I/O failure the in-memory chain may not match the files;
+    // dropping segments then risks cutting into records that are still
+    // the only copy. A broken log is read-only.
+    if (broken_) {
+      return Status::FailedPrecondition(
+          "WAL is broken by an earlier I/O failure; truncation refused "
+          "(the log is read-only until reopened)");
+    }
   }
   std::unique_lock<std::mutex> io(io_mu_);
-  if (options_.disk != nullptr && options_.disk->NextOpFails()) return false;
-  uint64_t off = 0;
-  bool io_error = false;
-  ScanPrefix([&](const WalRecord& rec) { return rec.lsn <= up_to; }, &off,
-             &io_error);
-  if (io_error) return false;
-  if (off == file_->stream_start()) return true;  // nothing to drop
-  // Header flip + fsync: the truncation point must actually be durable —
-  // replay idempotence would mask a lost flip, but the contract (and the
-  // reclaimed log space) shouldn't depend on that.
-  if (!file_->SetStreamStart(off)) return false;
-  if (!file_->Sync()) return false;
-  if (options_.disk != nullptr) options_.disk->Seek();  // header flip
+  // O(1) per segment: compare the flusher's last_lsn watermark, unlink or
+  // spare the file, pop it. The tail segment always stays (the chain is
+  // never empty and the append position never moves).
+  while (segments_.size() > 1) {
+    LiveSeg& front = segments_.front();
+    if (front.last_lsn == kNoLsn || front.last_lsn > up_to) break;
+    const std::string path = front.seg->path();
+    if (options_.disk != nullptr && options_.disk->NextOpFails()) {
+      return Status::IOError(
+          "injected failure dropping truncated WAL segment " + path);
+    }
+    if (spares_.size() < options_.spare_segments) {
+      const std::string spare = SparePath(base_path_, front.seg->seq());
+      if (std::rename(path.c_str(), spare.c_str()) != 0) {
+        return Status::IOError("cannot rename truncated WAL segment " +
+                               path + " into the spare pool");
+      }
+      if (options_.disk != nullptr) options_.disk->NoteRename();
+      spares_.push_back(spare);
+      segments_spared_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      if (std::remove(path.c_str()) != 0) {
+        return Status::IOError("cannot unlink truncated WAL segment " +
+                               path);
+      }
+      if (options_.disk != nullptr) options_.disk->NoteUnlink();
+      segments_unlinked_.fetch_add(1, std::memory_order_relaxed);
+    }
+    segments_.pop_front();
+  }
+  UpdateSegmentGauges();
   io.unlock();
   std::lock_guard<std::mutex> lk(mu_);
   ++truncations_;
-  return true;
+  return Status::Ok();
+}
+
+void WriteAheadLog::UpdateSegmentGauges() {
+  live_segments_.store(segments_.size(), std::memory_order_relaxed);
+  spare_count_.store(spares_.size(), std::memory_order_relaxed);
+  tail_seq_.store(segments_.empty() ? 0 : segments_.back().seg->seq(),
+                  std::memory_order_relaxed);
 }
 
 WalStats WriteAheadLog::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
   WalStats st;
-  st.records_appended = records_appended_;
-  st.flush_batches = flush_batches_;
-  st.bytes_appended = bytes_appended_;
-  st.truncations = truncations_;
-  st.durable_lsn = durable_lsn_;
-  st.applied_low_water = applied_upto_;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    st.records_appended = records_appended_;
+    st.flush_batches = flush_batches_;
+    st.bytes_appended = bytes_appended_;
+    st.truncations = truncations_;
+    st.durable_lsn = durable_lsn_;
+    st.applied_low_water = applied_upto_;
+  }
+  st.live_segments = live_segments_.load(std::memory_order_relaxed);
+  st.spare_segments = spare_count_.load(std::memory_order_relaxed);
+  st.tail_segment_seq = tail_seq_.load(std::memory_order_relaxed);
+  st.segments_rotated = segments_rotated_.load(std::memory_order_relaxed);
+  st.segments_recycled = segments_recycled_.load(std::memory_order_relaxed);
+  st.segments_unlinked = segments_unlinked_.load(std::memory_order_relaxed);
+  st.segments_spared = segments_spared_.load(std::memory_order_relaxed);
   return st;
 }
 

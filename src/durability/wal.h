@@ -1,8 +1,9 @@
-// Write-ahead log for the SDI subscription database.
+// Write-ahead log for the SDI subscription database, rotated across
+// bounded segment files (durability/segment.h).
 //
 // Every mutation (Subscribe / SubscribeBatch / Unsubscribe) is encoded as
-// one length+checksum-framed record and appended to a PagedFile byte
-// stream *before* it is applied to the engine; a caller's mutation is
+// one length+checksum-framed record and appended to the tail segment
+// *before* it is applied to the engine; a caller's mutation is
 // acknowledged only once its record is on disk. Recovery replays the
 // surviving record sequence on top of the newest checkpoint
 // (durability/checkpoint.h, sdi recovery factory), so acknowledged
@@ -10,82 +11,92 @@
 // absent — never torn: the per-record checksum makes a partial tail
 // detectable, and replay stops at the first invalid frame.
 //
-// Group commit: mutators never touch the file. Append() encodes the
+// Frame format: [u32 len][u32 crc][u64 lsn][u64 gen][payload]
+// (kFrameHeaderBytes = 24). `gen` is the generation stamp — the sequence
+// number of the segment the frame was written into, also folded into
+// `crc`. Decoding rejects a frame whose stamp differs from its segment's
+// preamble, so bytes surviving from a previous life of a recycled segment
+// file can never replay, even when their length, checksum and LSN
+// continuity would all pass: the single-file log's torn-write ABA hazard
+// is structurally closed. The LSN and stamp live in the header — not the
+// payload — so Append hashes the payload entirely outside the log mutex
+// and the flusher finishes the checksum in O(1) when it places the frame.
+//
+// Segmentation: the log is a chain of `<base>.<seq:08>` files. The
+// flusher rotates to a fresh segment once the tail exceeds
+// Options::segment_bytes (a batch is never split across segments) and
+// records per-segment (first_lsn, last_lsn, tail offset) watermarks as it
+// writes; Truncate(up_to) therefore drops every fully-covered sealed
+// segment with an O(1) unlink (or a rename into the spare pool that
+// rotation recycles) instead of scanning frames, and the log's on-disk
+// footprint stays bounded. ValidPrefixWalk spans segment boundaries: LSNs
+// must stay contiguous across a rotation, and an empty just-rotated tail
+// is a valid (empty) continuation.
+//
+// Group commit: mutators never touch the files. Append() encodes the
 // record, assigns its LSN under the log mutex, enqueues it, and returns;
 // the caller then blocks in WaitDurable() on its commit LSN. One flusher
 // thread drains the queue — the whole queue per iteration in group-commit
 // mode, one record at a time in per-record mode — writes the batch with a
 // single StreamWrite and one Sync (fflush+fsync), and advances the
-// durable LSN, waking every caller whose record the batch covered. N
-// concurrent mutators therefore share one fsync instead of paying one
-// each; WalStats::records_per_flush reports the achieved batching factor.
-//
-// The stream's tail is not persisted: recovery scans frames from the
-// file's stream_start until the first invalid frame (zero length, bad
-// checksum, short payload, or non-contiguous LSN). Truncation after a
-// checkpoint advances the durable stream_start pointer past every record
-// the checkpoint covers; LSNs are never reused. (Space before
-// stream_start is currently dead — log rotation/compaction is a ROADMAP
-// follow-up.)
+// durable LSN, waking every caller whose record the batch covered.
 //
 // Fault injection: an optional SimDisk is consulted (NextOpFails) once
-// per flush batch and once per truncation, and charged Seek/Transfer for
-// the simulated cost. An injected failure breaks the log permanently
+// per flush batch, once per segment-file lifecycle operation (create,
+// preamble write, rename, unlink), and charged Seek/Transfer for the
+// simulated cost. An injected failure breaks the log permanently
 // (broken()): the failed record was never written, every waiter past the
 // durable LSN gets `false`, and later appends fail fast — exactly the
-// "crash at this I/O op" the recovery matrix test drives.
+// "crash at this I/O op" the recovery and failover matrix tests drive.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "api/durability.h"
 #include "api/span.h"
+#include "api/status.h"
 #include "api/types.h"
-#include "storage/paged_store.h"
+#include "durability/segment.h"
 #include "storage/sim_disk.h"
 
 namespace accl::durability {
-
-/// Record kinds, one per engine mutation.
-enum class WalRecordType : uint8_t {
-  kSubscribe = 1,
-  kSubscribeBatch = 2,
-  kUnsubscribe = 3,
-};
-
-/// Decoded record handed to Replay callbacks.
-struct WalRecord {
-  WalRecordType type = WalRecordType::kSubscribe;
-  Lsn lsn = kNoLsn;
-  ObjectId first_id = kInvalidObject;  ///< id, or first id of a batch
-  uint32_t count = 0;                  ///< subscriptions in the record
-  Dim nd = 0;                          ///< 0 for kUnsubscribe
-  std::vector<float> coords;           ///< count * 2 * nd floats
-};
 
 class WriteAheadLog {
  public:
   struct Options {
     bool group_commit = true;
     SimDisk* disk = nullptr;  ///< optional; not owned, not thread-safe
+    /// Page size of each segment's PagedFile.
+    uint32_t page_bytes = 4096;
+    /// Rotate once the tail segment's frame bytes exceed this (soft: a
+    /// flush batch is never split across segments).
+    uint64_t segment_bytes = 1 << 20;
+    /// Truncated segments kept as recycle spares instead of unlinked.
+    uint32_t spare_segments = 1;
   };
 
-  /// Wraps a fresh (empty) page file. Returns nullptr when `file` is null.
-  static std::unique_ptr<WriteAheadLog> Create(
-      std::unique_ptr<PagedFile> file, Options options);
-
-  /// Wraps an existing log: scans from stream_start for the valid record
-  /// prefix, positions the append tail after it, and continues LSNs past
-  /// the highest one found. Works on a fresh file too (empty prefix).
-  static std::unique_ptr<WriteAheadLog> Open(std::unique_ptr<PagedFile> file,
+  /// Opens the segment chain at `base_path` (creating segment 1 when none
+  /// exists): walks the valid frame prefix across segments, records the
+  /// per-segment watermarks, positions the append tail after the last
+  /// valid frame, and continues LSNs past the highest one found. Files
+  /// with torn preambles or broken chain order are garbage-collected.
+  /// Returns nullptr when the chain cannot be opened or a read failed on
+  /// backed bytes (the tail position would be unknowable).
+  static std::unique_ptr<WriteAheadLog> Open(const std::string& base_path,
                                              Options options);
+  /// Alias of Open — a fresh directory scans to an empty chain.
+  static std::unique_ptr<WriteAheadLog> Create(const std::string& base_path,
+                                               Options options);
 
   /// Stops the flusher after draining already-enqueued records (clean
   /// shutdown; a simulated crash breaks the log first, which drops them).
@@ -136,62 +147,76 @@ class WriteAheadLog {
   // ---- Recovery & truncation ----
 
   /// Scans the valid record prefix in LSN order, invoking `fn` for every
-  /// record with lsn > `after`. Stops cleanly at the first invalid frame
-  /// (torn tail). Returns false only on a read I/O failure — the scan may
-  /// then have missed durable records and recovery must not proceed as if
-  /// the log simply ended.
+  /// record with lsn > `after`. Whole segments below the cursor are
+  /// skipped by watermark without decoding a frame. Stops cleanly at the
+  /// first invalid frame (torn tail). Returns false only on a read I/O
+  /// failure — the scan may then have missed durable records and recovery
+  /// must not proceed as if the log simply ended.
   bool Replay(Lsn after, const std::function<void(const WalRecord&)>& fn);
 
-  /// Durably (header flip + fsync) advances the stream start past every
-  /// record with lsn <= `up_to` (no-op when none qualify). Requires
-  /// up_to <= applied_low_water() — truncating past an unapplied record
-  /// would lose it — and refuses on a broken log (its in-memory geometry
-  /// may no longer match the file).
-  bool Truncate(Lsn up_to);
+  /// Drops every sealed segment whose records all have lsn <= `up_to` —
+  /// an O(1) unlink (or rename into the spare pool) per segment, no frame
+  /// scan; the tail segment always stays. Requires
+  /// up_to <= applied_low_water() (truncating past an unapplied record
+  /// would lose it: kFailedPrecondition) and refuses on a broken log; a
+  /// failed lifecycle op surfaces as kIOError with the chain still
+  /// consistent (already-dropped segments stay dropped — replay of a
+  /// partially truncated chain is idempotent).
+  Status Truncate(Lsn up_to);
 
   WalStats stats() const;
 
  private:
-  WriteAheadLog(std::unique_ptr<PagedFile> file, Options options);
+  WriteAheadLog(std::string base_path, Options options);
 
-  /// Frame layout: [u32 len][u32 crc][u64 lsn][payload]. The LSN lives in
-  /// the 16-byte header — not the payload — so Append can encode and
-  /// checksum the payload entirely outside the log mutex and only fold the
-  /// just-assigned LSN into the checksum (O(1)) inside it; a large batch
-  /// record therefore never serializes concurrent mutators.
-  static constexpr uint64_t kFrameHeaderBytes = 16;
   struct Pending {
     Lsn lsn;
-    uint8_t header[kFrameHeaderBytes];
+    uint64_t payload_hash;  ///< Fnv1aBytes over the payload; the flusher
+                            ///< folds LSN + generation in O(1) at placement
     std::vector<uint8_t> payload;
+  };
+
+  /// One live chain entry, owned by io_mu_: the segment plus the
+  /// (lsn, offset) watermarks the flusher records as it writes. They are
+  /// what makes Truncate O(1) and Replay's segment skip exact.
+  struct LiveSeg {
+    std::unique_ptr<WalSegment> seg;
+    Lsn first_lsn = kNoLsn;
+    Lsn last_lsn = kNoLsn;
+    uint64_t tail = kSegmentPreambleBytes;  ///< next frame offset
   };
 
   Lsn Append(WalRecordType type, ObjectId first_id, uint32_t count, Dim nd,
              const float* coords);
   void FlusherLoop();
-  /// One framed batch -> StreamWrite + Sync, with the SimDisk consult.
-  bool WriteAndSync(uint64_t off, const std::vector<uint8_t>& bytes);
-  /// Decodes the frame at `off`; false when invalid/torn — scanning stops
-  /// there. A false with `*io_error` set means a read failed on bytes the
-  /// file claims to back: the scan result is unreliable, not a clean tail.
-  /// `*next` is the offset just past a decoded frame.
-  bool DecodeFrameAt(uint64_t off, uint64_t limit, WalRecord* out,
-                     uint64_t* next, bool* io_error);
-  /// The one valid-prefix walk Open/Replay/Truncate all share: decodes
-  /// frames from stream_start, stops at the first invalid frame or LSN
-  /// discontinuity (stale bytes), or when `visit` returns false (that
-  /// frame is then NOT consumed). `*end_off` is the offset just past the
-  /// last consumed frame. Returns false on a read I/O failure. Caller
-  /// holds io_mu_ (or no flusher is running yet).
-  bool ScanPrefix(const std::function<bool(const WalRecord&)>& visit,
-                  uint64_t* end_off, bool* io_error);
+  /// Frames + writes one batch into the tail segment (rotating first when
+  /// the tail is full) and syncs it. Runs on the flusher; takes io_mu_.
+  bool WriteBatch(const std::vector<Pending>& items);
+  /// Appends a fresh tail segment — recycled from the spare pool when one
+  /// is available, created otherwise. Caller holds io_mu_.
+  bool RotateLocked(Lsn base_lsn);
+  /// The one valid-prefix walk Open/Replay share — spans segment
+  /// boundaries: decodes frames from segment `start_index` on, stops at
+  /// the first invalid frame (bad length/checksum, stale generation) or
+  /// LSN discontinuity. `visit` receives each record and its segment
+  /// index. `*end_index`/`*end_off` locate the position just past the
+  /// last valid frame. Returns false on a read I/O failure. Caller holds
+  /// io_mu_ (or no flusher is running yet).
+  bool ValidPrefixWalk(
+      size_t start_index,
+      const std::function<void(const WalRecord&, size_t)>& visit,
+      size_t* end_index, uint64_t* end_off, bool* io_error);
+  void UpdateSegmentGauges();  ///< caller holds io_mu_
 
-  std::unique_ptr<PagedFile> file_;
+  std::string base_path_;
   Options options_;
 
-  /// Serializes every PagedFile access (FILE* is not thread-safe): the
-  /// flusher's writes, Replay's scans, Truncate's header flip.
+  /// Serializes every segment-file access and all chain mutations: the
+  /// flusher's writes and rotations, Replay's scans, Truncate's GC.
   std::mutex io_mu_;
+  std::deque<LiveSeg> segments_;     ///< guarded by io_mu_; back = tail
+  std::vector<std::string> spares_;  ///< recycle pool paths; io_mu_
+  uint64_t next_seq_ = 1;            ///< guarded by io_mu_
 
   mutable std::mutex mu_;  ///< queue, LSN allocation, durable/applied state
   std::condition_variable flush_cv_;    ///< flusher: work available / stop
@@ -200,7 +225,6 @@ class WriteAheadLog {
   uint64_t pending_bytes_ = 0;
   Lsn next_lsn_ = 1;
   Lsn durable_lsn_ = 0;
-  uint64_t tail_ = 0;  ///< append offset (absolute payload bytes)
   bool broken_ = false;
   bool stop_ = false;
 
@@ -213,6 +237,16 @@ class WriteAheadLog {
   uint64_t flush_batches_ = 0;
   uint64_t bytes_appended_ = 0;
   uint64_t truncations_ = 0;
+
+  /// Segment gauges/counters, atomics so stats() needs neither io_mu_ nor
+  /// a lock order with mu_.
+  std::atomic<uint64_t> live_segments_{0};
+  std::atomic<uint64_t> spare_count_{0};
+  std::atomic<uint64_t> tail_seq_{0};
+  std::atomic<uint64_t> segments_rotated_{0};
+  std::atomic<uint64_t> segments_recycled_{0};
+  std::atomic<uint64_t> segments_unlinked_{0};
+  std::atomic<uint64_t> segments_spared_{0};
 
   std::thread flusher_;
 };

@@ -231,6 +231,9 @@ SubscriptionId SubscriptionEngine::Subscribe(
 
 SubscriptionId SubscriptionEngine::SubscribeBox(const Box& box) {
   ACCL_CHECK(box.dims() == schema_.dims());
+  // A follower's ids come only from the replicated log; refusing before
+  // the allocation keeps the local allocator exactly at the log's heels.
+  if (role() == EngineRole::kFollower) return kInvalidObject;
   SubscriptionId id;
   {
     std::lock_guard<std::mutex> lk(meta_mu_);
@@ -286,6 +289,7 @@ void SubscriptionEngine::SubscribeBatch(Span<const Box> boxes,
   const size_t n = boxes.size();
   out->clear();
   if (n == 0) return;
+  if (role() == EngineRole::kFollower) return;  // read-only; see SubscribeBox
   for (const Box& b : boxes) ACCL_CHECK(b.dims() == schema_.dims());
   SubscriptionId first;
   {
@@ -368,6 +372,7 @@ void SubscriptionEngine::ApplySubscribeBatch(SubscriptionId first,
 }
 
 bool SubscriptionEngine::Unsubscribe(SubscriptionId id) {
+  if (role() == EngineRole::kFollower) return false;  // read-only
   if (wal_ == nullptr) return ApplyUnsubscribe(id);
   {
     // Don't log mutations that are no-ops from this caller's view. The

@@ -68,6 +68,7 @@ class WriteAheadLog;
 class Checkpointer;
 class CheckpointStore;
 struct EngineImage;
+struct WalRecord;
 }  // namespace durability
 
 /// Identifier handed out for registered subscriptions.
@@ -446,6 +447,28 @@ class SubscriptionEngine {
       durability::CheckpointStore* checkpoints, durability::WriteAheadLog* wal,
       Status* status = nullptr, RecoveryStats* recovery = nullptr);
 
+  // ---- Replication (durability/shipping.h) ----
+
+  /// A follower serves read-only traffic (Match/MatchBatch) while a log
+  /// shipper replays the primary's records into it; every local mutation
+  /// entry point refuses before allocating an id, so follower ids can only
+  /// ever come from the replicated log. Promotion flips the role back —
+  /// the engine object is reused warm, nothing is rebuilt.
+  enum class EngineRole : uint8_t { kPrimary, kFollower };
+
+  EngineRole role() const { return role_.load(std::memory_order_acquire); }
+  void SetRole(EngineRole role) {
+    role_.store(role, std::memory_order_release);
+  }
+
+  /// Applies one replicated (or replayed) WAL record with the same
+  /// idempotence rules Recover uses: subscribes deduplicate by live id,
+  /// unknown unsubscribes are no-ops, and the id allocator is bumped past
+  /// every id the record names. This is the follower's apply path (the log
+  /// shipper calls it in LSN order) and the body of recovery's replay.
+  /// `rs` (not null) accumulates scanned/applied/skipped counts.
+  void ApplyReplicated(const durability::WalRecord& rec, RecoveryStats* rs);
+
  private:
   struct Shard {
     explicit Shard(const AdaptiveConfig& cfg)
@@ -531,6 +554,9 @@ class SubscriptionEngine {
   /// AttachDurability/SetCheckpointer, read by the mutation entry points.
   durability::WriteAheadLog* wal_ = nullptr;
   durability::Checkpointer* checkpointer_ = nullptr;
+  /// Replication role; mutation entry points refuse on a follower before
+  /// allocating an id. Atomic so Promote's flip needs no mutation lock.
+  std::atomic<EngineRole> role_{EngineRole::kPrimary};
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<exec::ThreadPool> pool_;  ///< null when match_threads <= 1
 

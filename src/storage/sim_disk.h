@@ -44,6 +44,31 @@ class SimDisk {
     Transfer(n);
   }
 
+  // ---- File-lifecycle charges (segment rotation and GC) ----
+  // Creating, unlinking or renaming a segment file is a directory update:
+  // one head repositioning each. The WAL consults NextOpFails() before the
+  // operation, so FailAfter drives faults through rotation and segment GC
+  // exactly like it does through flushes and checkpoint writes.
+
+  /// Charges one file creation (a fresh WAL segment).
+  void NoteCreate() {
+    ++file_creates_;
+    Seek();
+  }
+
+  /// Charges one file unlink (a truncated segment dropped from disk).
+  void NoteUnlink() {
+    ++file_unlinks_;
+    Seek();
+  }
+
+  /// Charges one file rename (a truncated segment recycled into the
+  /// spare pool, or a spare renamed back into the live chain).
+  void NoteRename() {
+    ++file_renames_;
+    Seek();
+  }
+
   double clock_ms() const { return clock_ms_; }
   uint64_t seeks() const { return seeks_; }
   uint64_t bytes() const { return bytes_; }
@@ -85,6 +110,10 @@ class SimDisk {
 
   uint64_t faults_injected() const { return faults_injected_; }
 
+  uint64_t file_creates() const { return file_creates_; }
+  uint64_t file_unlinks() const { return file_unlinks_; }
+  uint64_t file_renames() const { return file_renames_; }
+
   /// Lifetime NextOpFails consultations (armed or not). A fault-free dry
   /// run's count is the size of the crash-point matrix: arming
   /// FailAfter(k) for every k < io_ops() drives the fault through every
@@ -101,6 +130,9 @@ class SimDisk {
   uint64_t ops_until_fail_ = 0;
   uint64_t faults_injected_ = 0;
   uint64_t io_ops_ = 0;
+  uint64_t file_creates_ = 0;
+  uint64_t file_unlinks_ = 0;
+  uint64_t file_renames_ = 0;
 };
 
 }  // namespace accl

@@ -53,6 +53,12 @@ DurabilityOptions DurOpts() {
   d.group_commit = true;
   d.checkpoint_every_mutations = 0;  // the script checkpoints explicitly
   d.background_checkpoints = false;  // deterministic op counts
+  // Tiny segments so the script's flushes rotate the WAL many times and
+  // its checkpoints actually drop (and recycle) segments: the crash-point
+  // matrix then lands faults inside rotation, recycling and segment GC,
+  // not just inside flushes and checkpoint writes.
+  d.wal_segment_bytes = 256;
+  d.wal_spare_segments = 1;
   return d;
 }
 
@@ -67,7 +73,7 @@ struct Paths {
       : wal(TempPath("durrec_" + tag + ".wal")),
         ckpt(TempPath("durrec_" + tag + ".ck")) {}
   void Remove() const {
-    std::remove(wal.c_str());
+    durability::RemoveWalFiles(wal);  // the whole segment chain + spares
     std::remove(ckpt.c_str());
   }
 };
@@ -160,9 +166,16 @@ TEST(DurabilityRecovery, CleanRestartRestoresEverythingExactly) {
         << st.message();
     EXPECT_FALSE(de.recovery.checkpoint_loaded);  // fresh start
     DriveScript(de, &acked);
-    // The script's checkpoints truncated the WAL as they went.
+    // The script's checkpoints truncated the WAL as they went, and under
+    // the tiny segment size that means real segment GC: files rotated in,
+    // then dropped (unlinked or spared) once a checkpoint covered them —
+    // the on-disk footprint is bounded, not just logically truncated.
     EXPECT_GT(de.checkpointer->stats().checkpoints_written, 0u);
-    EXPECT_GT(de.wal->stats().truncations, 0u);
+    const WalStats ws = de.wal->stats();
+    EXPECT_GT(ws.truncations, 0u);
+    EXPECT_GT(ws.segments_rotated, 0u);
+    EXPECT_GT(ws.segments_unlinked + ws.segments_spared, 0u);
+    EXPECT_LT(ws.live_segments, ws.segments_rotated + 1);
     fences_version = de.engine->routing_version();
     EXPECT_GT(acked.size(), 20u);  // the script really did build state
   }

@@ -1,15 +1,19 @@
-// Unit tests for the write-ahead log and the shadow-paged checkpoint
-// store: framing round trips, tail-corruption containment, truncation,
-// group-commit vs per-record flush accounting, fault injection, and the
-// checkpoint store's old-image-survives-failed-write guarantee.
+// Unit tests for the segmented write-ahead log and the shadow-paged
+// checkpoint store: framing round trips, tail-corruption containment,
+// segment rotation and boundary-spanning replay, truncation GC (unlink +
+// spare recycling) and the generation-stamp ABA regression, group-commit vs
+// per-record flush accounting, fault injection across the file lifecycle,
+// and the checkpoint store's old-image-survives-failed-write guarantee.
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "durability/checkpoint.h"
+#include "durability/segment.h"
 #include "durability/wal.h"
 #include "storage/paged_store.h"
 #include "storage/sim_disk.h"
@@ -20,6 +24,13 @@ namespace {
 
 std::string TempPath(const char* name) {
   return testing::TempDir() + "/" + name;
+}
+
+/// WAL base path with no leftover segment or spare files.
+std::string FreshBase(const char* name) {
+  const std::string base = TempPath(name);
+  RemoveWalFiles(base);
+  return base;
 }
 
 std::unique_ptr<PagedFile> FreshFile(const std::string& path) {
@@ -42,9 +53,68 @@ std::vector<WalRecord> ReplayAll(WriteAheadLog& wal, Lsn after = kNoLsn) {
   return recs;
 }
 
+/// One nd=2 subscribe record on disk: 24-byte header + (1+4+4+4+16) payload.
+constexpr uint64_t kSubscribe2dFrameBytes = kFrameHeaderBytes + 29;
+
+/// Hand-writes a fully valid subscribe frame (id 666, lsn 8) at the second
+/// frame slot of `segment_path`, stamped with `gen` and with the checksum
+/// computed over exactly those bytes — everything about it passes framing;
+/// only the stamp decides whether it replays.
+void WriteStaleFrame(const std::string& segment_path, uint64_t gen) {
+  std::vector<uint8_t> payload;
+  payload.push_back(static_cast<uint8_t>(WalRecordType::kSubscribe));
+  const auto put32 = [&](uint32_t v) {
+    const uint8_t* b = reinterpret_cast<const uint8_t*>(&v);
+    payload.insert(payload.end(), b, b + 4);
+  };
+  put32(666);  // id
+  put32(1);    // count
+  put32(2);    // nd
+  const auto c = BoxCoords(2, 0.9f);
+  const uint8_t* cb = reinterpret_cast<const uint8_t*>(c.data());
+  payload.insert(payload.end(), cb, cb + 16);
+
+  const Lsn lsn = 8;
+  uint8_t hdr[kFrameHeaderBytes];
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  const uint32_t crc = FrameChecksum(payload.data(), payload.size(), lsn, gen);
+  std::memcpy(hdr, &len, 4);
+  std::memcpy(hdr + 4, &crc, 4);
+  std::memcpy(hdr + 8, &lsn, 8);
+  std::memcpy(hdr + 16, &gen, 8);
+
+  auto pf = PagedFile::Open(segment_path);
+  ASSERT_NE(pf, nullptr);
+  const uint64_t off = kSegmentPreambleBytes + kSubscribe2dFrameBytes;
+  ASSERT_TRUE(pf->StreamWrite(off, hdr, kFrameHeaderBytes));
+  ASSERT_TRUE(
+      pf->StreamWrite(off + kFrameHeaderBytes, payload.data(), payload.size()));
+  ASSERT_TRUE(pf->Sync());
+}
+
+/// Small-segment options: with sequential WaitDurable'd appends (one record
+/// per flush batch) each segment seals after exactly two nd=2 subscribes.
+WriteAheadLog::Options SmallSegments() {
+  WriteAheadLog::Options o;
+  o.segment_bytes = 64;
+  o.spare_segments = 1;
+  return o;
+}
+
+/// Appends `n` nd=2 subscribes one at a time (ids `first_id`, +1, ...),
+/// waiting each durable so every record is its own flush batch — segment
+/// layout is then deterministic.
+void AppendSerial(WriteAheadLog* wal, ObjectId first_id, int n, float seed) {
+  const auto c = BoxCoords(2, seed);
+  for (int i = 0; i < n; ++i) {
+    const Lsn l = wal->AppendSubscribe(first_id + i, 2, c.data());
+    ASSERT_TRUE(wal->WaitDurable(l));
+  }
+}
+
 TEST(WriteAheadLog, AppendReplayRoundTrip) {
-  const std::string path = TempPath("wal_roundtrip.wal");
-  auto wal = WriteAheadLog::Create(FreshFile(path), {});
+  const std::string base = FreshBase("wal_roundtrip.wal");
+  auto wal = WriteAheadLog::Create(base, {});
   ASSERT_NE(wal, nullptr);
 
   const auto c1 = BoxCoords(3, 0.1f);
@@ -74,18 +144,19 @@ TEST(WriteAheadLog, AppendReplayRoundTrip) {
   EXPECT_EQ(recs[2].first_id, 7u);
   // Replay honors the `after` cursor.
   EXPECT_EQ(ReplayAll(*wal, 2).size(), 1u);
-  std::remove(path.c_str());
+  wal.reset();
+  RemoveWalFiles(base);
 }
 
 TEST(WriteAheadLog, ReopenFindsTheDurablePrefixAndContinuesLsns) {
-  const std::string path = TempPath("wal_reopen.wal");
+  const std::string base = FreshBase("wal_reopen.wal");
   const auto c = BoxCoords(2, 0.2f);
   {
-    auto wal = WriteAheadLog::Create(FreshFile(path), {});
+    auto wal = WriteAheadLog::Create(base, {});
     for (int i = 0; i < 5; ++i) wal->AppendSubscribe(i, 2, c.data());
     ASSERT_TRUE(wal->WaitDurable(5));
   }
-  auto wal = WriteAheadLog::Open(PagedFile::Open(path), {});
+  auto wal = WriteAheadLog::Open(base, {});
   ASSERT_NE(wal, nullptr);
   EXPECT_EQ(wal->durable_lsn(), 5u);
   EXPECT_EQ(wal->max_lsn(), 5u);
@@ -94,30 +165,28 @@ TEST(WriteAheadLog, ReopenFindsTheDurablePrefixAndContinuesLsns) {
   EXPECT_EQ(wal->AppendSubscribe(99, 2, c.data()), 6u);
   ASSERT_TRUE(wal->WaitDurable(6));
   EXPECT_EQ(ReplayAll(*wal).size(), 6u);
-  std::remove(path.c_str());
+  wal.reset();
+  RemoveWalFiles(base);
 }
 
 TEST(WriteAheadLog, CorruptTailStopsReplayCleanly) {
-  const std::string path = TempPath("wal_corrupt.wal");
+  const std::string base = FreshBase("wal_corrupt.wal");
   const auto c = BoxCoords(2, 0.4f);
   {
-    auto wal = WriteAheadLog::Create(FreshFile(path), {});
+    auto wal = WriteAheadLog::Create(base, {});
     for (int i = 0; i < 4; ++i) wal->AppendSubscribe(i, 2, c.data());
     ASSERT_TRUE(wal->WaitDurable(4));
   }
   // Scribble garbage over the last record's frame: a torn tail.
   {
-    auto pf = PagedFile::Open(path);
+    auto pf = PagedFile::Open(SegmentPath(base, 1));
     ASSERT_NE(pf, nullptr);
-    // Each frame: 16 header (len+crc+lsn) + (1 + 4 + 4 + 4 + 16) payload
-    // = 45 bytes.
-    const uint64_t frame_bytes = 16 + 1 + 4 + 4 + 4 + 16;
-    const uint64_t tail = 4 * frame_bytes;
+    const uint64_t tail = kSegmentPreambleBytes + 4 * kSubscribe2dFrameBytes;
     const uint32_t garbage[2] = {0xDEADBEEFu, 0x12345678u};
-    ASSERT_TRUE(pf->StreamWrite(tail - frame_bytes + 10, garbage, 8));
+    ASSERT_TRUE(pf->StreamWrite(tail - kSubscribe2dFrameBytes + 10, garbage, 8));
     ASSERT_TRUE(pf->Sync());
   }
-  auto wal = WriteAheadLog::Open(PagedFile::Open(path), {});
+  auto wal = WriteAheadLog::Open(base, {});
   ASSERT_NE(wal, nullptr);
   // The valid prefix (3 records) survives; the torn record is absent, and
   // the log keeps working from there.
@@ -126,39 +195,159 @@ TEST(WriteAheadLog, CorruptTailStopsReplayCleanly) {
   EXPECT_EQ(wal->AppendSubscribe(50, 2, c.data()), 4u);
   ASSERT_TRUE(wal->WaitDurable(4));
   EXPECT_EQ(ReplayAll(*wal).size(), 4u);
-  std::remove(path.c_str());
+  wal.reset();
+  RemoveWalFiles(base);
 }
 
-TEST(WriteAheadLog, TruncateDropsCoveredRecordsDurably) {
-  const std::string path = TempPath("wal_truncate.wal");
-  const auto c = BoxCoords(2, 0.5f);
-  auto wal = WriteAheadLog::Create(FreshFile(path), {});
-  for (int i = 0; i < 10; ++i) wal->AppendSubscribe(i, 2, c.data());
-  ASSERT_TRUE(wal->WaitDurable(10));
-  // Truncation past the applied low-water is refused.
-  EXPECT_FALSE(wal->Truncate(6));
+TEST(WriteAheadLog, RotationSealsSegmentsAndReplaySpansBoundaries) {
+  const std::string base = FreshBase("wal_rotate.wal");
+  auto wal = WriteAheadLog::Open(base, SmallSegments());
+  ASSERT_NE(wal, nullptr);
+  AppendSerial(wal.get(), 0, 9, 0.3f);
+
+  WalStats st = wal->stats();
+  EXPECT_EQ(st.live_segments, 5u);  // two records per sealed segment
+  EXPECT_EQ(st.segments_rotated, 4u);
+  EXPECT_EQ(st.tail_segment_seq, 5u);
+
+  // Replay crosses every rotation boundary in LSN order.
+  std::vector<WalRecord> recs = ReplayAll(*wal);
+  ASSERT_EQ(recs.size(), 9u);
+  for (size_t i = 0; i < recs.size(); ++i) {
+    EXPECT_EQ(recs[i].lsn, static_cast<Lsn>(i + 1));
+    EXPECT_EQ(recs[i].first_id, static_cast<ObjectId>(i));
+  }
+  // And the cursor can land mid-segment or on a boundary.
+  EXPECT_EQ(ReplayAll(*wal, 4).size(), 5u);
+  EXPECT_EQ(ReplayAll(*wal, 5).size(), 4u);
+
+  // A reopen walks the same multi-segment prefix.
+  wal.reset();
+  wal = WriteAheadLog::Open(base, SmallSegments());
+  ASSERT_NE(wal, nullptr);
+  EXPECT_EQ(wal->max_lsn(), 9u);
+  EXPECT_EQ(ReplayAll(*wal).size(), 9u);
+  wal.reset();
+  RemoveWalFiles(base);
+}
+
+TEST(WriteAheadLog, ReopenResumesInEmptyJustRotatedTail) {
+  const std::string base = FreshBase("wal_emptytail.wal");
+  {
+    auto wal = WriteAheadLog::Open(base, SmallSegments());
+    ASSERT_NE(wal, nullptr);
+    AppendSerial(wal.get(), 0, 2, 0.4f);  // seals segment 1 exactly
+  }
+  // Simulate a crash between a rotation's seal and the first write into
+  // the new segment: the chain is [full seg 1, empty seg 2] on disk.
+  ASSERT_NE(WalSegment::Create(SegmentPath(base, 2), 4096, /*seq=*/2,
+                               /*base_lsn=*/3, /*disk=*/nullptr),
+            nullptr);
+  auto wal = WriteAheadLog::Open(base, SmallSegments());
+  ASSERT_NE(wal, nullptr);
+  // The empty tail is a valid (empty) continuation, not corruption: the
+  // prefix survives and appends resume inside segment 2.
+  EXPECT_EQ(wal->max_lsn(), 2u);
+  EXPECT_EQ(ReplayAll(*wal).size(), 2u);
+  EXPECT_EQ(wal->stats().tail_segment_seq, 2u);
+  AppendSerial(wal.get(), 10, 1, 0.5f);
+  const std::vector<WalRecord> recs = ReplayAll(*wal);
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs.back().lsn, 3u);
+  EXPECT_EQ(recs.back().first_id, 10u);
+  wal.reset();
+  RemoveWalFiles(base);
+}
+
+TEST(WriteAheadLog, TruncateDropsCoveredSegmentsDurablyAndBoundsFootprint) {
+  const std::string base = FreshBase("wal_truncate.wal");
+  auto wal = WriteAheadLog::Open(base, SmallSegments());
+  AppendSerial(wal.get(), 0, 10, 0.5f);
+  ASSERT_EQ(ListSegmentFiles(base).size(), 5u);
+
+  // Truncation past the applied low-water is refused with the reason.
+  const Status early = wal->Truncate(6);
+  EXPECT_FALSE(early.ok());
+  EXPECT_EQ(early.code(), StatusCode::kFailedPrecondition);
   for (Lsn l = 1; l <= 6; ++l) wal->MarkApplied(l);
   EXPECT_EQ(wal->applied_low_water(), 6u);
-  ASSERT_TRUE(wal->Truncate(6));
-  EXPECT_EQ(wal->stats().truncations, 1u);
+  ASSERT_TRUE(wal->Truncate(6).ok());
+
+  // Segments {1,2}, {3,4}, {5,6} are fully covered: one becomes the spare,
+  // the rest are unlinked — the on-disk footprint actually shrinks.
+  WalStats st = wal->stats();
+  EXPECT_EQ(st.truncations, 1u);
+  EXPECT_EQ(st.live_segments, 2u);
+  EXPECT_EQ(st.segments_spared, 1u);
+  EXPECT_EQ(st.segments_unlinked, 2u);
+  EXPECT_EQ(ListSegmentFiles(base).size(), 2u);
+  EXPECT_EQ(ListSpareFiles(base).size(), 1u);
+
   std::vector<WalRecord> recs = ReplayAll(*wal);
   ASSERT_EQ(recs.size(), 4u);
   EXPECT_EQ(recs.front().lsn, 7u);
   wal.reset();
   // The truncation is durable: a reopen sees the same suffix.
-  wal = WriteAheadLog::Open(PagedFile::Open(path), {});
+  wal = WriteAheadLog::Open(base, SmallSegments());
   recs = ReplayAll(*wal);
   ASSERT_EQ(recs.size(), 4u);
   EXPECT_EQ(recs.front().lsn, 7u);
   EXPECT_EQ(wal->max_lsn(), 10u);
-  std::remove(path.c_str());
+  wal.reset();
+  RemoveWalFiles(base);
+}
+
+TEST(WriteAheadLog, GenerationStampRejectsStaleBytesInRecycledSegment) {
+  const std::string base = FreshBase("wal_aba.wal");
+  auto wal = WriteAheadLog::Open(base, SmallSegments());
+  // Segments: 1:{1,2} 2:{3,4} 3:{5,6}. Truncate(4) spares segment 1 and
+  // unlinks segment 2; the next rotation recycles the spare as segment 4
+  // WITHOUT truncating its payload, so segment 1's old frames survive as
+  // stale bytes past whatever the new generation overwrites.
+  AppendSerial(wal.get(), 0, 6, 0.6f);
+  for (Lsn l = 1; l <= 4; ++l) wal->MarkApplied(l);
+  ASSERT_TRUE(wal->Truncate(4).ok());
+  AppendSerial(wal.get(), 10, 1, 0.7f);  // lsn 7, first frame of segment 4
+  WalStats st = wal->stats();
+  EXPECT_EQ(st.segments_recycled, 1u);
+  EXPECT_EQ(st.tail_segment_seq, 4u);
+  wal.reset();
+
+  // The recycled region right after lsn 7's frame still holds segment 1's
+  // second frame. Make it maximally adversarial — the exact layout the
+  // single-file log could not defend against: a stale frame with a valid
+  // length, a checksum consistent with its own bytes, and an LSN (8) that
+  // continues the live chain perfectly. Only its generation stamp (1, the
+  // segment's previous life) betrays it.
+  WriteStaleFrame(SegmentPath(base, 4), /*gen=*/1);
+
+  // Recovery must stop at lsn 7: the stale frame would replay a subscribe
+  // that was truncated away in another life of these bytes.
+  wal = WriteAheadLog::Open(base, SmallSegments());
+  ASSERT_NE(wal, nullptr);
+  EXPECT_EQ(wal->max_lsn(), 7u);
+  const std::vector<WalRecord> recs = ReplayAll(*wal);
+  ASSERT_EQ(recs.size(), 3u);  // lsns 5, 6, 7
+  for (const WalRecord& r : recs) EXPECT_NE(r.first_id, 666u);
+  wal.reset();
+
+  // Control: restamp the identical frame under the segment's LIVE
+  // generation (4) and it replays — proving the stamp, and nothing else
+  // about the framing, is what rejected the stale bytes.
+  WriteStaleFrame(SegmentPath(base, 4), /*gen=*/4);
+  wal = WriteAheadLog::Open(base, SmallSegments());
+  ASSERT_NE(wal, nullptr);
+  EXPECT_EQ(wal->max_lsn(), 8u);
+  EXPECT_EQ(ReplayAll(*wal).back().first_id, 666u);
+  wal.reset();
+  RemoveWalFiles(base);
 }
 
 TEST(WriteAheadLog, PerRecordModeSyncsEveryRecord) {
-  const std::string path = TempPath("wal_perrecord.wal");
+  const std::string base = FreshBase("wal_perrecord.wal");
   WriteAheadLog::Options opts;
   opts.group_commit = false;
-  auto wal = WriteAheadLog::Open(FreshFile(path), opts);
+  auto wal = WriteAheadLog::Open(base, opts);
   const auto c = BoxCoords(2, 0.6f);
   for (int i = 0; i < 8; ++i) {
     const Lsn l = wal->AppendSubscribe(i, 2, c.data());
@@ -168,12 +357,13 @@ TEST(WriteAheadLog, PerRecordModeSyncsEveryRecord) {
   EXPECT_EQ(st.records_appended, 8u);
   EXPECT_EQ(st.flush_batches, 8u);  // one sync per record, by construction
   EXPECT_DOUBLE_EQ(st.records_per_flush(), 1.0);
-  std::remove(path.c_str());
+  wal.reset();
+  RemoveWalFiles(base);
 }
 
 TEST(WriteAheadLog, GroupCommitSharesSyncsAcrossConcurrentAppenders) {
-  const std::string path = TempPath("wal_group.wal");
-  auto wal = WriteAheadLog::Open(FreshFile(path), {});
+  const std::string base = FreshBase("wal_group.wal");
+  auto wal = WriteAheadLog::Open(base, {});
   const auto c = BoxCoords(2, 0.7f);
   constexpr int kThreads = 4;
   constexpr int kPerThread = 64;
@@ -195,15 +385,16 @@ TEST(WriteAheadLog, GroupCommitSharesSyncsAcrossConcurrentAppenders) {
   EXPECT_LE(st.flush_batches, st.records_appended);
   EXPECT_EQ(st.durable_lsn, st.records_appended);
   EXPECT_EQ(ReplayAll(*wal).size(), st.records_appended);
-  std::remove(path.c_str());
+  wal.reset();
+  RemoveWalFiles(base);
 }
 
 TEST(WriteAheadLog, InjectedFaultBreaksTheLogAndRefusesAcks) {
-  const std::string path = TempPath("wal_fault.wal");
+  const std::string base = FreshBase("wal_fault.wal");
   SimDisk disk = SimDisk::Paper();
   WriteAheadLog::Options opts;
   opts.disk = &disk;
-  auto wal = WriteAheadLog::Open(FreshFile(path), opts);
+  auto wal = WriteAheadLog::Open(base, opts);
   const auto c = BoxCoords(2, 0.8f);
   const Lsn ok = wal->AppendSubscribe(1, 2, c.data());
   ASSERT_TRUE(wal->WaitDurable(ok));
@@ -212,11 +403,50 @@ TEST(WriteAheadLog, InjectedFaultBreaksTheLogAndRefusesAcks) {
   EXPECT_FALSE(wal->WaitDurable(bad));  // never acknowledged
   EXPECT_TRUE(wal->broken());
   EXPECT_EQ(wal->AppendSubscribe(3, 2, c.data()), kNoLsn);  // fails fast
+  // A broken log refuses truncation too: its in-memory chain can no
+  // longer be trusted to match the files.
+  EXPECT_EQ(wal->Truncate(1).code(), StatusCode::kFailedPrecondition);
   // The durable prefix is intact and the failed record is absent.
   disk.DisarmFaults();
-  auto reopened = WriteAheadLog::Open(PagedFile::Open(path), {});
+  auto reopened = WriteAheadLog::Open(base, {});
   EXPECT_EQ(ReplayAll(*reopened).size(), 1u);
-  std::remove(path.c_str());
+  wal.reset();
+  reopened.reset();
+  RemoveWalFiles(base);
+}
+
+TEST(WriteAheadLog, LifecycleOpsConsultAndChargeTheSimDisk) {
+  const std::string base = FreshBase("wal_lifecycle.wal");
+  SimDisk disk = SimDisk::Paper();
+  WriteAheadLog::Options opts = SmallSegments();
+  opts.disk = &disk;
+  auto wal = WriteAheadLog::Open(base, opts);
+  AppendSerial(wal.get(), 0, 6, 0.2f);  // segments 1:{1,2} 2:{3,4} 3:{5,6}
+  EXPECT_EQ(disk.file_creates(), 2u);   // rotations to 2 and 3 (not open's 1)
+  for (Lsn l = 1; l <= 4; ++l) wal->MarkApplied(l);
+
+  // Truncation's lifecycle ops are inside the fault domain: an armed disk
+  // fails the drop, the chain stays consistent, and a retry finishes.
+  disk.FailAfter(0);
+  EXPECT_EQ(wal->Truncate(4).code(), StatusCode::kIOError);
+  disk.DisarmFaults();
+  ASSERT_TRUE(wal->Truncate(4).ok());
+  EXPECT_EQ(disk.file_renames(), 1u);  // segment 1 -> spare
+  EXPECT_EQ(disk.file_unlinks(), 1u);  // segment 2 removed
+  const uint64_t ops_before = disk.io_ops();
+
+  // The next rotation recycles the spare (rename back + preamble rewrite),
+  // all charged I/O.
+  AppendSerial(wal.get(), 10, 1, 0.3f);  // lsn 7 rotates into segment 4
+  EXPECT_EQ(disk.file_renames(), 2u);
+  EXPECT_EQ(wal->stats().segments_recycled, 1u);
+  EXPECT_GT(disk.io_ops(), ops_before);
+
+  const std::vector<WalRecord> recs = ReplayAll(*wal);
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs.front().lsn, 5u);
+  wal.reset();
+  RemoveWalFiles(base);
 }
 
 TEST(CheckpointStore, WriteReadRoundTripAndShadowOverwrite) {
