@@ -4,10 +4,13 @@
 // of B), and structure maintenance operations.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "core/adaptive_index.h"
 #include "core/clustering_function.h"
 #include "core/signature.h"
 #include "geometry/predicates.h"
+#include "kernels/backend_registry.h"
 #include "rstar/rstar_tree.h"
 #include "seqscan/seq_scan.h"
 #include "storage/slot_array.h"
@@ -189,6 +192,62 @@ void BM_UniformGeneration(benchmark::State& state) {
 BENCHMARK(BM_UniformGeneration)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+// Per-backend verification kernel sweep (the cost model's C parameter,
+// per ISA variant). One entry per registered backend is registered from
+// main(), so the JSON output carries a BM_VerifyBatch/<backend>/nd<D> row
+// for every kernel the host can execute, alongside the detected CPU
+// features in the benchmark context. Outside the anonymous namespace so
+// main() below can name it.
+void RunVerifyBatch(benchmark::State& state,
+                    const kernels::VerifyBackend* backend, Dim nd) {
+  Dataset ds = MakeData(nd, 50000);
+  SlotArray a(nd);
+  for (size_t i = 0; i < ds.size(); ++i) a.Append(ds.ids[i], ds.box(i));
+  auto qs = GenerateQueriesWithExtent(nd, Relation::kIntersects, 64, 0.3, 5);
+  BatchQuery bq;
+  std::vector<ObjectId> out;
+  size_t j = 0;
+  for (auto _ : state) {
+    bq.Assign(qs[j++ & 63].box.view(), qs[0].rel);
+    out.clear();
+    uint64_t dims = 0;
+    const size_t m = backend->VerifyBatch(a.coords_data(), a.ids().data(),
+                                          a.size(), bq, &out, &dims);
+    benchmark::DoNotOptimize(m);
+    benchmark::DoNotOptimize(dims);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(a.size()));
+  state.counters["vector_width"] =
+      static_cast<double>(backend->vector_width_floats());
+}
+
 }  // namespace accl
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN: the verify-kernel benchmarks are
+// registered dynamically, one per backend the registry offers on this host.
+int main(int argc, char** argv) {
+  const auto& reg = accl::kernels::BackendRegistry::Instance();
+  for (const accl::kernels::VerifyBackend* b : reg.All()) {
+    for (accl::Dim nd : {accl::Dim(16), accl::Dim(40)}) {
+      benchmark::RegisterBenchmark(
+          ("BM_VerifyBatch/" + std::string(b->name()) + "/nd" +
+           std::to_string(nd))
+              .c_str(),
+          [b, nd](benchmark::State& state) {
+            accl::RunVerifyBatch(state, b, nd);
+          })
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext("cpu_features",
+                              accl::kernels::CpuFeatureString(reg.host()));
+  benchmark::AddCustomContext("verify_backend_active",
+                              reg.Resolve("")->name());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

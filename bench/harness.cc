@@ -1,10 +1,12 @@
 #include "harness.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "kernels/backend_registry.h"
 #include "util/timer.h"
 
 namespace accl::bench {
@@ -29,6 +31,14 @@ std::string& CurrentLabel() {
   return label;
 }
 
+size_t WarmupPasses() {
+  return EnvCount("ACCL_BENCH_WARMUP_PASSES", 1, /*scaled=*/false);
+}
+
+size_t TimedReps() {
+  return EnvCount("ACCL_BENCH_REPS", 5, /*scaled=*/false);
+}
+
 void WriteBenchJson() {
   const std::vector<RecordedResult>& reg = Registry();
   if (reg.empty()) return;
@@ -37,7 +47,14 @@ void WriteBenchJson() {
   if (path == nullptr) path = "BENCH_micro.json";
   FILE* f = std::fopen(path, "w");
   if (f == nullptr) return;
-  std::fprintf(f, "{\n  \"experiments\": [\n");
+  const auto& registry = kernels::BackendRegistry::Instance();
+  std::fprintf(f,
+               "{\n  \"cpu_features\": \"%s\",\n"
+               "  \"verify_backend\": \"%s\",\n"
+               "  \"warmup_passes\": %zu,\n  \"timed_reps\": %zu,\n"
+               "  \"experiments\": [\n",
+               kernels::CpuFeatureString(registry.host()).c_str(),
+               registry.Resolve("")->name(), WarmupPasses(), TimedReps());
   for (size_t i = 0; i < reg.size(); ++i) {
     const RecordedResult& rr = reg[i];
     std::fprintf(f,
@@ -45,13 +62,16 @@ void WriteBenchJson() {
                  "\"competitor\": \"%s\", \"wall_ms_per_query\": %.6f, "
                  "\"sim_ms_per_query\": %.6f, \"groups_total\": %llu, "
                  "\"explored_pct\": %.4f, \"objects_pct\": %.4f, "
-                 "\"avg_results\": %.2f}%s\n",
+                 "\"avg_results\": %.2f, \"verify_backend\": \"%s\", "
+                 "\"vector_width_floats\": %u}%s\n",
                  rr.scenario.c_str(), rr.label.c_str(),
                  rr.result.name.c_str(), rr.result.wall_ms_per_query,
                  rr.result.sim_ms_per_query,
                  static_cast<unsigned long long>(rr.result.groups_total),
                  rr.result.explored_pct, rr.result.objects_pct,
-                 rr.result.avg_results, i + 1 < reg.size() ? "," : "");
+                 rr.result.avg_results, rr.result.verify_backend.c_str(),
+                 rr.result.vector_width_floats,
+                 i + 1 < reg.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -83,17 +103,41 @@ CompetitorResult Measure(SpatialIndex& idx, const std::vector<Query>& queries,
                          size_t first, size_t count, uint64_t db_size) {
   CompetitorResult r;
   r.name = idx.name();
-  ExperimentStats stats;
+  const VerifyKernelInfo vk = idx.verify_kernel();
+  r.verify_backend = vk.backend;
+  r.vector_width_floats = vk.vector_width_floats;
+
   std::vector<ObjectId> out;
   QueryMetrics m;
-  for (size_t i = 0; i < count; ++i) {
-    const Query& q = queries[(first + i) % queries.size()];
-    out.clear();
-    WallTimer t;
-    idx.Execute(q, &out, &m);
-    stats.AddQuery(m, t.ElapsedMs(), db_size);
+  auto one_pass = [&](ExperimentStats* stats) {
+    for (size_t i = 0; i < count; ++i) {
+      const Query& q = queries[(first + i) % queries.size()];
+      out.clear();
+      WallTimer t;
+      idx.Execute(q, &out, &m);
+      if (stats != nullptr) stats->AddQuery(m, t.ElapsedMs(), db_size);
+    }
+  };
+
+  // Untimed warmup passes fault in caches/branch predictors (and, for AC,
+  // absorb any residual adaptation) so the timed passes measure steady
+  // state; median-of-N pass means then suppresses scheduler outliers that
+  // a single mean would absorb.
+  for (size_t w = 0; w < WarmupPasses(); ++w) one_pass(nullptr);
+
+  ExperimentStats stats;
+  std::vector<double> pass_means;
+  const size_t reps = TimedReps();
+  for (size_t rep = 0; rep < reps; ++rep) {
+    ExperimentStats pass;
+    one_pass(&pass);
+    pass_means.push_back(pass.wall_ms.mean());
+    if (rep + 1 == reps) stats = pass;  // deterministic columns: any pass
   }
-  r.wall_ms_per_query = stats.wall_ms.mean();
+  std::nth_element(pass_means.begin(),
+                   pass_means.begin() + pass_means.size() / 2,
+                   pass_means.end());
+  r.wall_ms_per_query = pass_means[pass_means.size() / 2];
   r.sim_ms_per_query = stats.sim_ms.mean();
   r.groups_total = m.groups_total;
   r.explored_pct = stats.explored_ratio.mean() * 100.0;

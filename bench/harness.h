@@ -31,14 +31,24 @@ namespace accl::bench {
 size_t EnvCount(const char* name, size_t def, bool scaled = true);
 
 /// One competitor's aggregate measurements over the measurement phase.
+///
+/// Wall timings are median-of-N: the measurement pass runs
+/// ACCL_BENCH_WARMUP_PASSES (default 1) untimed passes to fault in caches
+/// and branch predictors, then ACCL_BENCH_REPS (default 5) timed passes,
+/// and reports the median of the per-pass mean — robust against the
+/// scheduler hiccups that polluted single-pass means. The cost-model and
+/// exploration columns are deterministic per query stream, so they come
+/// from a single pass.
 struct CompetitorResult {
   std::string name;
-  double wall_ms_per_query = 0.0;  ///< measured wall time
+  double wall_ms_per_query = 0.0;  ///< median-of-N measured wall time
   double sim_ms_per_query = 0.0;   ///< cost-model time (the disk charts)
   uint64_t groups_total = 0;       ///< clusters (AC) / nodes (RS) / 1 (SS)
   double explored_pct = 0.0;       ///< avg % of groups explored
   double objects_pct = 0.0;        ///< avg % of DB objects verified
   double avg_results = 0.0;
+  std::string verify_backend = "scalar";  ///< resolved verification kernel
+  uint32_t vector_width_floats = 1;
 };
 
 /// Experiment knobs.

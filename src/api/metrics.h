@@ -9,6 +9,15 @@
 
 namespace accl {
 
+/// Identity of the batched-verification kernel a structure executes with —
+/// resolved once at construction from the kernel backend registry
+/// (kernels/backend_registry.h). Surfaced so benchmark JSON and diagnostics
+/// can record which ISA variant produced a measurement.
+struct VerifyKernelInfo {
+  const char* backend = "scalar";     ///< "scalar", "sse2", "avx2", "avx512"
+  uint32_t vector_width_floats = 1;   ///< floats per SIMD lane group
+};
+
 /// Counters produced by a single spatial query execution.
 struct QueryMetrics {
   /// Clusters (AC), tree nodes (R*), or scans (SS = 1) explored.

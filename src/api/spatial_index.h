@@ -37,6 +37,11 @@ class SpatialIndex {
 
   /// Number of live objects.
   virtual size_t size() const = 0;
+
+  /// The verification kernel this structure executes with. Structures that
+  /// verify through the kernel backend registry (AC, SS) report the resolved
+  /// backend; the default covers structures with scalar-only verification.
+  virtual VerifyKernelInfo verify_kernel() const { return {}; }
 };
 
 }  // namespace accl

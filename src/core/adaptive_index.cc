@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "geometry/predicates.h"
+#include "kernels/backend_registry.h"
 #include "util/check.h"
 
 namespace accl {
@@ -16,8 +17,13 @@ AdaptiveIndex::AdaptiveIndex(const AdaptiveConfig& cfg)
           // Symmetric-case candidate count per cluster (paper footnote 3).
           static_cast<double>(cfg.nd) * cfg.division_factor *
               (cfg.division_factor + 1) / 2.0)),
-      sig_table_(cfg.nd) {
+      backend_(kernels::BackendRegistry::Instance().Resolve(
+          cfg.verify_backend)),
+      sig_table_(cfg.nd, backend_) {
   ACCL_CHECK(cfg_.nd > 0);
+  // Unknown names should be caught by validation (sdi::ValidateOptions)
+  // before an index is ever constructed; here it is a programming error.
+  ACCL_CHECK(backend_ != nullptr);
   owner_.reserve(1024);
   ACCL_CHECK(cfg_.division_factor >= 2);
   ACCL_CHECK(cfg_.reserve_fraction >= 0.0 && cfg_.reserve_fraction < 1.0);
@@ -25,6 +31,10 @@ AdaptiveIndex::AdaptiveIndex(const AdaptiveConfig& cfg)
 }
 
 AdaptiveIndex::~AdaptiveIndex() = default;
+
+VerifyKernelInfo AdaptiveIndex::verify_kernel() const {
+  return {backend_->name(), backend_->vector_width_floats()};
+}
 
 ClusterId AdaptiveIndex::NewCluster(Signature sig, ClusterId parent) {
   ClusterId id;
@@ -213,9 +223,9 @@ void AdaptiveIndex::Execute(const Query& q, std::vector<ObjectId>* out,
     c->candidates->AccountQuery(q, &qmasks_);
 
     uint64_t cluster_dims = 0;
-    m->result_count += VerifyBatch(c->objects.coords_data(),
-                                   c->objects.ids().data(), n, bq_, out,
-                                   &cluster_dims);
+    m->result_count += backend_->VerifyBatch(c->objects.coords_data(),
+                                             c->objects.ids().data(), n, bq_,
+                                             out, &cluster_dims);
     m->dims_checked += cluster_dims;
     m->objects_verified += n;
     m->bytes_verified += c->objects.live_bytes();

@@ -30,6 +30,10 @@
 
 namespace accl {
 
+namespace kernels {
+class VerifyBackend;
+}  // namespace kernels
+
 /// Tuning knobs for AdaptiveIndex. Defaults follow the paper (§6, §7.1).
 struct AdaptiveConfig {
   Dim nd = 16;
@@ -65,6 +69,12 @@ struct AdaptiveConfig {
   uint32_t stats_halving_period = 4096;
   /// Hard cap on materialized clusters (safety valve).
   size_t max_clusters = 1u << 20;
+  /// Verification-kernel backend by name ("scalar", "sse2", "avx2",
+  /// "avx512"); empty selects the widest the host supports. The
+  /// ACCL_FORCE_BACKEND environment variable overrides this. Requesting a
+  /// backend the build or host lacks aborts at construction — validate
+  /// first via kernels::BackendRegistry (ValidateOptions does).
+  std::string verify_backend;
 };
 
 /// Aggregate reorganization counters for introspection and tests.
@@ -133,6 +143,7 @@ class AdaptiveIndex : public SpatialIndex {
   void Execute(const Query& q, std::vector<ObjectId>* out,
                QueryMetrics* metrics = nullptr) override;
   size_t size() const override { return object_count_; }
+  VerifyKernelInfo verify_kernel() const override;
 
   // ---- Introspection & control ----
   const AdaptiveConfig& config() const { return cfg_; }
@@ -211,6 +222,9 @@ class AdaptiveIndex : public SpatialIndex {
 
   AdaptiveConfig cfg_;
   CostModel model_;
+  /// Resolved verification backend (cfg_.verify_backend / env / widest).
+  /// Declared before sig_table_, which borrows it for its filter passes.
+  const kernels::VerifyBackend* backend_;
 
   std::vector<std::unique_ptr<Cluster>> clusters_;
   std::vector<ClusterId> free_ids_;

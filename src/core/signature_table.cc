@@ -2,12 +2,19 @@
 
 #include <algorithm>
 
+#include "kernels/backend_registry.h"
 #include "util/check.h"
 
 namespace accl {
 
-SignatureTable::SignatureTable(Dim nd) : nd_(nd), refined_(nd) {
+SignatureTable::SignatureTable(Dim nd, const kernels::VerifyBackend* backend)
+    : nd_(nd),
+      backend_(backend != nullptr
+                   ? backend
+                   : kernels::BackendRegistry::Instance().Resolve("")),
+      refined_(nd) {
   ACCL_CHECK(nd > 0);
+  ACCL_CHECK(backend_ != nullptr);
 }
 
 void SignatureTable::Grow(size_t need) {
@@ -157,28 +164,16 @@ void SignatureTable::CollectAdmitted(const Query& q,
   {
     const float le_b = le_bound_is_hi ? qc[1] : qc[0];
     const float ge_b = le_bound_is_hi ? qc[0] : qc[1];
-    const float* __restrict__ le = le_arr;
-    const float* __restrict__ ge = ge_arr;
-    for (size_t s = 0; s < nslots; ++s) {
-      cur[count] = static_cast<uint32_t>(s);
-      count += (le[s] <= le_b) & (ge[s] >= ge_b);
-    }
+    count = backend_->FilterSlotsDense(le_arr, ge_arr, le_b, ge_b, nslots, cur);
   }
   for (Dim d = 1; d < nd_ && count > 0; ++d) {
     const float qlo = qc[2 * d];
     const float qhi = qc[2 * d + 1];
     const float le_b = le_bound_is_hi ? qhi : qlo;
     const float ge_b = le_bound_is_hi ? qlo : qhi;
-    const float* __restrict__ le = le_arr + d * cap_;
-    const float* __restrict__ ge = ge_arr + d * cap_;
-    size_t kept = 0;
-    for (size_t i = 0; i < count; ++i) {
-      const uint32_t s = cur[i];
-      nxt[kept] = s;
-      kept += (le[s] <= le_b) & (ge[s] >= ge_b);
-    }
+    count = backend_->FilterSlotsSparse(le_arr + d * cap_, ge_arr + d * cap_,
+                                        le_b, ge_b, cur, count, nxt);
     std::swap(cur, nxt);
-    count = kept;
   }
   for (size_t i = 0; i < count; ++i) out->push_back(cluster_of_[cur[i]]);
 }

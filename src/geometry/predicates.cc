@@ -1,11 +1,6 @@
 #include "geometry/predicates.h"
 
-#include <algorithm>
 #include <limits>
-
-#if defined(__SSE2__)
-#include <emmintrin.h>
-#endif
 
 #include "util/check.h"
 
@@ -79,81 +74,6 @@ void BatchQuery::Assign(BoxView query, Relation rel) {
         break;
     }
   }
-}
-
-size_t VerifyBatch(const float* coords, const ObjectId* ids, size_t n,
-                   const BatchQuery& bq, std::vector<ObjectId>* out,
-                   uint64_t* dims_checked) {
-  const Dim nd = bq.dims();
-  const size_t stride = 2 * static_cast<size_t>(nd);
-  const float* __restrict__ bg = bq.gt_bounds();
-  const float* __restrict__ bl = bq.lt_bounds();
-  uint64_t dims = 0;
-  size_t matches = 0;
-  for (size_t block = 0; block < n; block += 64) {
-    const size_t bn = std::min<size_t>(64, n - block);
-    uint64_t match_mask = 0;
-    const float* __restrict__ o = coords + block * stride;
-    for (size_t j = 0; j < bn; ++j, o += stride) {
-      // Stay a few records ahead of the hardware prefetcher: most records
-      // are rejected after one or two dimensions, so the sweep consumes
-      // lines faster than a freshly started stream is predicted.
-      __builtin_prefetch(o + 4 * stride);
-      size_t k = 0;
-      size_t fail = stride;
-#if defined(__SSE2__)
-      // SIMD sweep, 16 floats (8 dimensions) per step: the fail test is
-      // evaluated branch-free for the whole chunk and reduced to a bitmask
-      // whose lowest set bit is the first failing float. No data-dependent
-      // branching per dimension, so mixed fail depths cost no
-      // mispredictions; the one branch per chunk ("this chunk decided it")
-      // is overwhelmingly taken on selective queries.
-      for (; k + 16 <= stride; k += 16) {
-        uint32_t m = 0;
-        for (size_t g = 0; g < 16; g += 4) {
-          const __m128 ov = _mm_loadu_ps(o + k + g);
-          const __m128 f =
-              _mm_or_ps(_mm_cmpgt_ps(ov, _mm_loadu_ps(bg + k + g)),
-                        _mm_cmplt_ps(ov, _mm_loadu_ps(bl + k + g)));
-          m |= static_cast<uint32_t>(_mm_movemask_ps(f)) << g;
-        }
-        if (m != 0) {
-          fail = k + static_cast<size_t>(__builtin_ctz(m));
-          break;
-        }
-      }
-      if (fail == stride) {
-        for (size_t t = k; t < stride; ++t) {
-          if ((o[t] > bg[t]) | (o[t] < bl[t])) {
-            fail = t;
-            break;
-          }
-        }
-      }
-#else
-      for (; k < stride; ++k) {
-        if ((o[k] > bg[k]) | (o[k] < bl[k])) {
-          fail = k;
-          break;
-        }
-      }
-#endif
-      if (fail == stride) {
-        dims += nd;
-        match_mask |= 1ull << j;
-      } else {
-        dims += fail / 2 + 1;
-      }
-    }
-    while (match_mask != 0) {
-      const unsigned j = static_cast<unsigned>(__builtin_ctzll(match_mask));
-      match_mask &= match_mask - 1;
-      out->push_back(ids[block + j]);
-      ++matches;
-    }
-  }
-  *dims_checked += dims;
-  return matches;
 }
 
 bool SatisfiesCounting(BoxView obj, BoxView query, Relation rel,

@@ -67,15 +67,10 @@ class BatchQuery {
   std::vector<float> lt_;  // 2*nd, fail if o[k] < lt_[k]
 };
 
-/// Verifies `n` records of a flat coordinate block (stride 2*nd, same layout
-/// as SlotArray/Box) against `bq`, in blocks of 64 records. Appends the ids
-/// of matching records to `*out` in record order and adds to `*dims_checked`
-/// exactly the per-record early-exit dimension count SatisfiesCounting would
-/// report (first failing dimension + 1, or nd on a match) — the cost model's
-/// accounting is bit-for-bit unchanged. Returns the number of matches.
-size_t VerifyBatch(const float* coords, const ObjectId* ids, size_t n,
-                   const BatchQuery& bq, std::vector<ObjectId>* out,
-                   uint64_t* dims_checked);
+// The batched verification kernel that consumes a BatchQuery lives in
+// src/kernels/ (verify_backend.h / backend_registry.h): one algorithm,
+// several runtime-dispatched ISA variants. BatchQuery stays here because it
+// is pure query-image data — geometry remains below the kernel layer.
 
 /// Convenience wrappers.
 inline bool Intersects(BoxView a, BoxView b) {

@@ -1,0 +1,29 @@
+// Internal factory declarations for the compiled-in verify backends.
+//
+// Registration is explicit (the registry constructor calls these) rather
+// than static-initializer self-registration: the library is linked as a
+// static archive, where an unreferenced TU's initializers are silently
+// dropped by the linker — the classic way a backend vanishes from release
+// builds only. A factory returns nullptr when its ISA was not compiled
+// into the TU (e.g. MakeSse2Backend on a non-x86 build); the AVX factories
+// are additionally compiled out entirely (and their calls #if-gated by the
+// ACCL_KERNEL_HAVE_* definitions CMake sets) when the toolchain cannot
+// build the TU at all.
+#pragma once
+
+#include <memory>
+
+#include "kernels/verify_backend.h"
+
+namespace accl::kernels {
+
+std::unique_ptr<VerifyBackend> MakeScalarBackend();
+std::unique_ptr<VerifyBackend> MakeSse2Backend();
+#if defined(ACCL_KERNEL_HAVE_AVX2)
+std::unique_ptr<VerifyBackend> MakeAvx2Backend();
+#endif
+#if defined(ACCL_KERNEL_HAVE_AVX512)
+std::unique_ptr<VerifyBackend> MakeAvx512Backend();
+#endif
+
+}  // namespace accl::kernels

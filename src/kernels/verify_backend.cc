@@ -1,0 +1,30 @@
+#include "kernels/verify_backend.h"
+
+namespace accl::kernels {
+
+size_t VerifyBackend::FilterSlotsDense(const float* le, const float* ge,
+                                       float le_bound, float ge_bound,
+                                       size_t n, uint32_t* out_slots) const {
+  // Branchless compaction: write unconditionally, advance on survival.
+  size_t count = 0;
+  for (size_t s = 0; s < n; ++s) {
+    out_slots[count] = static_cast<uint32_t>(s);
+    count += (le[s] <= le_bound) & (ge[s] >= ge_bound);
+  }
+  return count;
+}
+
+size_t VerifyBackend::FilterSlotsSparse(const float* le, const float* ge,
+                                        float le_bound, float ge_bound,
+                                        const uint32_t* in, size_t n,
+                                        uint32_t* out_slots) const {
+  size_t kept = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t s = in[i];
+    out_slots[kept] = s;
+    kept += (le[s] <= le_bound) & (ge[s] >= ge_bound);
+  }
+  return kept;
+}
+
+}  // namespace accl::kernels

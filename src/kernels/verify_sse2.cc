@@ -1,0 +1,88 @@
+// SSE2 verify backend: 16 floats (8 dimensions) per probe step via four
+// 128-bit compares — the PR 1 kernel, now one registered variant among
+// equals. Compiled with the baseline x86-64 flags (SSE2 is architectural
+// there), so no per-TU ISA options; on non-x86 builds the factory returns
+// nullptr and the backend simply never registers.
+#include "kernels/backends.h"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+
+#include "kernels/verify_common.h"
+#endif
+
+namespace accl::kernels {
+
+#if defined(__SSE2__)
+
+namespace {
+
+struct Sse2Probe {
+  static constexpr size_t kChunk = 16;
+  static inline size_t FirstFail(const float* o, const float* bg,
+                                 const float* bl) {
+    uint32_t m = 0;
+    for (size_t g = 0; g < 16; g += 4) {
+      const __m128 ov = _mm_loadu_ps(o + g);
+      const __m128 f =
+          _mm_or_ps(_mm_cmpgt_ps(ov, _mm_loadu_ps(bg + g)),
+                    _mm_cmplt_ps(ov, _mm_loadu_ps(bl + g)));
+      m |= static_cast<uint32_t>(_mm_movemask_ps(f)) << g;
+    }
+    return m != 0 ? static_cast<size_t>(__builtin_ctz(m)) : kChunk;
+  }
+};
+
+class Sse2Backend final : public VerifyBackend {
+ public:
+  const char* name() const override { return "sse2"; }
+  uint32_t vector_width_floats() const override { return 4; }
+  bool SupportedOnHost(const CpuFeatures& host) const override {
+    return host.sse2;
+  }
+
+  size_t VerifyBatch(const float* coords, const ObjectId* ids, size_t n,
+                     const BatchQuery& bq, std::vector<ObjectId>* out,
+                     uint64_t* dims_checked) const override {
+    return detail::VerifyBatchImpl<Sse2Probe>(coords, ids, n, bq, out,
+                                              dims_checked);
+  }
+
+  size_t FilterSlotsDense(const float* le, const float* ge, float le_bound,
+                          float ge_bound, size_t n,
+                          uint32_t* out_slots) const override {
+    const __m128 leb = _mm_set1_ps(le_bound);
+    const __m128 geb = _mm_set1_ps(ge_bound);
+    size_t count = 0;
+    size_t s = 0;
+    for (; s + 4 <= n; s += 4) {
+      const __m128 pass = _mm_and_ps(_mm_cmple_ps(_mm_loadu_ps(le + s), leb),
+                                     _mm_cmpge_ps(_mm_loadu_ps(ge + s), geb));
+      uint32_t m = static_cast<uint32_t>(_mm_movemask_ps(pass));
+      while (m != 0) {  // ascending: ctz walks low bit to high
+        const uint32_t b = static_cast<uint32_t>(__builtin_ctz(m));
+        m &= m - 1;
+        out_slots[count++] = static_cast<uint32_t>(s + b);
+      }
+    }
+    for (; s < n; ++s) {
+      out_slots[count] = static_cast<uint32_t>(s);
+      count += (le[s] <= le_bound) & (ge[s] >= ge_bound);
+    }
+    return count;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<VerifyBackend> MakeSse2Backend() {
+  return std::make_unique<Sse2Backend>();
+}
+
+#else  // !__SSE2__
+
+std::unique_ptr<VerifyBackend> MakeSse2Backend() { return nullptr; }
+
+#endif
+
+}  // namespace accl::kernels

@@ -10,6 +10,7 @@
 #include "durability/checkpoint.h"
 #include "durability/wal.h"
 #include "exec/shard_queues.h"
+#include "kernels/backend_registry.h"
 #include "util/check.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -66,6 +67,18 @@ Status SubscriptionEngine::ValidateOptions(const AttributeSchema& schema,
   }
   if (o.index.max_clusters < 1) {
     return Status::InvalidArgument("index.max_clusters must be >= 1");
+  }
+  if (!o.index.verify_backend.empty()) {
+    // Checked against the registry directly (not Resolve) so the
+    // ACCL_FORCE_BACKEND pin cannot mask a config that would abort on a
+    // host without the pin.
+    const auto& reg = kernels::BackendRegistry::Instance();
+    if (reg.Find(o.index.verify_backend) == nullptr) {
+      return Status::InvalidArgument(
+          "index.verify_backend \"" + o.index.verify_backend +
+          "\" is not a registered verify backend on this host (have: " +
+          reg.BackendNames() + ")");
+    }
   }
   if (!(o.rebalance_trigger_ratio > 0.0)) {
     return Status::InvalidArgument(

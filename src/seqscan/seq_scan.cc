@@ -1,12 +1,21 @@
 #include "seqscan/seq_scan.h"
 
 #include "geometry/predicates.h"
+#include "kernels/backend_registry.h"
 #include "util/check.h"
 
 namespace accl {
 
 SeqScan::SeqScan(Dim nd, StorageScenario scenario, const SystemParams& sys)
-    : nd_(nd), scenario_(scenario), sys_(sys), store_(nd, 0.0) {}
+    : nd_(nd),
+      scenario_(scenario),
+      sys_(sys),
+      backend_(kernels::BackendRegistry::Instance().Resolve("")),
+      store_(nd, 0.0) {}
+
+VerifyKernelInfo SeqScan::verify_kernel() const {
+  return {backend_->name(), backend_->vector_width_floats()};
+}
 
 void SeqScan::Insert(ObjectId id, BoxView box) {
   ACCL_CHECK(box.dims() == nd_);
@@ -31,8 +40,9 @@ void SeqScan::Execute(const Query& q, std::vector<ObjectId>* out,
 
   const size_t n = store_.size();
   bq_.Assign(q.box.view(), q.rel);
-  m->result_count += VerifyBatch(store_.coords_data(), store_.ids().data(), n,
-                                 bq_, out, &m->dims_checked);
+  m->result_count += backend_->VerifyBatch(
+      store_.coords_data(), store_.ids().data(), n, bq_, out,
+      &m->dims_checked);
   m->objects_verified = n;
   m->bytes_verified = store_.live_bytes();
 

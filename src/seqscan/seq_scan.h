@@ -17,6 +17,10 @@
 
 namespace accl {
 
+namespace kernels {
+class VerifyBackend;
+}  // namespace kernels
+
 /// The Sequential Scan competitor.
 class SeqScan : public SpatialIndex {
  public:
@@ -31,11 +35,14 @@ class SeqScan : public SpatialIndex {
   void Execute(const Query& q, std::vector<ObjectId>* out,
                QueryMetrics* metrics = nullptr) override;
   size_t size() const override { return store_.size(); }
+  VerifyKernelInfo verify_kernel() const override;
 
  private:
   Dim nd_;
   StorageScenario scenario_;
   SystemParams sys_;
+  /// Verification backend resolved once at construction (env / widest).
+  const kernels::VerifyBackend* backend_;
   SlotArray store_;
   /// Reused per-query verification image (avoids per-query allocation).
   BatchQuery bq_;

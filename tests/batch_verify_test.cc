@@ -7,12 +7,17 @@
 #include <vector>
 
 #include "geometry/predicates.h"
+#include "kernels/backend_registry.h"
 #include "storage/slot_array.h"
 #include "tests/test_util.h"
 #include "util/rng.h"
 
 namespace accl {
 namespace {
+
+// Registry-dispatched kernel (widest backend the host supports, or the
+// ACCL_FORCE_BACKEND pin). Per-backend parity is kernel_parity_test's job.
+using kernels::VerifyBatch;
 
 constexpr Relation kRelations[] = {Relation::kIntersects,
                                    Relation::kContainedBy,

@@ -1,0 +1,329 @@
+// Cross-backend parity for the runtime-dispatched verify kernels.
+//
+// Every registered backend must be indistinguishable from the scalar
+// reference on any input: byte-identical match sets (same ids, same order)
+// and identical early-exit dims accounting — the dims contract on
+// VerifyBackend promises logical reads, so a wider probe may never change
+// the count. The fuzzer sweeps dimensionalities chosen to stress every
+// chunk/tail split (below one chunk, exactly one chunk, chunk+1 float,
+// unaligned tails) and batch sizes around the 64-record block boundary,
+// plus degenerate point queries and boundary-touching coordinates.
+//
+// Also covered here: FilterSlotsDense/Sparse parity (the SignatureTable
+// seam), registry selection (widest supported), the ACCL_FORCE_BACKEND env
+// pin, the AdaptiveConfig::verify_backend request, and ValidateOptions'
+// rejection of unknown backend names.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/adaptive_index.h"
+#include "kernels/backend_registry.h"
+#include "sdi/subscription_engine.h"
+#include "storage/slot_array.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+#include "workload/query_gen.h"
+
+namespace accl {
+namespace {
+
+using kernels::BackendRegistry;
+using kernels::VerifyBackend;
+
+constexpr Relation kRelations[] = {Relation::kIntersects,
+                                   Relation::kContainedBy,
+                                   Relation::kEncloses};
+
+const VerifyBackend* Scalar() {
+  const VerifyBackend* s = BackendRegistry::Instance().Find("scalar");
+  EXPECT_NE(s, nullptr);
+  return s;
+}
+
+struct KernelResult {
+  std::vector<ObjectId> matches;
+  uint64_t dims = 0;
+  size_t returned = 0;
+};
+
+KernelResult Run(const VerifyBackend& b, const SlotArray& a,
+                 const BatchQuery& bq) {
+  KernelResult r;
+  r.returned = b.VerifyBatch(a.coords_data(), a.ids().data(), a.size(), bq,
+                             &r.matches, &r.dims);
+  return r;
+}
+
+void ExpectBackendParity(const SlotArray& a, const Box& q, Relation rel) {
+  const BatchQuery bq(q.view(), rel);
+  const KernelResult ref = Run(*Scalar(), a, bq);
+  EXPECT_EQ(ref.returned, ref.matches.size());
+  for (const VerifyBackend* b : BackendRegistry::Instance().All()) {
+    const KernelResult got = Run(*b, a, bq);
+    EXPECT_EQ(got.matches, ref.matches)
+        << b->name() << " match set diverged, " << RelationName(rel)
+        << " nd=" << a.dims() << " n=" << a.size();
+    EXPECT_EQ(got.dims, ref.dims)
+        << b->name() << " dims accounting diverged, " << RelationName(rel)
+        << " nd=" << a.dims() << " n=" << a.size();
+    EXPECT_EQ(got.returned, ref.returned) << b->name();
+  }
+}
+
+TEST(KernelParity, RandomBatchesAllBackends) {
+  Rng rng(101);
+  // nd values stressing every chunk/tail split of the 16-float probe:
+  // whole record below one chunk (nd<8), exactly one chunk (8), chunk+tail
+  // (15,17), multi-chunk (16,31,33,40).
+  for (Dim nd : {1u, 2u, 3u, 5u, 7u, 8u, 15u, 16u, 17u, 31u, 33u, 40u}) {
+    SlotArray a(nd);
+    for (ObjectId id = 0; id < 300; ++id) {
+      a.Append(id, testutil::RandomBox(rng, nd, 0.5f).view());
+    }
+    for (int t = 0; t < 12; ++t) {
+      const Box q = testutil::RandomBox(rng, nd, 0.8f);
+      for (Relation rel : kRelations) ExpectBackendParity(a, q, rel);
+    }
+  }
+}
+
+TEST(KernelParity, BlockBoundarySizes) {
+  Rng rng(202);
+  const Dim nd = 9;  // one full chunk + 2-float tail
+  for (size_t n : {0u, 1u, 63u, 64u, 65u, 127u, 128u, 130u}) {
+    SlotArray a(nd);
+    for (ObjectId id = 0; id < n; ++id) {
+      a.Append(id, testutil::RandomBox(rng, nd, 0.4f).view());
+    }
+    for (int t = 0; t < 6; ++t) {
+      const Box q = testutil::RandomBox(rng, nd, 0.9f);
+      for (Relation rel : kRelations) ExpectBackendParity(a, q, rel);
+    }
+  }
+}
+
+TEST(KernelParity, DegenerateAndBoundaryTouching) {
+  Rng rng(303);
+  for (Dim nd : {2u, 8u, 16u, 19u}) {
+    SlotArray a(nd);
+    // Random boxes plus constructions that put coordinates exactly on the
+    // query faces: equality must stay "satisfied" (closed intervals) on
+    // every backend — ordered-quiet SIMD compares and scalar > / < must
+    // agree on ties.
+    for (ObjectId id = 0; id < 150; ++id) {
+      a.Append(id, testutil::RandomBox(rng, nd, 0.6f).view());
+    }
+    Box q(nd);
+    for (Dim d = 0; d < nd; ++d) q.set(d, 0.25f, 0.75f);
+    Box same = q;
+    a.Append(1000, same.view());
+    Box touch(nd);
+    for (Dim d = 0; d < nd; ++d) touch.set(d, 0.75f, 1.0f);
+    a.Append(1001, touch.view());
+    for (Relation rel : kRelations) ExpectBackendParity(a, q, rel);
+
+    // Zero-extent (point) queries — the point-enclosing case.
+    for (int t = 0; t < 8; ++t) {
+      Box p(nd);
+      for (Dim d = 0; d < nd; ++d) {
+        const float x = rng.NextFloat();
+        p.set(d, x, x);
+      }
+      for (Relation rel : kRelations) ExpectBackendParity(a, p, rel);
+    }
+  }
+}
+
+TEST(KernelParity, FilterSlotsDenseAndSparse) {
+  Rng rng(404);
+  const VerifyBackend* ref = Scalar();
+  for (size_t n : {1u, 5u, 7u, 8u, 15u, 16u, 17u, 64u, 100u, 333u}) {
+    std::vector<float> le(n), ge(n);
+    for (size_t s = 0; s < n; ++s) {
+      le[s] = rng.NextFloat();
+      ge[s] = rng.NextFloat();
+    }
+    // Sprinkle exact-equality entries so ties exercise <= / >= edges.
+    for (size_t s = 0; s < n; s += 3) le[s] = 0.5f;
+    for (size_t s = 0; s < n; s += 4) ge[s] = 0.5f;
+    for (int t = 0; t < 10; ++t) {
+      const float le_b = (t == 0) ? 0.5f : rng.NextFloat();
+      const float ge_b = (t == 1) ? 0.5f : rng.NextFloat();
+
+      std::vector<uint32_t> expect(n), got(n);
+      const size_t ecount =
+          ref->FilterSlotsDense(le.data(), ge.data(), le_b, ge_b, n,
+                                expect.data());
+      for (const VerifyBackend* b : BackendRegistry::Instance().All()) {
+        const size_t gcount = b->FilterSlotsDense(le.data(), ge.data(), le_b,
+                                                  ge_b, n, got.data());
+        ASSERT_EQ(gcount, ecount) << b->name() << " dense n=" << n;
+        for (size_t i = 0; i < ecount; ++i) {
+          ASSERT_EQ(got[i], expect[i]) << b->name() << " dense slot order";
+        }
+      }
+
+      // Sparse pass over a random subset (strictly ascending slots).
+      std::vector<uint32_t> in;
+      for (size_t s = 0; s < n; ++s) {
+        if (rng.NextFloat() < 0.4f) in.push_back(static_cast<uint32_t>(s));
+      }
+      std::vector<uint32_t> sexpect(in.size()), sgot(in.size());
+      const size_t scount =
+          ref->FilterSlotsSparse(le.data(), ge.data(), le_b, ge_b, in.data(),
+                                 in.size(), sexpect.data());
+      for (const VerifyBackend* b : BackendRegistry::Instance().All()) {
+        const size_t c = b->FilterSlotsSparse(le.data(), ge.data(), le_b,
+                                              ge_b, in.data(), in.size(),
+                                              sgot.data());
+        ASSERT_EQ(c, scount) << b->name() << " sparse n=" << in.size();
+        for (size_t i = 0; i < scount; ++i) {
+          ASSERT_EQ(sgot[i], sexpect[i]) << b->name() << " sparse slot order";
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelRegistry, ScalarAlwaysRegisteredAndWidestSelected) {
+  const auto& reg = BackendRegistry::Instance();
+  ASSERT_NE(reg.Find("scalar"), nullptr);
+  ASSERT_FALSE(reg.All().empty());
+
+  ::unsetenv("ACCL_FORCE_BACKEND");
+  const VerifyBackend* resolved = reg.Resolve("");
+  ASSERT_NE(resolved, nullptr);
+  for (const VerifyBackend* b : reg.All()) {
+    EXPECT_GE(resolved->vector_width_floats(), b->vector_width_floats())
+        << "Resolve(\"\") must pick the widest registered backend";
+  }
+#if defined(ACCL_KERNEL_HAVE_AVX512)
+  if (reg.host().avx512f) {
+    EXPECT_STREQ(resolved->name(), "avx512");
+  }
+#endif
+#if defined(ACCL_KERNEL_HAVE_AVX2)
+  if (reg.host().avx2 && !reg.host().avx512f) {
+    EXPECT_STREQ(resolved->name(), "avx2");
+  }
+#endif
+
+  // Every registered backend claims support on this host (registration
+  // filtered on the CPUID probe).
+  for (const VerifyBackend* b : reg.All()) {
+    EXPECT_TRUE(b->SupportedOnHost(reg.host())) << b->name();
+  }
+}
+
+TEST(KernelRegistry, EnvPinOverridesConfigAndUnknownFallsBack) {
+  const auto& reg = BackendRegistry::Instance();
+  ::setenv("ACCL_FORCE_BACKEND", "scalar", 1);
+  std::string note;
+  const VerifyBackend* pinned = reg.Resolve("", &note);
+  ASSERT_NE(pinned, nullptr);
+  EXPECT_STREQ(pinned->name(), "scalar");
+  EXPECT_NE(note.find("ACCL_FORCE_BACKEND"), std::string::npos);
+  // Env beats an explicit config request.
+  const VerifyBackend* beat = reg.Resolve("sse2");
+  if (reg.Find("sse2") != nullptr) {
+    ASSERT_NE(beat, nullptr);
+    EXPECT_STREQ(beat->name(), "scalar");
+  }
+
+  // An unknown env name warns and falls through to normal resolution.
+  ::setenv("ACCL_FORCE_BACKEND", "gpu-of-the-future", 1);
+  const VerifyBackend* fallback = reg.Resolve("");
+  ASSERT_NE(fallback, nullptr);
+  const VerifyBackend* requested = reg.Resolve("scalar");
+  ASSERT_NE(requested, nullptr);
+  EXPECT_STREQ(requested->name(), "scalar");
+  ::unsetenv("ACCL_FORCE_BACKEND");
+
+  // Unknown *config* names are the caller's error: nullptr, no fallback.
+  EXPECT_EQ(reg.Resolve("gpu-of-the-future"), nullptr);
+}
+
+// End-to-end: the same workload through AdaptiveIndex pinned to each
+// backend must return identical answers with bit-identical metrics — the
+// cost model sees the same dims_checked regardless of kernel width, so the
+// clustering decisions (and thus the structure) cannot diverge by backend.
+TEST(KernelParity, AdaptiveIndexPinnedBackendsAgree) {
+  ::unsetenv("ACCL_FORCE_BACKEND");
+  const auto& reg = BackendRegistry::Instance();
+  const Dim nd = 16;
+  UniformSpec spec;
+  spec.nd = nd;
+  spec.count = 2000;
+  spec.seed = 505;
+  const Dataset ds = GenerateUniform(spec);
+  const std::vector<Query> queries =
+      GenerateQueriesWithExtent(nd, Relation::kIntersects, 300, 0.35, 606);
+
+  struct Outcome {
+    std::vector<std::vector<ObjectId>> results;
+    std::vector<QueryMetrics> metrics;
+    size_t clusters;
+  };
+  auto run = [&](const std::string& backend) {
+    AdaptiveConfig cfg;
+    cfg.nd = nd;
+    cfg.reorg_period = 64;
+    cfg.min_observation = 16;
+    cfg.verify_backend = backend;
+    AdaptiveIndex idx(cfg);
+    EXPECT_EQ(std::string(idx.verify_kernel().backend), backend);
+    testutil::Load(idx, ds);
+    Outcome o;
+    for (const Query& q : queries) {
+      QueryMetrics m;
+      o.results.push_back(testutil::RunQuery(idx, q, &m));
+      o.metrics.push_back(m);
+    }
+    o.clusters = idx.cluster_count();
+    return o;
+  };
+
+  const Outcome ref = run("scalar");
+  for (const VerifyBackend* b : reg.All()) {
+    if (std::string(b->name()) == "scalar") continue;
+    const Outcome got = run(b->name());
+    EXPECT_EQ(got.clusters, ref.clusters) << b->name();
+    ASSERT_EQ(got.results.size(), ref.results.size());
+    for (size_t i = 0; i < ref.results.size(); ++i) {
+      EXPECT_EQ(got.results[i], ref.results[i]) << b->name() << " q#" << i;
+      EXPECT_EQ(got.metrics[i].dims_checked, ref.metrics[i].dims_checked)
+          << b->name() << " q#" << i;
+      EXPECT_EQ(got.metrics[i].objects_verified,
+                ref.metrics[i].objects_verified)
+          << b->name() << " q#" << i;
+      EXPECT_EQ(got.metrics[i].sim_time_ms, ref.metrics[i].sim_time_ms)
+          << b->name() << " q#" << i << " (bit-identical cost model)";
+    }
+  }
+}
+
+TEST(KernelRegistry, ValidateOptionsRejectsUnknownBackend) {
+  AttributeSchema schema;
+  schema.AddAttribute("x", 0, 100);
+  schema.AddAttribute("y", 0, 100);
+
+  EngineOptions opts;
+  opts.index.verify_backend = "not-a-backend";
+  const Status bad = SubscriptionEngine::ValidateOptions(schema, opts);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.message().find("verify_backend"), std::string::npos);
+  EXPECT_NE(bad.message().find("scalar"), std::string::npos)
+      << "error should list the registered backends";
+
+  opts.index.verify_backend = "scalar";
+  EXPECT_TRUE(SubscriptionEngine::ValidateOptions(schema, opts).ok());
+  opts.index.verify_backend.clear();
+  EXPECT_TRUE(SubscriptionEngine::ValidateOptions(schema, opts).ok());
+}
+
+}  // namespace
+}  // namespace accl
