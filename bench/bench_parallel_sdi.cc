@@ -42,6 +42,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <new>
 #include <string>
 #include <thread>
 #include <vector>
@@ -55,6 +56,29 @@
 #include "util/digest.h"
 #include "util/rng.h"
 #include "util/timer.h"
+
+// Process-wide allocation counter: this TU's global operator new/delete
+// replace libstdc++'s for the whole binary, so the bench can assert the
+// steady-state batch path stopped allocating. Counting is relaxed-atomic —
+// the counter is read only between deliberately ordered bench phases.
+// (GCC pairs the inlined malloc in the replaced operator new with the free
+// in the replaced operator delete and mis-reports a mismatch; the pair is
+// consistent by construction.)
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+static std::atomic<uint64_t> g_heap_allocs{0};
+
+void* operator new(std::size_t sz) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(sz != 0 ? sz : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t sz) { return ::operator new(sz); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace accl {
 namespace {
@@ -120,7 +144,9 @@ struct RunResult {
   double wall_ms;
   double sim_ms;
   uint64_t total_matches;
-  uint64_t match_digest;  ///< FNV over (event index, sorted ids)
+  uint64_t match_digest;     ///< FNV over (event index, sorted ids)
+  double allocs_per_batch;   ///< steady-state heap allocations per MatchBatch
+  uint64_t sink_matches;     ///< streamed-sink pass total (parity-checked)
 };
 
 RunResult RunAtThreads(size_t threads, size_t subs, size_t n_events,
@@ -146,6 +172,8 @@ RunResult RunAtThreads(size_t threads, size_t subs, size_t n_events,
     double sim_ms = 0.0;
     uint64_t total_matches = 0;
     uint64_t match_digest = kFnvOffsetBasis;
+    uint64_t allocs = 0;  ///< heap allocations inside the MatchBatch calls
+    size_t batches = 0;
   };
   MatchBatchResult res;
   const auto one_pass = [&] {
@@ -155,9 +183,16 @@ RunResult RunAtThreads(size_t threads, size_t subs, size_t n_events,
       const size_t ne = std::min(batch, events.size() - off);
       // Only the MatchBatch call is timed; digest and makespan accounting
       // are measurement overhead and must not deflate the reported scaling.
+      // The allocation window brackets the call alone for the same reason:
+      // after warmup the engine's pooled scratch and the reused result must
+      // make the batch path allocation-quiet (pool task submission is the
+      // only remaining constant-per-batch source).
+      const uint64_t a0 = g_heap_allocs.load(std::memory_order_relaxed);
       WallTimer wall;
       engine.MatchBatch(Span<const Event>(events.data() + off, ne), &res);
       p.wall_ms += wall.ElapsedMs();
+      p.allocs += g_heap_allocs.load(std::memory_order_relaxed) - a0;
+      ++p.batches;
       std::vector<double> shard_costs;
       shard_costs.reserve(res.per_shard.size());
       for (const ShardMetrics& sm : res.per_shard) {
@@ -203,9 +238,47 @@ RunResult RunAtThreads(size_t threads, size_t subs, size_t n_events,
   for (const PassResult& p : passes) walls.push_back(p.wall_ms);
   std::nth_element(walls.begin(), walls.begin() + walls.size() / 2,
                    walls.end());
+  uint64_t allocs = 0;
+  size_t batches = 0;
+  for (const PassResult& p : passes) {
+    allocs += p.allocs;
+    batches += p.batches;
+  }
 
-  RunResult r{threads, walls[walls.size() / 2], passes.back().sim_ms,
-              passes.back().total_matches, passes.back().match_digest};
+  // Streamed-sink parity: one extra pass through a VectorMatchSink must
+  // digest byte-identically to the materialized result — the streamed
+  // finalize path and MatchBatchResult path share per-event bytes exactly.
+  VectorMatchSink sink;
+  uint64_t sink_digest = kFnvOffsetBasis;
+  uint64_t sink_matches = 0;
+  size_t event_index = 0;
+  for (size_t off = 0; off < events.size(); off += batch) {
+    const size_t ne = std::min(batch, events.size() - off);
+    sink.Reset(ne);
+    engine.MatchBatch(Span<const Event>(events.data() + off, ne), &sink);
+    for (const auto& m : sink.matches()) {
+      sink_matches += m.size();
+      sink_digest = Fnv1a(sink_digest, event_index++);
+      for (const ObjectId id : m) sink_digest = Fnv1a(sink_digest, id);
+    }
+  }
+  if (sink_digest != passes.front().match_digest) {
+    std::fprintf(stderr,
+                 "SINK DIVERGENCE: streamed digest %016llx vs materialized "
+                 "%016llx at %zu threads\n",
+                 static_cast<unsigned long long>(sink_digest),
+                 static_cast<unsigned long long>(passes.front().match_digest),
+                 threads);
+    std::exit(1);
+  }
+
+  RunResult r{threads,
+              walls[walls.size() / 2],
+              passes.back().sim_ms,
+              passes.back().total_matches,
+              passes.back().match_digest,
+              static_cast<double>(allocs) / static_cast<double>(batches),
+              sink_matches};
   return r;
 }
 
@@ -694,12 +767,13 @@ int main() {
   const uint32_t shards =
       static_cast<uint32_t>(EnvSize("ACCL_PARSDI_SHARDS", 8));
 
+  const unsigned host_cores = std::thread::hardware_concurrency();
   std::printf(
       "parallel_sdi: %zu subscriptions, %zu events (batch %zu), %u shards, "
-      "nd=%u\n",
-      subs, n_events, batch, shards, kNd);
-  std::printf("%8s %12s %14s %12s %14s %10s\n", "threads", "wall ms",
-              "wall ev/s", "sim ms", "sim ev/s", "sim spdup");
+      "nd=%u, host cores=%u\n",
+      subs, n_events, batch, shards, kNd, host_cores);
+  std::printf("%8s %12s %14s %12s %14s %10s %10s\n", "threads", "wall ms",
+              "wall ev/s", "sim ms", "sim ev/s", "sim spdup", "alloc/bat");
 
   const size_t thread_counts[] = {1, 2, 4, 8};
   std::vector<RunResult> results;
@@ -720,10 +794,40 @@ int main() {
     }
     results.push_back(r);
     const double base_sim = results.front().sim_ms;
-    std::printf("%8zu %12.1f %14.0f %12.1f %14.0f %9.2fx\n", t, r.wall_ms,
+    std::printf("%8zu %12.1f %14.0f %12.1f %14.0f %9.2fx %10.1f\n", t,
+                r.wall_ms,
                 1000.0 * static_cast<double>(n_events) / r.wall_ms, r.sim_ms,
                 1000.0 * static_cast<double>(n_events) / r.sim_ms,
-                base_sim / r.sim_ms);
+                base_sim / r.sim_ms, r.allocs_per_batch);
+  }
+  // Wall-scaling gate: speedup at the top thread count vs 1 thread. Wall
+  // time is host-bound — a 1-core container physically cannot scale, so the
+  // default is off and CI (which knows its runner shape) sets the floor via
+  // ACCL_PARSDI_WALL_GATE. The sim/digest gates above stay unconditional.
+  const double wall_gate = EnvDouble("ACCL_PARSDI_WALL_GATE", 0.0);
+  const double wall_speedup_top =
+      results.front().wall_ms / results.back().wall_ms;
+  if (wall_gate > 0.0 && wall_speedup_top < wall_gate) {
+    std::fprintf(stderr,
+                 "WALL SCALING REGRESSION: %.2fx at %zu threads over 1 "
+                 "thread (gate: >= %.2fx, host cores: %u)\n",
+                 wall_speedup_top, results.back().threads, wall_gate,
+                 host_cores);
+    return 1;
+  }
+  // Steady-state allocation gate: after warmup, a MatchBatch call must not
+  // allocate beyond the constant pool-submission overhead. The old path
+  // re-allocated queues/scratch/merge state every call — thousands per
+  // batch; the floor catches that shape returning. Tunable, 0 disables.
+  const double alloc_gate = EnvDouble("ACCL_PARSDI_ALLOC_GATE", 512.0);
+  for (const RunResult& r : results) {
+    if (alloc_gate > 0.0 && r.allocs_per_batch > alloc_gate) {
+      std::fprintf(stderr,
+                   "ALLOCATION REGRESSION: %.1f heap allocations per batch "
+                   "at %zu threads (gate: <= %.0f)\n",
+                   r.allocs_per_batch, r.threads, alloc_gate);
+      return 1;
+    }
   }
 
   // ---- Skewed dispatch-selectivity scenario ----
@@ -923,12 +1027,13 @@ int main() {
   std::fprintf(f,
                "{\n  \"bench\": \"parallel_sdi\",\n  \"shards\": %u,\n"
                "  \"subscriptions\": %zu,\n  \"events\": %zu,\n"
-               "  \"batch\": %zu,\n  \"dims\": %u,\n"
+               "  \"batch\": %zu,\n  \"dims\": %u,\n  \"host_cores\": %u,\n"
                "  \"cpu_features\": \"%s\",\n  \"verify_backend\": \"%s\",\n"
                "  \"warmup_passes\": %zu,\n  \"timed_reps\": %zu,\n"
                "  \"matches\": %llu,\n"
-               "  \"match_digest\": \"%016llx\",\n  \"runs\": [\n",
-               shards, subs, n_events, batch, kNd,
+               "  \"match_digest\": \"%016llx\",\n"
+               "  \"sink_digest_equal\": true,\n  \"runs\": [\n",
+               shards, subs, n_events, batch, kNd, host_cores,
                kernels::CpuFeatureString(kreg.host()).c_str(),
                kreg.Resolve("")->name(),
                EnvSize("ACCL_PARSDI_WARMUP", 1),
@@ -944,12 +1049,13 @@ int main() {
         "    {\"threads\": %zu, \"wall_ms\": %.3f, "
         "\"wall_events_per_sec\": %.1f, \"wall_speedup_vs_1t\": %.3f, "
         "\"sim_ms\": %.3f, \"sim_events_per_sec\": %.1f, "
-        "\"sim_speedup_vs_1t\": %.3f}%s\n",
+        "\"sim_speedup_vs_1t\": %.3f, \"allocs_per_batch\": %.1f}%s\n",
         r.threads, r.wall_ms,
         1000.0 * static_cast<double>(n_events) / r.wall_ms,
         base_wall / r.wall_ms, r.sim_ms,
         1000.0 * static_cast<double>(n_events) / r.sim_ms,
-        base_sim / r.sim_ms, i + 1 < results.size() ? "," : "");
+        base_sim / r.sim_ms, r.allocs_per_batch,
+        i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f,
                "  ],\n  \"skewed\": {\n    \"subscriptions\": %zu,\n"

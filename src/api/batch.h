@@ -4,8 +4,11 @@
 // shards and merges per-shard answers deterministically; these are the
 // transport types for that path: the per-batch result carrying
 // ObjectId-sorted match sets and the per-shard metrics aggregation the
-// benchmarks and tests consume. (Span itself lives in api/span.h so
-// lower layers can use it without these types.)
+// benchmarks and tests consume, plus the streaming MatchSink consumer for
+// callers that want each event's matches pushed as soon as that event's
+// last shard visit completes instead of materialized into one result
+// object. (Span itself lives in api/span.h so lower layers can use it
+// without these types.)
 #pragma once
 
 #include <cstddef>
@@ -30,12 +33,18 @@ struct ShardMetrics {
   /// shards measures routing selectivity — shard-visits per event — which
   /// is the quantity the routed engine exists to shrink.
   uint64_t events_routed = 0;
+  /// Point-in-time gauge: subscriptions resident in this shard when the
+  /// batch was dispatched. Populated for every shard under every sharding
+  /// policy. Merge keeps the max (it is a gauge, not a counter).
+  uint64_t resident_subscriptions = 0;
   /// Point-in-time gauge: subscriptions resident in the engine's overflow
-  /// shard when this batch was dispatched. The range-routed engine fills it
-  /// on the overflow shard's entry only (0 elsewhere); it tracks straddler
-  /// pressure — fences repeatedly cutting dense regions push subscriptions
-  /// here, and every routed event pays an overflow visit. Merge keeps the
-  /// max (it is a gauge, not a counter).
+  /// shard when this batch was dispatched. Only the overflow shard's entry
+  /// carries it, and only range-routed engines have an overflow shard —
+  /// consult MatchBatchResult::overflow_shard to tell "this entry is the
+  /// overflow shard with 0 residents" apart from "this policy has no
+  /// overflow shard at all". It tracks straddler pressure — fences
+  /// repeatedly cutting dense regions push subscriptions here, and every
+  /// routed event pays an overflow visit. Merge keeps the max (a gauge).
   uint64_t overflow_subscriptions = 0;
 
   void Add(const QueryMetrics& m) {
@@ -46,11 +55,63 @@ struct ShardMetrics {
     totals += o.totals;
     executions += o.executions;
     events_routed += o.events_routed;
+    if (o.resident_subscriptions > resident_subscriptions) {
+      resident_subscriptions = o.resident_subscriptions;
+    }
     if (o.overflow_subscriptions > overflow_subscriptions) {
       overflow_subscriptions = o.overflow_subscriptions;
     }
   }
   void Clear() { *this = ShardMetrics(); }
+};
+
+/// Streaming consumer for batched matching: the engine calls
+/// OnEventMatches exactly once per event of the batch, as soon as that
+/// event's last shard visit has completed — events complete in arbitrary
+/// order, possibly concurrently from several pool workers. Implementations
+/// must therefore be thread-safe across *different* event indices (the
+/// engine never emits the same index twice, so per-index slots need no
+/// locking). The span is only valid for the duration of the call. The ids
+/// are sorted ascending by ObjectId and duplicate-free — byte-identical to
+/// what MatchBatchResult::matches[event_index] would have held.
+class MatchSink {
+ public:
+  virtual ~MatchSink() = default;
+  virtual void OnEventMatches(size_t event_index,
+                              Span<const ObjectId> matches,
+                              uint64_t objects_verified) = 0;
+};
+
+/// The trivial MatchSink: copies each event's matches into a preallocated
+/// per-event slot. Lock-free — the engine's exactly-once-per-index contract
+/// makes the writes disjoint. Useful for tests and as the materialization
+/// baseline a custom sink is measured against.
+class VectorMatchSink final : public MatchSink {
+ public:
+  VectorMatchSink() = default;
+  explicit VectorMatchSink(size_t n_events) { Reset(n_events); }
+
+  /// Sizes the per-event slots (capacity-preserving across batches).
+  void Reset(size_t n_events) {
+    for (auto& m : matches_) m.clear();
+    matches_.resize(n_events);
+    verified_.assign(n_events, 0);
+  }
+
+  void OnEventMatches(size_t event_index, Span<const ObjectId> matches,
+                      uint64_t objects_verified) override {
+    matches_[event_index].assign(matches.begin(), matches.end());
+    verified_[event_index] = objects_verified;
+  }
+
+  const std::vector<std::vector<ObjectId>>& matches() const {
+    return matches_;
+  }
+  const std::vector<uint64_t>& verified() const { return verified_; }
+
+ private:
+  std::vector<std::vector<ObjectId>> matches_;
+  std::vector<uint64_t> verified_;
 };
 
 /// Result of matching a batch of events against a (possibly sharded) engine.
@@ -59,9 +120,19 @@ struct ShardMetrics {
 /// ObjectId — the deterministic merge order, byte-identical regardless of
 /// shard count or thread count.
 struct MatchBatchResult {
+  /// Sentinel for `overflow_shard`: the dispatching policy has no overflow
+  /// shard (broadcast policies), so no per_shard entry carries the
+  /// overflow gauge.
+  static constexpr size_t kNoOverflowShard = static_cast<size_t>(-1);
+
   std::vector<std::vector<ObjectId>> matches;  ///< per event, id-sorted
   std::vector<ShardMetrics> per_shard;         ///< indexed by shard
   QueryMetrics total;                          ///< sum over shards & events
+  /// Index into `per_shard` of the overflow shard the batch was routed
+  /// with, or kNoOverflowShard when the policy has none (broadcast). This
+  /// is what makes the overflow_subscriptions gauge *explicitly absent*
+  /// rather than silently zero for non-range policies.
+  size_t overflow_shard = kNoOverflowShard;
   /// Version of the routing snapshot the whole batch was dispatched with
   /// (one consistent snapshot per batch; 0 for an empty batch).
   /// Non-decreasing across a single caller's batches — a later batch can
@@ -72,10 +143,19 @@ struct MatchBatchResult {
   /// epoch across batches means some reader is wedged pinned.
   uint64_t epoch = 0;
 
+  /// Logically empties the result while PRESERVING allocated capacity: the
+  /// per-event match vectors and per-shard entries are cleared in place,
+  /// not destroyed, so a result object reused across batches of similar
+  /// shape performs no allocations after the first. `matches.size()` /
+  /// `per_shard.size()` are therefore a capacity artifact after Clear —
+  /// the engine resizes both to the next batch's shape before filling
+  /// them. (Allocation churn on the batch path was a measured wall-clock
+  /// cost; see bench_parallel_sdi's allocation counter.)
   void Clear() {
-    matches.clear();
-    per_shard.clear();
+    for (auto& m : matches) m.clear();
+    for (auto& s : per_shard) s.Clear();
     total.Clear();
+    overflow_shard = kNoOverflowShard;
     routing_version = 0;
     epoch = 0;
   }

@@ -127,7 +127,11 @@ size_t EpochManager::TryReclaim() {
   return ReclaimUpTo(MinActiveEpoch());
 }
 
-void EpochManager::Synchronize() {
+void EpochManager::Synchronize() { SynchronizeImpl(/*reclaim=*/true); }
+
+void EpochManager::WaitGrace() { SynchronizeImpl(/*reclaim=*/false); }
+
+void EpochManager::SynchronizeImpl(bool reclaim) {
   synchronizes_.fetch_add(1, std::memory_order_relaxed);
   const uint64_t next =
       global_epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
@@ -159,7 +163,7 @@ void EpochManager::Synchronize() {
     ++grace_count_;
     if (waited_ms > grace_max_ms_) grace_max_ms_ = waited_ms;
   }
-  ReclaimUpTo(next);
+  if (reclaim) ReclaimUpTo(next);
 }
 
 EpochManagerStats EpochManager::stats() const {

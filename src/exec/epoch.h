@@ -155,6 +155,15 @@ class EpochManager {
   /// (see the memory-ordering contract above).
   void Synchronize();
 
+  /// Grace period WITHOUT the reclaim sweep: identical wait semantics to
+  /// Synchronize (and counted in the same telemetry — a grace period is a
+  /// grace period), but the retired deleters are left for a later
+  /// TryReclaim/Synchronize. Publishers on a latency-sensitive path use
+  /// this so deleter cost (freeing superseded snapshots) is amortized into
+  /// someone's idle time — e.g. a thread pool's idle hook — instead of
+  /// being paid inline by the publisher.
+  void WaitGrace();
+
   EpochManagerStats stats() const;
 
   /// Sliding-window size for the grace-wait percentile telemetry.
@@ -171,6 +180,9 @@ class EpochManager {
     std::atomic<SlotBlock*> next{nullptr};
   };
 
+  /// Shared body of Synchronize/WaitGrace: epoch bump, grace wait,
+  /// telemetry, and (when `reclaim`) the sweep of pre-bump retirees.
+  void SynchronizeImpl(bool reclaim);
   /// Minimum epoch over pinned slots; ~0ull when nobody is pinned.
   uint64_t MinActiveEpoch() const;
   /// Appends one block to the slot list (called with no locks held).

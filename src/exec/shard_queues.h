@@ -9,6 +9,15 @@
 // (which is what keeps the shard-side execution sequence — and therefore
 // the per-shard adaptation — deterministic), and a K-shard broadcast costs
 // one allocation instead of K vectors.
+//
+// Build also records the *inverse* view: for each item, the CSR list of
+// (shard, position-in-that-shard's-queue) visits. A streamed consumer that
+// finalizes an item as soon as its last shard visit completes uses this to
+// gather the item's per-shard slices directly, without walking any queue.
+//
+// All storage is member-owned and capacity-preserving: rebuilding with a
+// same-shaped batch performs no allocations after the first build (part of
+// the batch path's allocation-churn budget).
 #pragma once
 
 #include <cstdint>
@@ -28,42 +37,53 @@ class ShardQueues {
   /// order.
   template <typename RouteFn>
   void Build(size_t n_items, size_t n_shards, RouteFn&& route) {
-    Reset(n_shards);
+    Reset(n_items, n_shards);
     // Pass 1: evaluate routing once per item into a flat (offsets, targets)
     // image, counting per-shard queue lengths as we go.
-    std::vector<size_t> route_offsets(n_items + 1, 0);
-    std::vector<uint32_t> route_targets;
-    std::vector<uint32_t> scratch;
+    visit_shards_.clear();
     for (size_t i = 0; i < n_items; ++i) {
-      scratch.clear();
-      route(i, &scratch);
-      for (const uint32_t s : scratch) {
+      route_scratch_.clear();
+      route(i, &route_scratch_);
+      for (const uint32_t s : route_scratch_) {
         ACCL_CHECK(s < n_shards);
         ++offsets_[s + 1];
-        route_targets.push_back(s);
+        visit_shards_.push_back(s);
       }
-      route_offsets[i + 1] = route_targets.size();
+      item_offsets_[i + 1] = visit_shards_.size();
     }
     // Pass 2: prefix-sum the counts into offsets, then scatter item indices
-    // in item order — a stable counting sort by shard.
+    // in item order — a stable counting sort by shard. The cursor value at
+    // scatter time IS the item's position in that shard's queue, which is
+    // recorded as the inverse (item -> visits) view.
     for (size_t s = 0; s < n_shards; ++s) offsets_[s + 1] += offsets_[s];
-    items_.resize(route_targets.size());
-    std::vector<size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    items_.resize(visit_shards_.size());
+    visit_positions_.resize(visit_shards_.size());
+    cursor_.assign(offsets_.begin(), offsets_.end() - 1);
     for (size_t i = 0; i < n_items; ++i) {
-      for (size_t r = route_offsets[i]; r < route_offsets[i + 1]; ++r) {
-        items_[cursor[route_targets[r]]++] = static_cast<uint32_t>(i);
+      for (size_t r = item_offsets_[i]; r < item_offsets_[i + 1]; ++r) {
+        const uint32_t t = visit_shards_[r];
+        const size_t c = cursor_[t]++;
+        items_[c] = static_cast<uint32_t>(i);
+        visit_positions_[r] = static_cast<uint32_t>(c - offsets_[t]);
       }
     }
   }
 
   /// Every item goes to every shard (the classic broadcast fan-out).
   void BuildBroadcast(size_t n_items, size_t n_shards) {
-    Reset(n_shards);
+    Reset(n_items, n_shards);
     items_.resize(n_items * n_shards);
+    visit_shards_.resize(n_items * n_shards);
+    visit_positions_.resize(n_items * n_shards);
     for (size_t s = 0; s < n_shards; ++s) {
       offsets_[s + 1] = offsets_[s] + n_items;
-      for (size_t i = 0; i < n_items; ++i) {
+    }
+    for (size_t i = 0; i < n_items; ++i) {
+      item_offsets_[i + 1] = (i + 1) * n_shards;
+      for (size_t s = 0; s < n_shards; ++s) {
         items_[offsets_[s] + i] = static_cast<uint32_t>(i);
+        visit_shards_[i * n_shards + s] = static_cast<uint32_t>(s);
+        visit_positions_[i * n_shards + s] = static_cast<uint32_t>(i);
       }
     }
   }
@@ -80,14 +100,37 @@ class ShardQueues {
     return items_.data() + offsets_[shard];
   }
 
+  // ---- Inverse view: the visits of one item ----
+
+  /// Number of shard visits of `item` (its routing fan-out degree).
+  size_t item_degree(size_t item) const {
+    return item_offsets_[item + 1] - item_offsets_[item];
+  }
+  /// Shard ids `item` visits, in routing order (ascending for the range
+  /// router). Parallel to item_positions().
+  const uint32_t* item_shards(size_t item) const {
+    return visit_shards_.data() + item_offsets_[item];
+  }
+  /// For each visit of `item`, its position within that shard's queue.
+  const uint32_t* item_positions(size_t item) const {
+    return visit_positions_.data() + item_offsets_[item];
+  }
+
  private:
-  void Reset(size_t n_shards) {
+  void Reset(size_t n_items, size_t n_shards) {
     offsets_.assign(n_shards + 1, 0);
+    item_offsets_.assign(n_items + 1, 0);
     items_.clear();
   }
 
   std::vector<size_t> offsets_;  ///< per-shard [begin, end) into items_
   std::vector<uint32_t> items_;  ///< concatenated queues
+  /// Inverse CSR: per-item [begin, end) into the parallel visit arrays.
+  std::vector<size_t> item_offsets_;
+  std::vector<uint32_t> visit_shards_;     ///< shard of each visit
+  std::vector<uint32_t> visit_positions_;  ///< queue position of each visit
+  std::vector<size_t> cursor_;             ///< pass-2 scatter cursors
+  std::vector<uint32_t> route_scratch_;    ///< pass-1 per-item route buffer
 };
 
 }  // namespace accl::exec

@@ -55,6 +55,26 @@ class ThreadPool {
   /// (ParallelFor from inside a body) are not supported.
   void ParallelFor(size_t n, const std::function<void(size_t)>& body);
 
+  /// Like ParallelFor, but with chunked submission and dynamic
+  /// work-claiming: instead of enqueueing n task objects (one allocation +
+  /// queue round-trip each), it enqueues min(n, concurrency()) *runner*
+  /// tasks that claim indices from a shared atomic cursor until none
+  /// remain. Fast indices finish early and their runner steals the rest —
+  /// natural load balancing for imbalanced bodies — and per-batch queue
+  /// churn is O(workers), not O(n). Same contract as ParallelFor otherwise
+  /// (caller participates; bodies must write to disjoint state; no
+  /// reentrancy). Index claim order is unspecified.
+  void ParallelForDynamic(size_t n, const std::function<void(size_t)>& body);
+
+  /// Installs a hook each worker runs (outside the queue lock) whenever it
+  /// finds the queue empty and is about to sleep — idle time. Used to
+  /// amortize deferred housekeeping (e.g. EpochManager::TryReclaim) into
+  /// pool idle time instead of a hot path. The hook may run concurrently
+  /// on several workers and must be safe to call at any point between
+  /// tasks; it never runs after the destructor joins. Pass an empty
+  /// function to clear.
+  void SetIdleHook(std::function<void()> hook);
+
   /// Suggested shard/task width: worker threads + the caller.
   size_t concurrency() const { return workers_.size() + 1; }
 
@@ -67,6 +87,7 @@ class ThreadPool {
   std::condition_variable cv_;  ///< workers: queue non-empty / stop
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
+  std::function<void()> idle_hook_;  ///< guarded by mu_; copied out to run
   bool stop_ = false;
 };
 

@@ -1,9 +1,11 @@
 #include "sdi/subscription_engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <numeric>
+#include <thread>
 #include <unordered_set>
 #include <utility>
 
@@ -35,7 +37,73 @@ const std::vector<float>& NoBounds() {
   return empty;
 }
 
+/// Shard-queue positions are executed in fixed chunks of this many queries.
+/// Chunk boundaries are fixed multiples (position p lives in chunk
+/// p / kMatchChunkSize), so a finalizer can locate any position's output
+/// without knowing the claim history. Small enough that one hot shard's
+/// queue is split across many mutex acquisitions (other workers interleave
+/// and a concurrent single-event Match is never starved), large enough
+/// that the per-chunk lock/unlock and countdown overhead stays amortized.
+constexpr size_t kMatchChunkSize = 16;
+
 }  // namespace
+
+// Reusable per-batch state of the streamed matching pipeline. Pooled by
+// the engine (AcquireScratch/ReleaseScratch) so capacity survives across
+// batches — at steady state a batch of stable shape allocates nothing.
+struct SubscriptionEngine::PipelineScratch {
+  exec::ShardQueues queues;
+
+  // ---- Per-event state (grow-only capacity) ----
+  /// Shard visits not yet executed; the worker that decrements one to zero
+  /// owns that event's finalization.
+  std::unique_ptr<std::atomic<uint32_t>[]> remaining;
+  /// Intrusive links of the ready stack. Written once per event (before
+  /// the releasing head-CAS publishes it), so plain storage is race-free.
+  std::unique_ptr<int64_t[]> ready_next;
+  size_t event_cap = 0;
+  std::vector<uint32_t> matched;   ///< per event, post-dedup match count
+  std::vector<uint64_t> verified;  ///< per event, objects verified
+
+  /// Treiber stack of events whose last visit completed, awaiting
+  /// finalization (-1 = empty). Each event is pushed exactly once per
+  /// batch and never re-pushed, so the classic ABA hazard cannot arise.
+  std::atomic<int64_t> ready_head{-1};
+  std::atomic<size_t> events_done{0};
+
+  // ---- Chunk output buffers ----
+  /// Chunk c of shard s covers queue positions
+  /// [c*kMatchChunkSize, min((c+1)*kMatchChunkSize, queue length)); its
+  /// buffer is written under the shard mutex by whichever worker claimed
+  /// it and read by finalizers strictly after the countdown handoff.
+  struct Chunk {
+    std::vector<ObjectId> ids;       ///< concatenated per-position matches
+    std::vector<uint32_t> offsets;   ///< chunk length + 1 entries
+    std::vector<uint64_t> verified;  ///< per position
+  };
+  std::vector<Chunk> chunks;  ///< grow-only; stale tails are never read
+
+  struct ShardRun {
+    size_t chunk_base = 0;  ///< index of this shard's first chunk
+    /// Next unclaimed queue position. Advanced only under the shard mutex
+    /// (claims are chunk-aligned); read racily as a skip hint elsewhere.
+    std::atomic<size_t> next_pos{0};
+  };
+  std::unique_ptr<ShardRun[]> shard_runs;
+  size_t shard_cap = 0;
+
+  /// Per-worker finalize gather buffers (worker-indexed, disjoint).
+  std::vector<std::vector<ObjectId>> gather;
+  /// Per-worker reusable Query objects: Query owns a heap-backed Box, so
+  /// constructing one per execution was one allocation per (event, shard)
+  /// visit — the dominant steady-state churn. Copy-assigning the event box
+  /// into a warm same-dimension Box reuses its storage instead.
+  std::vector<Query> worker_query;
+
+  /// Metrics landing zone for the sink overloads (no caller-provided
+  /// result object); pooled with the rest of the scratch.
+  MatchBatchResult sink_result;
+};
 
 Event Event::Point(std::vector<float> normalized_point) {
   Event e;
@@ -166,6 +234,11 @@ SubscriptionEngine::SubscriptionEngine(AttributeSchema schema,
   // workers; 0 or 1 requested threads means no pool at all.
   if (options_.match_threads > 1) {
     pool_ = std::make_unique<exec::ThreadPool>(options_.match_threads - 1);
+    // Epoch-retire amortization: superseded routing snapshots are freed by
+    // idle pool workers (TryReclaim is non-blocking and safe concurrently),
+    // not inline by the publisher — see ApplyBoundariesLocked's WaitGrace.
+    // Safe lifetime: ~SubscriptionEngine joins the pool before epoch_ dies.
+    pool_->SetIdleHook([this] { epoch_.TryReclaim(); });
   }
   auto* snap = new RoutingSnapshot();
   snap->bounds = std::move(bounds);
@@ -647,143 +720,370 @@ void SubscriptionEngine::Match(const Event& event, MatchPolicy policy,
 
 void SubscriptionEngine::MatchBatch(Span<const Event> events,
                                     MatchBatchResult* out) {
-  MatchBatch(events, options_.default_policy, out);
+  MatchBatchImpl(events, options_.default_policy, out, nullptr);
 }
 
 void SubscriptionEngine::MatchBatch(Span<const Event> events,
                                     MatchPolicy policy,
                                     MatchBatchResult* out) {
+  MatchBatchImpl(events, policy, out, nullptr);
+}
+
+void SubscriptionEngine::MatchBatch(Span<const Event> events,
+                                    MatchSink* sink) {
+  MatchBatchImpl(events, options_.default_policy, nullptr, sink);
+}
+
+void SubscriptionEngine::MatchBatch(Span<const Event> events,
+                                    MatchPolicy policy, MatchSink* sink) {
+  MatchBatchImpl(events, policy, nullptr, sink);
+}
+
+std::unique_ptr<SubscriptionEngine::PipelineScratch>
+SubscriptionEngine::AcquireScratch() {
+  {
+    std::lock_guard<std::mutex> lk(scratch_pool_mu_);
+    if (!scratch_pool_.empty()) {
+      std::unique_ptr<PipelineScratch> s = std::move(scratch_pool_.back());
+      scratch_pool_.pop_back();
+      return s;
+    }
+  }
+  return std::make_unique<PipelineScratch>();
+}
+
+void SubscriptionEngine::ReleaseScratch(std::unique_ptr<PipelineScratch> s) {
+  std::lock_guard<std::mutex> lk(scratch_pool_mu_);
+  scratch_pool_.push_back(std::move(s));
+}
+
+// Streamed shard-affine pipeline.
+//
+// The former shape — one task per shard holding the shard mutex across its
+// whole queue, then a single-threaded cursor-walk merge — serialized the
+// wall path three ways: the merge ran on one core while the pool idled,
+// one hot shard's task bounded the fan-out's makespan behind a single
+// mutex hold, and every call re-allocated queues/scratch/results. The
+// pipeline removes all three:
+//
+//   - Shard queues are executed in fixed kMatchChunkSize chunks; a worker
+//     claims the next chunk of (preferably) its affine shard under a
+//     try_lock, so a hot shard is interleaved across workers and a
+//     concurrent single-event Match is never starved for a whole batch.
+//     Per-shard execution order stays the queue order regardless of which
+//     worker runs a chunk (claims advance under the shard mutex), so the
+//     per-shard adaptation sequence — and therefore every structure
+//     decision — is byte-identical to the serial engine's.
+//   - Each event carries a remaining-visit countdown initialized to its
+//     routing degree. The worker whose chunk performs an event's last
+//     visit pushes it onto a ready stack; workers drain that stack and
+//     finalize (gather via the queues' inverse item->(shard,position) CSR,
+//     sort, dedup under kRange, emit to the result slot or MatchSink)
+//     while other chunks are still executing. The merge therefore overlaps
+//     execution and spreads across all workers; no barrier remains.
+//   - All transient state lives in a pooled PipelineScratch and the
+//     capacity-preserving MatchBatchResult, so steady-state batches
+//     allocate nothing (gated by bench_parallel_sdi's allocation counter).
+//
+// Memory ordering: chunk output is written under the shard mutex, the
+// countdown decrement is acq_rel (the last decrementer observes every
+// earlier visit's writes through the chain of decrements), the ready-stack
+// push/pop are release/acquire — so a finalizer reads fully published
+// chunk buffers even when three different workers executed the visits.
+void SubscriptionEngine::MatchBatchImpl(Span<const Event> events,
+                                        MatchPolicy policy,
+                                        MatchBatchResult* out,
+                                        MatchSink* sink) {
   const size_t ne = events.size();
   const size_t k = shards_.size();
-  out->Clear();
-  out->matches.resize(ne);
-  out->per_shard.resize(k);
-  if (ne == 0) return;
+  std::unique_ptr<PipelineScratch> scratch = AcquireScratch();
+  PipelineScratch& ps = *scratch;
+  MatchBatchResult* res = out != nullptr ? out : &ps.sink_result;
+  res->Clear();
+  if (out != nullptr) res->matches.resize(ne);
+  res->per_shard.resize(k);
+  if (ne == 0) {
+    ReleaseScratch(std::move(scratch));
+    return;
+  }
   WallTimer t;
 
   // Pin once for the whole batch; the pool workers below run under this
-  // pin (they finish before ParallelFor returns, and the guard outlives
+  // pin (they finish before the fan-out returns, and the guard outlives
   // it), so they never touch the epoch machinery themselves.
   exec::EpochManager::Guard guard = epoch_.Pin();
   const RoutingSnapshot* snap = snapshot_.load(std::memory_order_seq_cst);
-  out->routing_version = snap->version;
-  out->epoch = guard.epoch();
+  res->routing_version = snap->version;
+  res->epoch = guard.epoch();
 
   // Per-shard work queues. Broadcast policies enqueue every event on every
   // shard; kRange asks the router, under the one snapshot the whole batch
   // shares, which shards each event's box overlaps.
-  exec::ShardQueues queues;
   if (range_routed_) {
-    queues.Build(ne, k, [&](size_t e, std::vector<uint32_t>* targets) {
+    ps.queues.Build(ne, k, [&](size_t e, std::vector<uint32_t>* targets) {
       RouteEvent(snap->bounds, events[e].box, targets);
     });
     // Overflow-pressure gauge: resident (owned) subscriptions in the
-    // overflow shard at dispatch time.
-    out->per_shard[k - 1].overflow_subscriptions =
+    // overflow shard at dispatch time. overflow_shard names the entry so
+    // broadcast callers see "absent", never a silent zero.
+    res->overflow_shard = k - 1;
+    res->per_shard[k - 1].overflow_subscriptions =
         snap->shards[k - 1]->subs.load(std::memory_order_relaxed);
   } else {
-    queues.BuildBroadcast(ne, k);
+    ps.queues.BuildBroadcast(ne, k);
   }
   for (size_t s = 0; s < k; ++s) {
-    out->per_shard[s].events_routed = queues.size(s);
-    snap->shards[s]->routed.fetch_add(queues.size(s),
+    res->per_shard[s].events_routed = ps.queues.size(s);
+    res->per_shard[s].resident_subscriptions =
+        snap->shards[s]->subs.load(std::memory_order_relaxed);
+    snap->shards[s]->routed.fetch_add(ps.queues.size(s),
                                       std::memory_order_relaxed);
   }
 
-  // Per-shard scratch: one flat id vector with per-queue-position offsets
-  // (cheaper than ne vectors per shard) plus per-position verified counts
-  // for the engine statistics.
-  struct ShardScratch {
-    std::vector<ObjectId> ids;
-    std::vector<size_t> offsets;      // queue length + 1 entries
-    std::vector<uint64_t> verified;   // per queue position
-  };
-  std::vector<ShardScratch> scratch(k);
-
-  // Fan the queues out: one task per shard, each draining its own queue in
-  // batch order behind the shard mutex. Shard-local adaptation
-  // (statistics, reorganization) therefore sees a deterministic query
-  // sequence regardless of thread count.
-  const auto run_shard = [&](size_t s) {
-    const size_t nq = queues.size(s);
-    if (nq == 0) return;  // routed away: don't even take the lock
-    const uint32_t* q_items = queues.items(s);
-    ShardScratch& sc = scratch[s];
-    sc.offsets.resize(nq + 1, 0);
-    sc.verified.resize(nq, 0);
-    Shard& sh = *snap->shards[s];
-    std::lock_guard<std::mutex> lk(sh.mu);
-    for (size_t j = 0; j < nq; ++j) {
-      const Event& ev = events[q_items[j]];
-      Query q(ev.box, RelationFor(ev, policy));
-      QueryMetrics m;
-      sh.index->Execute(q, &sc.ids, &m);
-      sc.offsets[j + 1] = sc.ids.size();
-      sc.verified[j] = m.objects_verified;
-      out->per_shard[s].Add(m);
-    }
-  };
-  if (pool_ != nullptr) {
-    pool_->ParallelFor(k, run_shard);
-  } else {
-    for (size_t s = 0; s < k; ++s) run_shard(s);
+  // Per-event countdowns and the ready stack.
+  if (ps.event_cap < ne) {
+    ps.remaining.reset(new std::atomic<uint32_t>[ne]);
+    ps.ready_next.reset(new int64_t[ne]);
+    ps.event_cap = ne;
   }
-  // Shard reads are done; the merge below only touches our own scratch.
-  // Unpinning now shortens the grace period concurrent migrations wait
-  // for — and MaybeAutoRebalance below must not run pinned.
+  ps.matched.assign(ne, 0);
+  ps.verified.assign(ne, 0);
+  ps.ready_head.store(-1, std::memory_order_relaxed);
+  ps.events_done.store(0, std::memory_order_relaxed);
+  for (size_t e = 0; e < ne; ++e) {
+    const size_t deg = ps.queues.item_degree(e);
+    // Every event visits >= 1 shard (kRange always includes the overflow
+    // shard; broadcast fans to all K >= 1), so the countdown cannot start
+    // at zero and every event is finalized by exactly one worker.
+    ACCL_DCHECK(deg > 0);
+    ps.remaining[e].store(static_cast<uint32_t>(deg),
+                          std::memory_order_relaxed);
+  }
+
+  // Fixed chunk layout per shard.
+  if (ps.shard_cap < k) {
+    ps.shard_runs.reset(new PipelineScratch::ShardRun[k]);
+    ps.shard_cap = k;
+  }
+  size_t total_chunks = 0;
+  for (size_t s = 0; s < k; ++s) {
+    ps.shard_runs[s].chunk_base = total_chunks;
+    ps.shard_runs[s].next_pos.store(0, std::memory_order_relaxed);
+    total_chunks +=
+        (ps.queues.size(s) + kMatchChunkSize - 1) / kMatchChunkSize;
+  }
+  if (ps.chunks.size() < total_chunks) ps.chunks.resize(total_chunks);
+
+  const size_t workers =
+      pool_ != nullptr
+          ? std::min(pool_->concurrency(), std::max<size_t>(1, total_chunks))
+          : 1;
+  if (ps.gather.size() < workers) ps.gather.resize(workers);
+  if (ps.worker_query.size() < workers) ps.worker_query.resize(workers);
+
+  if (workers > 1) {
+    pool_->ParallelForDynamic(workers, [&](size_t w) {
+      RunPipelineWorker(w, ps, snap, events, policy, res, sink);
+    });
+  } else {
+    RunPipelineWorker(0, ps, snap, events, policy, res, sink);
+  }
+  ACCL_DCHECK(ps.events_done.load(std::memory_order_relaxed) == ne);
+  // Shard reads are done. Unpinning now shortens the grace period
+  // concurrent migrations wait for — and MaybeAutoRebalance below must
+  // not run pinned.
   guard.Release();
 
-  // Deterministic merge: walk each shard's queue with a cursor, shard-order
-  // concatenation per event, then ObjectId sort — byte-identical output for
-  // any shard/thread/boundary configuration. Under kRange a migrating
-  // subscription can be double-resident in two routed shards, so the
-  // sorted run is also deduplicated (duplicates are adjacent; one cheap
-  // unique pass).
-  std::vector<size_t> cursor(k, 0);
-  std::vector<uint64_t> verified_per_event(ne, 0);
-  for (size_t e = 0; e < ne; ++e) {
-    std::vector<ObjectId>& dst = out->matches[e];
-    size_t total = 0;
-    for (size_t s = 0; s < k; ++s) {
-      const size_t c = cursor[s];
-      if (c < queues.size(s) && queues.items(s)[c] == e) {
-        total += scratch[s].offsets[c + 1] - scratch[s].offsets[c];
-      }
-    }
-    dst.reserve(total);
-    for (size_t s = 0; s < k; ++s) {
-      const size_t c = cursor[s];
-      if (c >= queues.size(s) || queues.items(s)[c] != e) continue;
-      const ShardScratch& sc = scratch[s];
-      dst.insert(dst.end(), sc.ids.begin() + sc.offsets[c],
-                 sc.ids.begin() + sc.offsets[c + 1]);
-      verified_per_event[e] += sc.verified[c];
-      ++cursor[s];
-    }
-    std::sort(dst.begin(), dst.end());
-    if (range_routed_) {
-      dst.erase(std::unique(dst.begin(), dst.end()), dst.end());
-    }
-  }
-  out->AggregateShards();
-  // Latency is read after the merge so the batch path reports the same
-  // end-to-end per-event cost Match() reports for its full path.
+  res->AggregateShards();
+  // Latency is read after the fan-out drains so the batch path reports the
+  // same end-to-end per-event cost Match() reports for its full path.
   const double per_event_ms = t.ElapsedMs() / static_cast<double>(ne);
-  // One stats-lock acquisition for the whole batch; stats_mu_ guards only
-  // the statistics, so the batched hot path never contends with id
-  // allocation or ownership updates.
+  // Fold per-event values into local summaries OFF the lock, then merge:
+  // the stats lock is held O(1) per batch, not O(ne) (the former loop
+  // added the same averaged latency ne times while holding stats_mu_).
+  Summary matched_sum;
+  Summary verified_sum;
+  for (size_t e = 0; e < ne; ++e) {
+    matched_sum.Add(static_cast<double>(ps.matched[e]));
+    verified_sum.Add(static_cast<double>(ps.verified[e]));
+  }
   {
     std::lock_guard<std::mutex> lk(stats_mu_);
-    for (size_t e = 0; e < ne; ++e) {
-      stats_.match_latency_ms.Add(per_event_ms);
-      ++stats_.events_processed;
-      stats_.matches_per_event.Add(
-          static_cast<double>(out->matches[e].size()));
-      stats_.verified_per_event.Add(
-          static_cast<double>(verified_per_event[e]));
-    }
+    stats_.match_latency_ms.AddN(ne, per_event_ms);
+    stats_.events_processed += ne;
+    stats_.matches_per_event.Merge(matched_sum);
+    stats_.verified_per_event.Merge(verified_sum);
   }
+  ReleaseScratch(std::move(scratch));
   MaybeAutoRebalance(ne);
+}
+
+void SubscriptionEngine::RunPipelineWorker(size_t worker_id,
+                                           PipelineScratch& ps,
+                                           const RoutingSnapshot* snap,
+                                           Span<const Event> events,
+                                           MatchPolicy policy,
+                                           MatchBatchResult* res,
+                                           MatchSink* sink) {
+  const size_t ne = events.size();
+  const size_t k = shards_.size();
+  std::vector<ObjectId>& buf = ps.gather[worker_id];
+
+  // Finalize one ready event: gather its per-shard slices through the
+  // inverse visit CSR, sort, dedup under kRange (double-residency), emit.
+  const auto finalize = [&](size_t e) {
+    buf.clear();
+    const size_t deg = ps.queues.item_degree(e);
+    const uint32_t* vshards = ps.queues.item_shards(e);
+    const uint32_t* vpos = ps.queues.item_positions(e);
+    uint64_t verified = 0;
+    for (size_t v = 0; v < deg; ++v) {
+      const size_t p = vpos[v];
+      const PipelineScratch::Chunk& ch =
+          ps.chunks[ps.shard_runs[vshards[v]].chunk_base +
+                    p / kMatchChunkSize];
+      const size_t within = p % kMatchChunkSize;
+      buf.insert(buf.end(), ch.ids.begin() + ch.offsets[within],
+                 ch.ids.begin() + ch.offsets[within + 1]);
+      verified += ch.verified[within];
+    }
+    // Same deterministic order as the serial oracle: ObjectId-sorted, with
+    // the adjacent-unique pass removing double-resident duplicates under
+    // kRange. Any worker finalizing in any order produces identical bytes.
+    std::sort(buf.begin(), buf.end());
+    if (range_routed_) {
+      buf.erase(std::unique(buf.begin(), buf.end()), buf.end());
+    }
+    ps.matched[e] = static_cast<uint32_t>(buf.size());
+    ps.verified[e] = verified;
+    if (sink == nullptr) {
+      res->matches[e].assign(buf.begin(), buf.end());
+    } else {
+      sink->OnEventMatches(e, Span<const ObjectId>(buf.data(), buf.size()),
+                           verified);
+    }
+    ps.events_done.fetch_add(1, std::memory_order_release);
+  };
+
+  const auto pop_ready = [&]() -> int64_t {
+    int64_t head = ps.ready_head.load(std::memory_order_acquire);
+    // ready_next[head] is immutable once head is published, and events are
+    // never re-pushed, so the CAS has no ABA window.
+    while (head >= 0 && !ps.ready_head.compare_exchange_weak(
+                            head, ps.ready_next[head],
+                            std::memory_order_acq_rel,
+                            std::memory_order_acquire)) {
+    }
+    return head;
+  };
+  const auto push_ready = [&](size_t e) {
+    int64_t head = ps.ready_head.load(std::memory_order_relaxed);
+    do {
+      ps.ready_next[e] = head;
+    } while (!ps.ready_head.compare_exchange_weak(
+        head, static_cast<int64_t>(e), std::memory_order_release,
+        std::memory_order_relaxed));
+  };
+
+  // Executes the next chunk of shard s (caller holds the shard mutex).
+  // Returns the claimed [begin, end) positions; begin == end when another
+  // worker drained the queue between our racy check and the lock.
+  const auto exec_chunk_locked = [&](size_t s) -> std::pair<size_t, size_t> {
+    PipelineScratch::ShardRun& run = ps.shard_runs[s];
+    const size_t nq = ps.queues.size(s);
+    const size_t p = run.next_pos.load(std::memory_order_relaxed);
+    if (p >= nq) return {p, p};
+    const size_t end = std::min(p + kMatchChunkSize, nq);
+    const uint32_t* q_items = ps.queues.items(s);
+    PipelineScratch::Chunk& ch =
+        ps.chunks[run.chunk_base + p / kMatchChunkSize];
+    const size_t len = end - p;
+    ch.ids.clear();
+    ch.offsets.resize(len + 1);
+    ch.verified.resize(len);
+    ch.offsets[0] = 0;
+    Shard& sh = *snap->shards[s];
+    Query& q = ps.worker_query[worker_id];
+    for (size_t j = 0; j < len; ++j) {
+      const Event& ev = events[q_items[p + j]];
+      q.box = ev.box;  // copy-assign reuses the warm Box's storage
+      q.rel = RelationFor(ev, policy);
+      QueryMetrics m;
+      sh.index->Execute(q, &ch.ids, &m);
+      ch.offsets[j + 1] = static_cast<uint32_t>(ch.ids.size());
+      ch.verified[j] = m.objects_verified;
+      res->per_shard[s].Add(m);  // only ever touched under this shard's mu
+    }
+    run.next_pos.store(end, std::memory_order_relaxed);
+    return {p, end};
+  };
+
+  // Post-execution handoff (mutex released): count down the chunk's events
+  // and stack the ones whose last visit just completed. acq_rel: the final
+  // decrement observes every other visit's chunk writes via the preceding
+  // decrements, and push_ready's release makes them visible to the popper.
+  const auto settle = [&](size_t s, size_t p, size_t end) {
+    const uint32_t* q_items = ps.queues.items(s);
+    for (size_t j = p; j < end; ++j) {
+      const uint32_t e = q_items[j];
+      if (ps.remaining[e].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        push_ready(e);
+      }
+    }
+  };
+
+  // Spread initial affinities across shards; after a successful claim a
+  // worker sticks to its shard (queue locality, amortized adaptation).
+  size_t affinity = (worker_id * k) / std::max<size_t>(1, ps.gather.size());
+  if (affinity >= k) affinity = k - 1;
+  for (;;) {
+    // Finalization first: it is the only work no mutex guards, and
+    // draining it keeps the emit path ahead of execution.
+    for (int64_t e; (e = pop_ready()) >= 0;) finalize(static_cast<size_t>(e));
+    if (ps.events_done.load(std::memory_order_acquire) == ne) return;
+
+    bool executed = false;
+    size_t first_pending = k;
+    for (size_t i = 0; i < k; ++i) {
+      const size_t s = (affinity + i) % k;
+      if (ps.shard_runs[s].next_pos.load(std::memory_order_relaxed) >=
+          ps.queues.size(s)) {
+        continue;
+      }
+      if (first_pending == k) first_pending = s;
+      Shard& sh = *snap->shards[s];
+      if (!sh.mu.try_lock()) continue;  // busy: steal from the next shard
+      const auto [p, end] = exec_chunk_locked(s);
+      sh.mu.unlock();
+      if (p != end) {
+        settle(s, p, end);
+        affinity = s;
+        executed = true;
+        break;
+      }
+    }
+    if (executed) continue;
+    if (first_pending < k) {
+      // Every pending shard's mutex was momentarily held (another worker's
+      // chunk, or a concurrent single-event Match). If finalize work
+      // arrived meanwhile, loop back for it; otherwise block once on the
+      // first pending shard — bounded by one chunk of the current holder —
+      // instead of spinning.
+      if (ps.ready_head.load(std::memory_order_acquire) >= 0) continue;
+      Shard& sh = *snap->shards[first_pending];
+      sh.mu.lock();
+      const auto [p, end] = exec_chunk_locked(first_pending);
+      sh.mu.unlock();
+      if (p != end) {
+        settle(first_pending, p, end);
+        affinity = first_pending;
+      }
+      continue;
+    }
+    // All chunks claimed; remaining events are finalizing on other
+    // workers (or about to land on the ready stack).
+    std::this_thread::yield();
+  }
 }
 
 void SubscriptionEngine::MaybeAutoRebalance(uint64_t events) {
@@ -1112,7 +1412,12 @@ size_t SubscriptionEngine::ApplyBoundariesLocked(
   // table find the moving subscriptions at their destinations, so the
   // source copies below are dead weight for every possible reader.
   PublishSnapshot(std::move(new_bounds));
-  epoch_.Synchronize();
+  // Wait out the grace period but do NOT reclaim inline: retire work is
+  // amortized into pool idle time (the idle hook runs TryReclaim), so the
+  // publisher's wall cost is just the grace wait. Pool-less engines have
+  // no idle hook, so they reclaim here to bound retired_pending.
+  epoch_.WaitGrace();
+  if (pool_ == nullptr) epoch_.TryReclaim();
 
   // Phase 4 — deferred source cleanup: flip ownership and bulk-erase the
   // stale source copies. An id whose second_home_ entry is gone was

@@ -275,20 +275,39 @@ class SubscriptionEngine {
   void Match(const Event& event, MatchPolicy policy,
              std::vector<SubscriptionId>* out);
 
-  /// Matches a batch of events, fanning the batch across shards on the
-  /// engine's thread pool — per-shard work queues: broadcast policies
-  /// enqueue every event on every shard, kRange only on the shards the
-  /// router selects (one snapshot for the whole batch). `out->matches[e]`
+  /// Matches a batch of events through the streamed shard-affine pipeline:
+  /// per-shard CSR work queues (broadcast policies enqueue every event on
+  /// every shard, kRange only on the shards the router selects, under one
+  /// snapshot for the whole batch) are executed in fixed-size chunks by
+  /// shard-affine pool workers, and each event is finalized (sorted,
+  /// deduplicated, emitted) by whichever worker completes its last shard
+  /// visit — there is no single-threaded merge barrier. `out->matches[e]`
   /// is sorted by ObjectId, duplicate-free, and byte-identical for any
   /// shard/thread/boundary configuration — including while a rebalance is
   /// in flight. Per-shard metrics land in `out->per_shard` (shard order),
   /// aggregated into `out->total`; `per_shard[s].events_routed` counts the
-  /// events dispatched to shard s, and the overflow shard's entry carries
-  /// the `overflow_subscriptions` pressure gauge. `out->routing_version` /
-  /// `out->epoch` record the snapshot and epoch the batch ran under.
+  /// events dispatched to shard s, every entry carries the
+  /// `resident_subscriptions` gauge, and under kRange the entry named by
+  /// `out->overflow_shard` carries the `overflow_subscriptions` pressure
+  /// gauge (kNoOverflowShard for broadcast policies — explicitly absent,
+  /// not silently zero). `out->routing_version` / `out->epoch` record the
+  /// snapshot and epoch the batch ran under. Reusing one result object
+  /// across batches is allocation-free at steady state (capacity-
+  /// preserving Clear + engine-pooled pipeline scratch).
   void MatchBatch(Span<const Event> events, MatchBatchResult* out);
   void MatchBatch(Span<const Event> events, MatchPolicy policy,
                   MatchBatchResult* out);
+
+  /// Streaming variant: instead of materializing a MatchBatchResult, each
+  /// event's sorted, deduplicated match set is pushed to `sink` the moment
+  /// that event's last shard visit completes — completion order is
+  /// arbitrary and calls may come concurrently from several pool workers
+  /// (see the MatchSink contract in api/batch.h). Emitted spans are
+  /// byte-identical to what the materializing overload would have stored
+  /// at the same event index. Engine statistics are recorded identically.
+  void MatchBatch(Span<const Event> events, MatchSink* sink);
+  void MatchBatch(Span<const Event> events, MatchPolicy policy,
+                  MatchSink* sink);
 
   /// Convenience: builds a point event from attribute values. Returns
   /// false when values do not cover the schema exactly.
@@ -519,6 +538,30 @@ class SubscriptionEngine {
   static Relation RelationFor(const Event& event, MatchPolicy policy);
   void RecordEvent(size_t matches, size_t verified, double latency_ms);
 
+  // ---- Streamed batch pipeline (see MatchBatchImpl in the .cc) ----
+
+  /// Reusable, engine-pooled per-batch pipeline state: the CSR queues, the
+  /// per-event countdowns/ready-stack, chunk output buffers, and worker
+  /// gather buffers. Defined in the .cc; pooled so concurrent MatchBatch
+  /// callers each get their own while capacity survives across batches.
+  struct PipelineScratch;
+
+  /// Shared body of the four MatchBatch overloads. Exactly one of
+  /// `out`/`sink` is non-null: `out` materializes per-event matches,
+  /// `sink` streams them (metrics then accumulate into pooled scratch).
+  void MatchBatchImpl(Span<const Event> events, MatchPolicy policy,
+                      MatchBatchResult* out, MatchSink* sink);
+  /// One pipeline worker: claims shard-queue chunks (shard-affine, with
+  /// stealing), executes them under the shard mutex, counts down the
+  /// per-event remaining-visit counters, and finalizes events whose last
+  /// visit completed. Runs on pool workers and the calling thread.
+  void RunPipelineWorker(size_t worker_id, PipelineScratch& ps,
+                         const RoutingSnapshot* snap, Span<const Event> events,
+                         MatchPolicy policy, MatchBatchResult* res,
+                         MatchSink* sink);
+  std::unique_ptr<PipelineScratch> AcquireScratch();
+  void ReleaseScratch(std::unique_ptr<PipelineScratch> s);
+
   /// Non-durable mutation bodies: the routing + shard insert/erase +
   /// owner-map bookkeeping the public entry points run after (or instead
   /// of) the WAL round trip.
@@ -601,9 +644,16 @@ class SubscriptionEngine {
   std::atomic<size_t> subscription_count_{0};
 
   /// Guards stats_ only (its own lock so the match path never contends
-  /// with id allocation or ownership updates).
+  /// with id allocation or ownership updates). The batch path holds it
+  /// O(1) per batch: per-event values are folded into local Summaries off
+  /// the lock and merged/bulk-added in one step.
   mutable std::mutex stats_mu_;
   EngineStats stats_;
+
+  /// Freelist of pipeline scratch objects (capacity-preserving reuse
+  /// across batches; one per concurrent MatchBatch caller at peak).
+  mutable std::mutex scratch_pool_mu_;
+  std::vector<std::unique_ptr<PipelineScratch>> scratch_pool_;
 };
 
 }  // namespace accl

@@ -18,6 +18,18 @@ void Summary::Add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void Summary::AddN(size_t n, double x) {
+  if (n == 0) return;
+  // n identical observations form a summary with zero within-group
+  // variance; the standard parallel-variance merge does the rest.
+  Summary batch;
+  batch.count_ = n;
+  batch.mean_ = x;
+  batch.m2_ = 0.0;
+  batch.min_ = batch.max_ = x;
+  Merge(batch);
+}
+
 void Summary::Merge(const Summary& other) {
   if (other.count_ == 0) return;
   if (count_ == 0) {

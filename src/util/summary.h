@@ -14,6 +14,12 @@ class Summary {
   /// Adds one observation.
   void Add(double x);
 
+  /// Adds `n` observations of the same value `x` in O(1) — equivalent to
+  /// calling Add(x) n times (identical count/mean/min/max; variance agrees
+  /// to floating-point rounding). Used by batch paths that record one
+  /// averaged value per element so the stats lock is held O(1), not O(n).
+  void AddN(size_t n, double x);
+
   /// Merges another summary into this one.
   void Merge(const Summary& other);
 

@@ -128,6 +128,26 @@ TEST(Summary, MergeMatchesSequential) {
   EXPECT_EQ(a.max(), all.max());
 }
 
+TEST(Summary, AddNMatchesRepeatedAdd) {
+  // AddN(n, x) is the O(1) bulk form of n identical Add(x) calls — the
+  // batched match path uses it to hold the stats lock O(1) per batch.
+  Summary bulk, loop;
+  bulk.Add(1.5);
+  loop.Add(1.5);
+  bulk.AddN(1000, 4.25);
+  for (int i = 0; i < 1000; ++i) loop.Add(4.25);
+  EXPECT_EQ(bulk.count(), loop.count());
+  EXPECT_NEAR(bulk.mean(), loop.mean(), 1e-12);
+  EXPECT_NEAR(bulk.variance(), loop.variance(), 1e-9);
+  EXPECT_EQ(bulk.min(), loop.min());
+  EXPECT_EQ(bulk.max(), loop.max());
+  // n = 0 is a no-op, not a min/max or count perturbation.
+  Summary untouched = bulk;
+  bulk.AddN(0, -99.0);
+  EXPECT_EQ(bulk.count(), untouched.count());
+  EXPECT_EQ(bulk.min(), untouched.min());
+}
+
 TEST(Summary, MergeWithEmpty) {
   Summary a, empty;
   a.Add(3.0);
