@@ -147,6 +147,12 @@ struct RunResult {
   uint64_t match_digest;     ///< FNV over (event index, sorted ids)
   double allocs_per_batch;   ///< steady-state heap allocations per MatchBatch
   uint64_t sink_matches;     ///< streamed-sink pass total (parity-checked)
+  /// Residual-serialization counters summed over the timed passes: shard
+  /// try-lock misses (worker found a shard queue's mutex held and stole
+  /// elsewhere) and failed ready-stack head-CAS pops. These localize where
+  /// the remaining wall-scaling gap serializes.
+  uint64_t trylock_failures = 0;
+  uint64_t ready_pop_retries = 0;
 };
 
 RunResult RunAtThreads(size_t threads, size_t subs, size_t n_events,
@@ -174,6 +180,8 @@ RunResult RunAtThreads(size_t threads, size_t subs, size_t n_events,
     uint64_t match_digest = kFnvOffsetBasis;
     uint64_t allocs = 0;  ///< heap allocations inside the MatchBatch calls
     size_t batches = 0;
+    uint64_t trylock_failures = 0;
+    uint64_t ready_pop_retries = 0;
   };
   MatchBatchResult res;
   const auto one_pass = [&] {
@@ -197,7 +205,9 @@ RunResult RunAtThreads(size_t threads, size_t subs, size_t n_events,
       shard_costs.reserve(res.per_shard.size());
       for (const ShardMetrics& sm : res.per_shard) {
         shard_costs.push_back(sm.totals.sim_time_ms);
+        p.trylock_failures += sm.try_lock_failures;
       }
+      p.ready_pop_retries += res.ready_pop_retries;
       p.sim_ms += Makespan(std::move(shard_costs), threads);
       // Digest the exact (event, id) assignment, not just a count: a merge
       // bug that reshuffles matches between events must trip the gate.
@@ -240,9 +250,13 @@ RunResult RunAtThreads(size_t threads, size_t subs, size_t n_events,
                    walls.end());
   uint64_t allocs = 0;
   size_t batches = 0;
+  uint64_t trylock = 0;
+  uint64_t pop_retries = 0;
   for (const PassResult& p : passes) {
     allocs += p.allocs;
     batches += p.batches;
+    trylock += p.trylock_failures;
+    pop_retries += p.ready_pop_retries;
   }
 
   // Streamed-sink parity: one extra pass through a VectorMatchSink must
@@ -278,7 +292,9 @@ RunResult RunAtThreads(size_t threads, size_t subs, size_t n_events,
               passes.back().total_matches,
               passes.back().match_digest,
               static_cast<double>(allocs) / static_cast<double>(batches),
-              sink_matches};
+              sink_matches,
+              trylock,
+              pop_retries};
   return r;
 }
 
@@ -287,15 +303,18 @@ RunResult RunAtThreads(size_t threads, size_t subs, size_t n_events,
 constexpr size_t kZipfBins = 64;
 constexpr double kZipfS = 1.1;
 
-/// Sets dim 0 of `b` to a small interval inside a Zipf-hot bin — the
-/// leading-dimension hot spot both the subscription and event makers
-/// share.
-void SetZipfDim0(Box* b, Rng& rng, const ZipfDistribution& zipf) {
+/// Sets dimension `dim` of `b` to a small interval inside a Zipf-hot bin —
+/// the hot-dimension spot both the subscription and event makers share.
+void SetZipfDim(Box* b, Dim dim, Rng& rng, const ZipfDistribution& zipf) {
   const float bin = static_cast<float>(zipf.Sample(rng));
   const float cell = 1.0f / static_cast<float>(kZipfBins);
   const float len = 0.6f * cell * rng.NextFloat();
   const float start = bin * cell + (cell - len) * rng.NextFloat();
-  b->set(0, start, start + len);
+  b->set(dim, start, start + len);
+}
+
+void SetZipfDim0(Box* b, Rng& rng, const ZipfDistribution& zipf) {
+  SetZipfDim(b, 0, rng, zipf);
 }
 
 /// A subscription whose dim-0 interval lands in a Zipf-hot bin; remaining
@@ -500,6 +519,185 @@ UnderRebalanceResult RunMatchUnderRebalance(size_t threads, size_t subs,
   r.epoch_synchronizes = es.synchronizes;
   r.epoch_pins = es.pins;
   r.snapshots_reclaimed = es.reclaimed;
+  return r;
+}
+
+// ---- Workload-adaptive routing scenario ----
+
+/// The hot (selective) dimension of the dimension-shifted workload. NOT
+/// dimension 0: the whole point is that routing starts on the wrong axis.
+constexpr Dim kAdaptHotDim = 3;
+
+/// A subscription that is Zipf-narrow on kAdaptHotDim and wide (0.2–0.5
+/// extent) on every other dimension: fences on any non-hot dimension cut a
+/// large fraction of the population, fences on the hot dimension almost
+/// none.
+Box DimShiftedSubscription(Rng& rng, const ZipfDistribution& zipf) {
+  Box b(kNd);
+  for (Dim d = 0; d < kNd; ++d) {
+    const float len = 0.2f + 0.3f * rng.NextFloat();
+    const float start = (1.0f - len) * rng.NextFloat();
+    b.set(d, start, start + len);
+  }
+  SetZipfDim(&b, kAdaptHotDim, rng, zipf);
+  return b;
+}
+
+std::vector<Event> MakeDimShiftedEvents(uint64_t seed, size_t n,
+                                        const ZipfDistribution& zipf) {
+  Rng rng(seed);
+  std::vector<Event> evs;
+  evs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Box b(kNd);
+    for (Dim d = 0; d < kNd; ++d) {
+      const float len = 0.15f * rng.NextFloat();
+      const float start = (1.0f - len) * rng.NextFloat();
+      b.set(d, start, start + len);
+    }
+    SetZipfDim(&b, kAdaptHotDim, rng, zipf);
+    evs.push_back(Event::Range(std::move(b)));
+  }
+  return evs;
+}
+
+struct AdaptiveRoutingResult {
+  size_t converge_events = 0;   ///< events streamed until the switch fired
+  size_t rounds = 0;            ///< full event-set passes streamed
+  uint32_t fence_dim_final = 0;
+  int32_t split_dim_final = -1;
+  uint64_t dimension_switches = 0;
+  uint64_t overflow_splits = 0;
+  uint64_t straddlers_split = 0;
+  uint64_t windows_evaluated = 0;
+  double visits_pre = 0.0;   ///< shard visits/event, first (dim-0) batch
+  double visits_post = 0.0;  ///< shard visits/event, post-convergence pass
+  double wall_ms_post = 0.0;
+  uint64_t total_matches = 0;        ///< broadcast-oracle total, one pass
+  uint64_t match_digest = 0;         ///< broadcast-oracle digest, one pass
+  bool digests_equal = true;         ///< adaptive == broadcast, every pass
+  bool converged = false;
+};
+
+/// Streams a dimension-shifted workload through an advisor-enabled kRange
+/// engine until the online fence-dimension switch fires, then measures the
+/// post-convergence routing economics. A broadcast engine with the same
+/// subscription ids provides the exact per-event oracle: every pass of the
+/// adaptive engine — including the pass during which the switch and its
+/// migration happen — must produce the broadcast digest.
+AdaptiveRoutingResult RunAdaptiveRouting(size_t threads, size_t subs,
+                                         size_t n_events, size_t batch,
+                                         uint32_t shards,
+                                         size_t sample_window,
+                                         size_t max_rounds) {
+  AttributeSchema schema;
+  for (Dim d = 0; d < kNd; ++d) {
+    schema.AddAttribute("a" + std::to_string(d), 0.0, 1.0);
+  }
+  EngineOptions aopts;
+  aopts.index.reorg_period = 100;
+  aopts.default_policy = MatchPolicy::kIntersecting;
+  aopts.shards = shards;
+  aopts.match_threads = static_cast<uint32_t>(threads);
+  aopts.sharding = ShardingPolicy::kRange;
+  aopts.adaptive.enabled = true;
+  aopts.adaptive.sample_window = static_cast<uint32_t>(sample_window);
+  aopts.adaptive.overflow_split_shards = 2;
+  SubscriptionEngine adaptive(schema, aopts);
+  EngineOptions bopts = aopts;
+  bopts.sharding = ShardingPolicy::kHashId;
+  bopts.adaptive = AdaptiveRoutingOptions();  // broadcast has no routing
+  SubscriptionEngine broadcast(std::move(schema), bopts);
+
+  const ZipfDistribution zipf(kZipfBins, kZipfS);
+  Rng rng(2042);
+  std::vector<Box> boxes;
+  boxes.reserve(subs);
+  for (size_t i = 0; i < subs; ++i) {
+    boxes.push_back(DimShiftedSubscription(rng, zipf));
+  }
+  // Same insertion order from a fresh id counter in both engines: the
+  // digest compares exact (event, id) assignments across them.
+  std::vector<SubscriptionId> ids;
+  adaptive.SubscribeBatch(Span<const Box>(boxes.data(), boxes.size()), &ids);
+  ids.clear();
+  broadcast.SubscribeBatch(Span<const Box>(boxes.data(), boxes.size()),
+                           &ids);
+  const std::vector<Event> events =
+      MakeDimShiftedEvents(2043, n_events, zipf);
+
+  AdaptiveRoutingResult r;
+
+  // Broadcast oracle digest of one full event-set pass (the subscription
+  // set is fixed, so every adaptive pass must reproduce it).
+  {
+    MatchBatchResult res;
+    size_t event_index = 0;
+    uint64_t digest = kFnvOffsetBasis;
+    for (size_t off = 0; off < events.size(); off += batch) {
+      const size_t ne = std::min(batch, events.size() - off);
+      broadcast.MatchBatch(Span<const Event>(events.data() + off, ne), &res);
+      for (const auto& m : res.matches) {
+        r.total_matches += m.size();
+        digest = Fnv1a(digest, event_index++);
+        for (const ObjectId id : m) digest = Fnv1a(digest, id);
+      }
+    }
+    r.match_digest = digest;
+  }
+
+  MatchBatchResult res;
+  const auto one_pass = [&](double* wall_ms, uint64_t* visits) {
+    uint64_t pass_digest = kFnvOffsetBasis;
+    size_t event_index = 0;
+    bool first_batch = true;
+    for (size_t off = 0; off < events.size(); off += batch) {
+      const size_t ne = std::min(batch, events.size() - off);
+      WallTimer wall;
+      adaptive.MatchBatch(Span<const Event>(events.data() + off, ne), &res);
+      if (wall_ms != nullptr) *wall_ms += wall.ElapsedMs();
+      if (visits != nullptr) *visits += res.TotalShardVisits();
+      if (first_batch && r.rounds == 0) {
+        // Pre-adaptation snapshot: the first batch runs before the first
+        // advisor window (batch < sample_window), still fenced on dim 0.
+        r.visits_pre = static_cast<double>(res.TotalShardVisits()) /
+                       static_cast<double>(ne);
+        first_batch = false;
+      }
+      for (const auto& m : res.matches) {
+        pass_digest = Fnv1a(pass_digest, event_index++);
+        for (const ObjectId id : m) pass_digest = Fnv1a(pass_digest, id);
+      }
+    }
+    if (pass_digest != r.match_digest) r.digests_equal = false;
+  };
+
+  // Converge: stream full passes until the advisor switches dimensions.
+  while (r.rounds < max_rounds) {
+    one_pass(nullptr, nullptr);
+    ++r.rounds;
+    if (adaptive.adaptive_stats().dimension_switches > 0) {
+      r.converged = true;
+      break;
+    }
+  }
+  r.converge_events = r.rounds * events.size();
+
+  // Post-convergence measurement pass (counted whether or not the switch
+  // fired — a non-convergence failure should still report its economics).
+  uint64_t post_visits = 0;
+  one_pass(&r.wall_ms_post, &post_visits);
+  ++r.rounds;
+  r.visits_post = static_cast<double>(post_visits) /
+                  static_cast<double>(events.size());
+
+  const AdaptiveRoutingStats st = adaptive.adaptive_stats();
+  r.fence_dim_final = st.fence_dimension;
+  r.split_dim_final = st.split_dimension;
+  r.dimension_switches = st.dimension_switches;
+  r.overflow_splits = st.overflow_splits;
+  r.windows_evaluated = st.windows_evaluated;
+  r.straddlers_split = adaptive.rebalance_stats().straddlers_split;
   return r;
 }
 
@@ -772,8 +970,9 @@ int main() {
       "parallel_sdi: %zu subscriptions, %zu events (batch %zu), %u shards, "
       "nd=%u, host cores=%u\n",
       subs, n_events, batch, shards, kNd, host_cores);
-  std::printf("%8s %12s %14s %12s %14s %10s %10s\n", "threads", "wall ms",
-              "wall ev/s", "sim ms", "sim ev/s", "sim spdup", "alloc/bat");
+  std::printf("%8s %12s %14s %12s %14s %10s %10s %9s %9s\n", "threads",
+              "wall ms", "wall ev/s", "sim ms", "sim ev/s", "sim spdup",
+              "alloc/bat", "trylock", "popretry");
 
   const size_t thread_counts[] = {1, 2, 4, 8};
   std::vector<RunResult> results;
@@ -794,11 +993,14 @@ int main() {
     }
     results.push_back(r);
     const double base_sim = results.front().sim_ms;
-    std::printf("%8zu %12.1f %14.0f %12.1f %14.0f %9.2fx %10.1f\n", t,
-                r.wall_ms,
+    std::printf("%8zu %12.1f %14.0f %12.1f %14.0f %9.2fx %10.1f %9llu "
+                "%9llu\n",
+                t, r.wall_ms,
                 1000.0 * static_cast<double>(n_events) / r.wall_ms, r.sim_ms,
                 1000.0 * static_cast<double>(n_events) / r.sim_ms,
-                base_sim / r.sim_ms, r.allocs_per_batch);
+                base_sim / r.sim_ms, r.allocs_per_batch,
+                static_cast<unsigned long long>(r.trylock_failures),
+                static_cast<unsigned long long>(r.ready_pop_retries));
   }
   // Wall-scaling gate: speedup at the top thread count vs 1 thread. Wall
   // time is host-bound — a 1-core container physically cannot scale, so the
@@ -905,6 +1107,57 @@ int main() {
                  static_cast<unsigned long long>(ur.match_digest),
                  ur.digests_stable ? 1 : 0,
                  static_cast<unsigned long long>(skewed[0].match_digest));
+    return 1;
+  }
+
+  // ---- Workload-adaptive routing scenario ----
+  const size_t ad_subs = EnvSize("ACCL_PARSDI_ADAPT_SUBS", sk_subs);
+  const size_t ad_events = EnvSize("ACCL_PARSDI_ADAPT_EVENTS", sk_events);
+  const size_t ad_window = EnvSize("ACCL_PARSDI_ADAPT_WINDOW", 512);
+  const AdaptiveRoutingResult ad = RunAdaptiveRouting(
+      sk_threads, ad_subs, ad_events, batch, shards, ad_window,
+      /*max_rounds=*/6);
+  std::printf(
+      "\nadaptive routing (hot dim %u, fences start on dim 0): %zu "
+      "subscriptions, %zu events/pass, window %zu\n",
+      static_cast<unsigned>(kAdaptHotDim), ad_subs, ad_events, ad_window);
+  std::printf("%12s %12s %10s %8s %8s %10s %12s\n", "visits pre",
+              "visits post", "fence dim", "switches", "splits", "windows",
+              "split subs");
+  std::printf("%12.2f %12.2f %10u %8llu %8llu %10llu %12llu\n", ad.visits_pre,
+              ad.visits_post, ad.fence_dim_final,
+              static_cast<unsigned long long>(ad.dimension_switches),
+              static_cast<unsigned long long>(ad.overflow_splits),
+              static_cast<unsigned long long>(ad.windows_evaluated),
+              static_cast<unsigned long long>(ad.straddlers_split));
+  // Exactness gate: every adaptive pass — including the one carrying the
+  // dimension-switch migration — must reproduce the broadcast digest.
+  if (!ad.digests_equal) {
+    std::fprintf(stderr,
+                 "ADAPTIVE DIVERGENCE: an adaptive pass diverged from the "
+                 "broadcast oracle digest %016llx\n",
+                 static_cast<unsigned long long>(ad.match_digest));
+    return 1;
+  }
+  // Convergence gate: the advisor must actually move off dimension 0.
+  if (!ad.converged || ad.fence_dim_final != kAdaptHotDim) {
+    std::fprintf(stderr,
+                 "ADAPTIVE CONVERGENCE FAILURE: %llu switches in %zu "
+                 "rounds, final fence dim %u (want %u)\n",
+                 static_cast<unsigned long long>(ad.dimension_switches),
+                 ad.rounds, ad.fence_dim_final,
+                 static_cast<unsigned>(kAdaptHotDim));
+    return 1;
+  }
+  // Routing-economics gate: post-convergence dispatch must be routed, not
+  // broadcast — visits/event at or under the floor (tunable for CI via
+  // ACCL_PARSDI_VISIT_GATE; 0 disables).
+  const double visit_gate = EnvDouble("ACCL_PARSDI_VISIT_GATE", 2.5);
+  if (visit_gate > 0.0 && ad.visits_post > visit_gate) {
+    std::fprintf(stderr,
+                 "ADAPTIVE ROUTING REGRESSION: %.2f shard visits/event "
+                 "after convergence (gate: <= %.2f; pre-switch %.2f)\n",
+                 ad.visits_post, visit_gate, ad.visits_pre);
     return 1;
   }
 
@@ -1049,12 +1302,15 @@ int main() {
         "    {\"threads\": %zu, \"wall_ms\": %.3f, "
         "\"wall_events_per_sec\": %.1f, \"wall_speedup_vs_1t\": %.3f, "
         "\"sim_ms\": %.3f, \"sim_events_per_sec\": %.1f, "
-        "\"sim_speedup_vs_1t\": %.3f, \"allocs_per_batch\": %.1f}%s\n",
+        "\"sim_speedup_vs_1t\": %.3f, \"allocs_per_batch\": %.1f, "
+        "\"shard_trylock_failures\": %llu, \"ready_pop_retries\": %llu}%s\n",
         r.threads, r.wall_ms,
         1000.0 * static_cast<double>(n_events) / r.wall_ms,
         base_wall / r.wall_ms, r.sim_ms,
         1000.0 * static_cast<double>(n_events) / r.sim_ms,
         base_sim / r.sim_ms, r.allocs_per_batch,
+        static_cast<unsigned long long>(r.trylock_failures),
+        static_cast<unsigned long long>(r.ready_pop_retries),
         i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f,
@@ -1106,6 +1362,36 @@ int main() {
       static_cast<unsigned long long>(ur.epoch_synchronizes),
       static_cast<unsigned long long>(ur.epoch_pins),
       static_cast<unsigned long long>(ur.snapshots_reclaimed));
+  std::fprintf(
+      f,
+      "  \"adaptive_routing\": {\n"
+      "    \"subscriptions\": %zu,\n    \"events_per_pass\": %zu,\n"
+      "    \"threads\": %zu,\n    \"sample_window\": %zu,\n"
+      "    \"hot_dim\": %u,\n    \"fence_dim_final\": %u,\n"
+      "    \"split_dim_final\": %d,\n    \"dimension_switches\": %llu,\n"
+      "    \"overflow_splits\": %llu,\n    \"straddlers_split\": %llu,\n"
+      "    \"windows_evaluated\": %llu,\n"
+      "    \"converge_events\": %zu,\n"
+      "    \"visits_per_event_pre\": %.3f,\n"
+      "    \"visits_per_event_post\": %.3f,\n"
+      "    \"visit_gate\": %.2f,\n"
+      "    \"wall_ms_post\": %.3f,\n"
+      "    \"wall_events_per_sec_post\": %.1f,\n"
+      "    \"matches\": %llu,\n    \"match_digest\": \"%016llx\",\n"
+      "    \"digest_equal_broadcast\": %s\n  },\n",
+      ad_subs, ad_events, sk_threads, ad_window,
+      static_cast<unsigned>(kAdaptHotDim), ad.fence_dim_final,
+      ad.split_dim_final,
+      static_cast<unsigned long long>(ad.dimension_switches),
+      static_cast<unsigned long long>(ad.overflow_splits),
+      static_cast<unsigned long long>(ad.straddlers_split),
+      static_cast<unsigned long long>(ad.windows_evaluated),
+      ad.converge_events, ad.visits_pre, ad.visits_post, visit_gate,
+      ad.wall_ms_post,
+      1000.0 * static_cast<double>(ad_events) / ad.wall_ms_post,
+      static_cast<unsigned long long>(ad.total_matches),
+      static_cast<unsigned long long>(ad.match_digest),
+      ad.digests_equal ? "true" : "false");
   std::fprintf(
       f,
       "  \"durable_ingest\": {\n"

@@ -1,0 +1,84 @@
+#include "adapt/routing_advisor.h"
+
+#include "adapt/selectivity.h"
+
+namespace accl::adapt {
+
+RoutingDecision RoutingAdvisor::Evaluate(const PatternSnapshot& pattern,
+                                         const AdvisorState& state) {
+  RoutingDecision d;
+  if (pattern.events == 0 || pattern.subscriptions == 0 ||
+      state.range_slices < 2) {
+    return d;  // nothing observed yet, or a single slice: nothing to route
+  }
+  d.estimates = SelectivityAnalyzer::Analyze(pattern, state.range_slices);
+  if (d.estimates.empty() || state.current_dim >= d.estimates.size()) {
+    return d;
+  }
+
+  // --- 1. Dimension switch -------------------------------------------------
+  size_t best = state.current_dim;
+  for (size_t cand = 0; cand < d.estimates.size(); ++cand) {
+    if (d.estimates[cand].score < d.estimates[best].score) best = cand;
+  }
+  const double current_score = d.estimates[state.current_dim].score;
+  const double best_score = d.estimates[best].score;
+  if (best != state.current_dim && best_score > 0.0 &&
+      current_score >= opts_.switch_threshold * best_score) {
+    std::vector<float> fences = SelectivityAnalyzer::PlanFences(
+        pattern, static_cast<Dim>(best), state.range_slices - 1);
+    if (fences.size() == state.range_slices - 1) {
+      d.kind = RoutingDecision::Kind::kSwitchDimension;
+      d.dim = static_cast<uint32_t>(best);
+      d.fences = std::move(fences);
+      straddle_streak_ = 0;  // new fences change who straddles
+      return d;
+    }
+  }
+
+  // --- 2. Overflow split ---------------------------------------------------
+  if (state.split_active || state.split_slices == 0 ||
+      state.total_subscriptions == 0) {
+    straddle_streak_ = 0;
+    return d;
+  }
+  const double pressure =
+      static_cast<double>(state.overflow_residents +
+                          state.planner_predicted_spill) /
+      static_cast<double>(state.total_subscriptions);
+  if (pressure < opts_.split_straddler_threshold) {
+    straddle_streak_ = 0;
+    return d;
+  }
+  if (++straddle_streak_ < opts_.split_patience) return d;
+
+  // Split dimension: pinned, else the best-scoring non-fence dimension.
+  size_t split_dim = d.estimates.size();
+  if (opts_.split_dim >= 0) {
+    split_dim = static_cast<size_t>(opts_.split_dim);
+  } else {
+    for (size_t cand = 0; cand < d.estimates.size(); ++cand) {
+      if (cand == state.current_dim) continue;
+      if (split_dim == d.estimates.size() ||
+          d.estimates[cand].score < d.estimates[split_dim].score) {
+        split_dim = cand;
+      }
+    }
+  }
+  if (split_dim >= d.estimates.size() || split_dim == state.current_dim) {
+    return d;  // pinned to the fence dimension, or nd == 1: cannot split
+  }
+  // Split fences slice the *straddler* population; the subscription
+  // histograms are the closest stand-in the tracker keeps. S sub-shards
+  // need S-1 interior fences; PlanFences' uniform fallback guarantees a
+  // valid plan, and S == 1 (zero fences -> empty plan) still routes
+  // single-slice straddlers out of the catch-all.
+  d.kind = RoutingDecision::Kind::kSplitOverflow;
+  d.dim = static_cast<uint32_t>(split_dim);
+  d.fences = SelectivityAnalyzer::PlanFences(
+      pattern, static_cast<Dim>(split_dim), state.split_slices - 1);
+  straddle_streak_ = 0;
+  return d;
+}
+
+}  // namespace accl::adapt

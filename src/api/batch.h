@@ -46,6 +46,13 @@ struct ShardMetrics {
   /// repeatedly cutting dense regions push subscriptions here, and every
   /// routed event pays an overflow visit. Merge keeps the max (a gauge).
   uint64_t overflow_subscriptions = 0;
+  /// Residual-serialization counter: pipeline workers that tried to claim
+  /// a chunk of this shard's queue but found the shard mutex held (by
+  /// another worker's chunk or a concurrent single-event Match) and moved
+  /// on to steal elsewhere. High values on one shard mean its queue is
+  /// the batch's serialization residue — the signal behind the wall-
+  /// scaling gap the parallel benchmark tracks.
+  uint64_t try_lock_failures = 0;
 
   void Add(const QueryMetrics& m) {
     totals += m;
@@ -61,6 +68,7 @@ struct ShardMetrics {
     if (o.overflow_subscriptions > overflow_subscriptions) {
       overflow_subscriptions = o.overflow_subscriptions;
     }
+    try_lock_failures += o.try_lock_failures;
   }
   void Clear() { *this = ShardMetrics(); }
 };
@@ -142,6 +150,11 @@ struct MatchBatchResult {
   /// (0 for an empty batch). Diagnostics for the epoch subsystem: a stuck
   /// epoch across batches means some reader is wedged pinned.
   uint64_t epoch = 0;
+  /// Residual-serialization counter: failed head-CAS iterations across all
+  /// workers while popping the finalize-ready stack this batch. Nonzero
+  /// means two workers raced for the same ready event — contention on the
+  /// one lock-free structure the pipeline's merge path has.
+  uint64_t ready_pop_retries = 0;
 
   /// Logically empties the result while PRESERVING allocated capacity: the
   /// per-event match vectors and per-shard entries are cleared in place,
@@ -158,6 +171,7 @@ struct MatchBatchResult {
     overflow_shard = kNoOverflowShard;
     routing_version = 0;
     epoch = 0;
+    ready_pop_retries = 0;
   }
 
   /// Recomputes `total` as the shard-order sum of `per_shard` (the

@@ -9,6 +9,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "adapt/pattern_tracker.h"
+#include "adapt/routing_advisor.h"
 #include "durability/checkpoint.h"
 #include "durability/wal.h"
 #include "exec/shard_queues.h"
@@ -32,10 +34,6 @@ uint32_t SliceOf(const std::vector<float>& bounds, float x) {
       std::upper_bound(bounds.begin(), bounds.end(), x) - bounds.begin());
 }
 
-const std::vector<float>& NoBounds() {
-  static const std::vector<float> empty;
-  return empty;
-}
 
 /// Shard-queue positions are executed in fixed chunks of this many queries.
 /// Chunk boundaries are fixed multiples (position p lives in chunk
@@ -103,6 +101,17 @@ struct SubscriptionEngine::PipelineScratch {
   /// Metrics landing zone for the sink overloads (no caller-provided
   /// result object); pooled with the rest of the scratch.
   MatchBatchResult sink_result;
+
+  // ---- Residual-serialization counters (worker-indexed, disjoint;
+  // folded into the result after the fan-out joins) ----
+  /// try_lock_fail[w][s]: worker w's failed claim attempts on shard s.
+  std::vector<std::vector<uint64_t>> try_lock_fail;
+  /// pop_retry[w]: worker w's failed ready-stack head-CAS iterations.
+  std::vector<uint64_t> pop_retry;
+
+  /// Off-lock fold buffer for the adaptive tracker's event sampling
+  /// (pooled here so steady-state batches allocate nothing).
+  adapt::PatternAccumulator pattern;
 };
 
 Event Event::Point(std::vector<float> normalized_point) {
@@ -184,6 +193,47 @@ Status SubscriptionEngine::ValidateOptions(const AttributeSchema& schema,
       }
     }
   }
+  const AdaptiveRoutingOptions& a = o.adaptive;
+  if ((a.enabled || a.overflow_split_shards > 0 || a.fence_dim >= 0 ||
+       a.split_dim >= 0) &&
+      (o.sharding != ShardingPolicy::kRange || custom)) {
+    return Status::InvalidArgument(
+        "adaptive routing (adaptive.enabled / overflow_split_shards / "
+        "fence_dim / split_dim) requires ShardingPolicy::kRange without a "
+        "custom partitioner — other policies have no fence dimension to "
+        "adapt");
+  }
+  if (a.fence_dim >= 0 &&
+      static_cast<uint32_t>(a.fence_dim) >= schema.dims()) {
+    return Status::InvalidArgument(
+        "adaptive.fence_dim must name a schema dimension");
+  }
+  if (a.split_dim >= 0 &&
+      static_cast<uint32_t>(a.split_dim) >= schema.dims()) {
+    return Status::InvalidArgument(
+        "adaptive.split_dim must name a schema dimension");
+  }
+  if (a.enabled) {
+    if (a.sample_window < 1) {
+      return Status::InvalidArgument(
+          "adaptive.sample_window must be >= 1 (a zero window would "
+          "evaluate routing on every event)");
+    }
+    if (!(a.switch_threshold > 1.0)) {
+      return Status::InvalidArgument(
+          "adaptive.switch_threshold must be > 1 (and not NaN) — a "
+          "threshold of 1 or less lets estimation noise flip the fence "
+          "dimension every window");
+    }
+    if (!(a.split_straddler_threshold > 0.0) ||
+        a.split_straddler_threshold > 1.0) {
+      return Status::InvalidArgument(
+          "adaptive.split_straddler_threshold must be in (0, 1]");
+    }
+    if (a.split_patience < 1) {
+      return Status::InvalidArgument("adaptive.split_patience must be >= 1");
+    }
+  }
   // match_threads == 0 is documented as "caller thread does everything".
   return Status::Ok();
 }
@@ -211,37 +261,52 @@ SubscriptionEngine::SubscriptionEngine(AttributeSchema schema,
     std::abort();
   }
   options_.index.nd = schema_.dims();
-  shards_.reserve(options_.shards);
-  for (uint32_t s = 0; s < options_.shards; ++s) {
-    shards_.push_back(std::make_unique<Shard>(options_.index));
-  }
-  std::vector<float> bounds;
+  RoutingPlan plan;
+  uint32_t physical_shards = options_.shards;
   if (options_.sharding == ShardingPolicy::kRange && !options_.partitioner) {
     range_routed_ = true;
-    const uint32_t rk = options_.shards - 1;  // range shards
+    num_range_shards_ = options_.shards - 1;
+    // Split sub-shards are allocated up front (the shard table is never
+    // resized concurrently); they idle — empty and unrouted — until a
+    // split activates. The catch-all overflow shard stays LAST.
+    num_split_shards_ = options_.adaptive.overflow_split_shards;
+    physical_shards = options_.shards + num_split_shards_;
+    plan.dim = options_.adaptive.fence_dim >= 0
+                   ? static_cast<uint32_t>(options_.adaptive.fence_dim)
+                   : 0;
     if (!options_.range_boundaries.empty()) {
-      bounds = options_.range_boundaries;
+      plan.bounds = options_.range_boundaries;
     } else {
-      for (uint32_t i = 1; i < rk; ++i) {
-        bounds.push_back(kDomainMin +
-                         (kDomainMax - kDomainMin) * static_cast<float>(i) /
-                             static_cast<float>(rk));
+      for (uint32_t i = 1; i < num_range_shards_; ++i) {
+        plan.bounds.push_back(
+            kDomainMin + (kDomainMax - kDomainMin) * static_cast<float>(i) /
+                             static_cast<float>(num_range_shards_));
       }
     }
+    if (options_.adaptive.enabled) {
+      tracker_ =
+          std::make_unique<adapt::QueryPatternTracker>(schema_.dims());
+      advisor_ = std::make_unique<adapt::RoutingAdvisor>(options_.adaptive,
+                                                         schema_.dims());
+    }
   }
-  routed_at_reset_.assign(options_.shards, 0);
+  shards_.reserve(physical_shards);
+  for (uint32_t s = 0; s < physical_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(options_.index));
+  }
+  routed_at_reset_.assign(physical_shards, 0);
   // ParallelFor includes the calling thread, so N-way matching needs N-1
   // workers; 0 or 1 requested threads means no pool at all.
   if (options_.match_threads > 1) {
     pool_ = std::make_unique<exec::ThreadPool>(options_.match_threads - 1);
     // Epoch-retire amortization: superseded routing snapshots are freed by
     // idle pool workers (TryReclaim is non-blocking and safe concurrently),
-    // not inline by the publisher — see ApplyBoundariesLocked's WaitGrace.
+    // not inline by the publisher — see ApplyRoutingLocked's WaitGrace.
     // Safe lifetime: ~SubscriptionEngine joins the pool before epoch_ dies.
     pool_->SetIdleHook([this] { epoch_.TryReclaim(); });
   }
   auto* snap = new RoutingSnapshot();
-  snap->bounds = std::move(bounds);
+  snap->plan = std::move(plan);
   snap->version = 1;
   snap->shards.reserve(shards_.size());
   for (const auto& sh : shards_) snap->shards.push_back(sh.get());
@@ -254,10 +319,10 @@ SubscriptionEngine::~SubscriptionEngine() {
   delete snapshot_.load(std::memory_order_acquire);
 }
 
-void SubscriptionEngine::PublishSnapshot(std::vector<float> bounds) {
+void SubscriptionEngine::PublishSnapshot(RoutingPlan plan) {
   const RoutingSnapshot* old = SnapshotUnderRebalanceLock();
   auto* next = new RoutingSnapshot();
-  next->bounds = std::move(bounds);
+  next->plan = std::move(plan);
   next->version = old->version + 1;
   next->shards = old->shards;
   // seq_cst swap: a reader whose pin the next grace-period scan does not
@@ -267,27 +332,51 @@ void SubscriptionEngine::PublishSnapshot(std::vector<float> bounds) {
   epoch_.Retire([old] { delete old; });
 }
 
-uint32_t SubscriptionEngine::RangeShardFor(const std::vector<float>& bounds,
-                                           float lo0, float hi0) const {
-  const uint32_t a = SliceOf(bounds, lo0);
-  const uint32_t b = SliceOf(bounds, hi0);
-  return a == b ? a : static_cast<uint32_t>(shards_.size() - 1);
+template <typename B>
+uint32_t SubscriptionEngine::RangeShardFor(const RoutingPlan& plan,
+                                           const B& box) const {
+  const Dim fd = static_cast<Dim>(plan.dim);
+  const uint32_t a = SliceOf(plan.bounds, box.lo(fd));
+  const uint32_t b = SliceOf(plan.bounds, box.hi(fd));
+  if (a == b) return a;
+  // Fence straddler. With an active split, a straddler whose
+  // split-dimension interval fits one split slice lives in that sub-shard;
+  // only double-straddlers fall through to the catch-all overflow shard.
+  if (plan.split_dim >= 0) {
+    const Dim sd = static_cast<Dim>(plan.split_dim);
+    const uint32_t ja = SliceOf(plan.split_bounds, box.lo(sd));
+    const uint32_t jb = SliceOf(plan.split_bounds, box.hi(sd));
+    if (ja == jb) return num_range_shards_ + ja;
+  }
+  return static_cast<uint32_t>(shards_.size() - 1);
 }
 
-void SubscriptionEngine::RouteEvent(const std::vector<float>& bounds,
-                                    const Box& box,
+void SubscriptionEngine::RouteEvent(const RoutingPlan& plan, const Box& box,
                                     std::vector<uint32_t>* out) const {
-  // The slice span of the event's leading-dimension interval, then the
-  // overflow shard (always last; its id K-1 exceeds every slice shard's, so
-  // the route list stays ascending).
-  const uint32_t a = SliceOf(bounds, box.lo(0));
-  const uint32_t b = SliceOf(bounds, box.hi(0));
+  // The slice span of the event's fence-dimension interval, then (split
+  // active) the sub-shards its split-dimension interval overlaps, then the
+  // catch-all overflow shard. Sub-shard ids sit strictly between the slice
+  // ids and the catch-all's, so the route list stays ascending — which the
+  // pipeline's deterministic per-shard execution order relies on. Routing
+  // stays exact: every supported relation implies per-dimension interval
+  // overlap, so an event overlaps a sub-shard resident's split slice span.
+  const Dim fd = static_cast<Dim>(plan.dim);
+  const uint32_t a = SliceOf(plan.bounds, box.lo(fd));
+  const uint32_t b = SliceOf(plan.bounds, box.hi(fd));
   for (uint32_t s = a; s <= b; ++s) out->push_back(s);
+  if (plan.split_dim >= 0) {
+    const Dim sd = static_cast<Dim>(plan.split_dim);
+    const uint32_t ja = SliceOf(plan.split_bounds, box.lo(sd));
+    const uint32_t jb = SliceOf(plan.split_bounds, box.hi(sd));
+    for (uint32_t j = ja; j <= jb; ++j) {
+      out->push_back(num_range_shards_ + j);
+    }
+  }
   out->push_back(static_cast<uint32_t>(shards_.size() - 1));
 }
 
 uint32_t SubscriptionEngine::ShardFor(SubscriptionId id, const Box& box,
-                                      const std::vector<float>& bounds) const {
+                                      const RoutingPlan& plan) const {
   const uint32_t k = static_cast<uint32_t>(shards_.size());
   if (k == 1) return 0;
   if (options_.partitioner) return options_.partitioner(id, box, k) % k;
@@ -300,7 +389,7 @@ uint32_t SubscriptionEngine::ShardFor(SubscriptionId id, const Box& box,
                                  clamped * static_cast<float>(k)));
     }
     case ShardingPolicy::kRange:
-      return RangeShardFor(bounds, box.lo(0), box.hi(0));
+      return RangeShardFor(plan, box);
     case ShardingPolicy::kHashId:
       break;
   }
@@ -347,13 +436,14 @@ void SubscriptionEngine::ApplySubscribe(SubscriptionId id, const Box& box) {
   // subscription (so we route with the new table) or after it (so its
   // migration scan sees our insert). Matching needs no lock we hold, so it
   // proceeds throughout.
+  static const RoutingPlan kNoPlan;
   std::unique_lock<std::mutex> rebalance_lk;
-  const std::vector<float>* bounds = &NoBounds();
+  const RoutingPlan* plan = &kNoPlan;
   if (range_routed_) {
     rebalance_lk = std::unique_lock<std::mutex>(rebalance_mu_);
-    bounds = &SnapshotUnderRebalanceLock()->bounds;
+    plan = &SnapshotUnderRebalanceLock()->plan;
   }
-  const uint32_t s = ShardFor(id, box, *bounds);
+  const uint32_t s = ShardFor(id, box, *plan);
   {
     std::lock_guard<std::mutex> lk(shards_[s]->mu);
     shards_[s]->index->Insert(id, box.view());
@@ -368,6 +458,8 @@ void SubscriptionEngine::ApplySubscribe(SubscriptionId id, const Box& box) {
     shard_of_.emplace(id, s);
     subscription_count_.fetch_add(1, std::memory_order_relaxed);
   }
+  rebalance_lk = {};  // tracker sampling needs no routing consistency
+  if (tracker_ != nullptr) tracker_->RecordSubscription(box);
 }
 
 void SubscriptionEngine::SubscribeBatch(Span<const Box> boxes,
@@ -416,11 +508,12 @@ void SubscriptionEngine::ApplySubscribeBatch(SubscriptionId first,
   // grouped insert so a boundary change serializes entirely before or
   // after the batch; matching routes with the epoch-published snapshot and
   // proceeds throughout.
+  static const RoutingPlan kNoPlan;
   std::unique_lock<std::mutex> rebalance_lk;
-  const std::vector<float>* bounds = &NoBounds();
+  const RoutingPlan* plan = &kNoPlan;
   if (range_routed_) {
     rebalance_lk = std::unique_lock<std::mutex>(rebalance_mu_);
-    bounds = &SnapshotUnderRebalanceLock()->bounds;
+    plan = &SnapshotUnderRebalanceLock()->plan;
   }
 
   // Group per target shard; each queue keeps batch order, so the per-shard
@@ -429,7 +522,7 @@ void SubscriptionEngine::ApplySubscribeBatch(SubscriptionId first,
   exec::ShardQueues queues;
   queues.Build(n, shards_.size(), [&](size_t i, std::vector<uint32_t>* t) {
     t->push_back(
-        ShardFor(first + static_cast<SubscriptionId>(i), boxes[i], *bounds));
+        ShardFor(first + static_cast<SubscriptionId>(i), boxes[i], *plan));
   });
 
   for (size_t s = 0; s < shards_.size(); ++s) {
@@ -454,6 +547,15 @@ void SubscriptionEngine::ApplySubscribeBatch(SubscriptionId first,
       }
     }
     subscription_count_.fetch_add(n, std::memory_order_relaxed);
+  }
+  rebalance_lk = {};
+  if (tracker_ != nullptr) {
+    // Fold the whole batch off the tracker lock, merge once (the stats
+    // discipline every hot path here follows).
+    adapt::PatternAccumulator acc;
+    acc.Reset(schema_.dims());
+    for (const Box& b : boxes) acc.AddSubscription(b);
+    tracker_->Record(acc);
   }
 }
 
@@ -538,7 +640,17 @@ std::vector<float> SubscriptionEngine::GetRangeBoundaries() const {
   exec::EpochManager::Guard guard = epoch_.Pin();
   // The copy happens while pinned; the guard dies after the return value
   // is constructed.
-  return snapshot_.load(std::memory_order_seq_cst)->bounds;
+  return snapshot_.load(std::memory_order_seq_cst)->plan.bounds;
+}
+
+uint32_t SubscriptionEngine::routing_dimension() const {
+  exec::EpochManager::Guard guard = epoch_.Pin();
+  return snapshot_.load(std::memory_order_seq_cst)->plan.dim;
+}
+
+int32_t SubscriptionEngine::overflow_split_dimension() const {
+  exec::EpochManager::Guard guard = epoch_.Pin();
+  return snapshot_.load(std::memory_order_seq_cst)->plan.split_dim;
 }
 
 uint64_t SubscriptionEngine::routing_version() const {
@@ -586,7 +698,12 @@ void SubscriptionEngine::CaptureDurableImage(
   }
   exec::EpochManager::Guard guard = epoch_.Pin();
   const RoutingSnapshot* snap = snapshot_.load(std::memory_order_seq_cst);
-  out->fences = snap->bounds;
+  // The image stores the fence positions only: the learned fence DIMENSION
+  // and overflow split are runtime state and reset to the configured
+  // initial on recovery (the tracker re-learns them from live traffic;
+  // routing stays exact either way because residency is always computed
+  // under the recovering engine's own snapshot).
+  out->fences = snap->plan.bounds;
   out->routing_version = snap->version;
   const size_t stride = 2 * static_cast<size_t>(schema_.dims());
   std::unordered_set<SubscriptionId> seen;
@@ -605,11 +722,12 @@ void SubscriptionEngine::RestoreSubscriptions(Span<const SubscriptionId> ids,
   const size_t n = ids.size();
   if (n == 0) return;
   const size_t stride = 2 * static_cast<size_t>(schema_.dims());
+  static const RoutingPlan kNoPlan;
   std::unique_lock<std::mutex> rebalance_lk;
-  const std::vector<float>* bounds = &NoBounds();
+  const RoutingPlan* plan = &kNoPlan;
   if (range_routed_) {
     rebalance_lk = std::unique_lock<std::mutex>(rebalance_mu_);
-    bounds = &SnapshotUnderRebalanceLock()->bounds;
+    plan = &SnapshotUnderRebalanceLock()->plan;
   }
   // Group per target shard (the SubscribeBatch fast path) and land each
   // group with one BulkInsert behind one lock acquisition.
@@ -617,7 +735,7 @@ void SubscriptionEngine::RestoreSubscriptions(Span<const SubscriptionId> ids,
   queues.Build(n, shards_.size(), [&](size_t i, std::vector<uint32_t>* t) {
     t->push_back(ShardFor(ids[i], Box(BoxView(coords + i * stride,
                                               schema_.dims())),
-                          *bounds));
+                          *plan));
   });
   SubscriptionId max_id = 0;
   for (size_t s = 0; s < shards_.size(); ++s) {
@@ -700,7 +818,7 @@ void SubscriptionEngine::Match(const Event& event, MatchPolicy policy,
     if (range_routed_) {
       const size_t first = out->size();
       std::vector<uint32_t> route;
-      RouteEvent(snap->bounds, event.box, &route);
+      RouteEvent(snap->plan, event.box, &route);
       for (const uint32_t s : route) run(*snap->shards[s]);
       // A migrating subscription may be double-resident in two routed
       // shards; the ObjectId sort makes duplicates adjacent and one
@@ -712,10 +830,12 @@ void SubscriptionEngine::Match(const Event& event, MatchPolicy policy,
     } else {
       for (const auto& sh : shards_) matched += run(*sh);
     }
-  }  // unpin before MaybeAutoRebalance: its grace-period wait would
-     // otherwise deadlock on our own pin
+  }  // unpin before MaybeAutoRebalance/MaybeAutoAdapt: their grace-period
+     // waits would otherwise deadlock on our own pin
   RecordEvent(matched, verified, t.ElapsedMs());
+  if (tracker_ != nullptr) tracker_->RecordEvent(event.box);
   MaybeAutoRebalance(1);
+  MaybeAutoAdapt(1);
 }
 
 void SubscriptionEngine::MatchBatch(Span<const Event> events,
@@ -821,7 +941,7 @@ void SubscriptionEngine::MatchBatchImpl(Span<const Event> events,
   // shares, which shards each event's box overlaps.
   if (range_routed_) {
     ps.queues.Build(ne, k, [&](size_t e, std::vector<uint32_t>* targets) {
-      RouteEvent(snap->bounds, events[e].box, targets);
+      RouteEvent(snap->plan, events[e].box, targets);
     });
     // Overflow-pressure gauge: resident (owned) subscriptions in the
     // overflow shard at dispatch time. overflow_shard names the entry so
@@ -880,6 +1000,11 @@ void SubscriptionEngine::MatchBatchImpl(Span<const Event> events,
           : 1;
   if (ps.gather.size() < workers) ps.gather.resize(workers);
   if (ps.worker_query.size() < workers) ps.worker_query.resize(workers);
+  // Residual-serialization counters: one row per worker (disjoint writes),
+  // folded below after the fan-out joins.
+  if (ps.try_lock_fail.size() < workers) ps.try_lock_fail.resize(workers);
+  for (size_t w = 0; w < workers; ++w) ps.try_lock_fail[w].assign(k, 0);
+  ps.pop_retry.assign(workers, 0);
 
   if (workers > 1) {
     pool_->ParallelForDynamic(workers, [&](size_t w) {
@@ -894,6 +1019,12 @@ void SubscriptionEngine::MatchBatchImpl(Span<const Event> events,
   // not run pinned.
   guard.Release();
 
+  for (size_t w = 0; w < workers; ++w) {
+    for (size_t s = 0; s < k; ++s) {
+      res->per_shard[s].try_lock_failures += ps.try_lock_fail[w][s];
+    }
+    res->ready_pop_retries += ps.pop_retry[w];
+  }
   res->AggregateShards();
   // Latency is read after the fan-out drains so the batch path reports the
   // same end-to-end per-event cost Match() reports for its full path.
@@ -914,8 +1045,15 @@ void SubscriptionEngine::MatchBatchImpl(Span<const Event> events,
     stats_.matches_per_event.Merge(matched_sum);
     stats_.verified_per_event.Merge(verified_sum);
   }
+  if (tracker_ != nullptr) {
+    // Off-lock fold (pooled accumulator), one tracker merge per batch.
+    ps.pattern.Reset(schema_.dims());
+    for (size_t e = 0; e < ne; ++e) ps.pattern.AddEvent(events[e].box);
+    tracker_->Record(ps.pattern);
+  }
   ReleaseScratch(std::move(scratch));
   MaybeAutoRebalance(ne);
+  MaybeAutoAdapt(ne);
 }
 
 void SubscriptionEngine::RunPipelineWorker(size_t worker_id,
@@ -973,6 +1111,7 @@ void SubscriptionEngine::RunPipelineWorker(size_t worker_id,
                             head, ps.ready_next[head],
                             std::memory_order_acq_rel,
                             std::memory_order_acquire)) {
+      ++ps.pop_retry[worker_id];  // lost the head race to another worker
     }
     return head;
   };
@@ -1052,7 +1191,10 @@ void SubscriptionEngine::RunPipelineWorker(size_t worker_id,
       }
       if (first_pending == k) first_pending = s;
       Shard& sh = *snap->shards[s];
-      if (!sh.mu.try_lock()) continue;  // busy: steal from the next shard
+      if (!sh.mu.try_lock()) {  // busy: steal from the next shard
+        ++ps.try_lock_fail[worker_id][s];
+        continue;
+      }
       const auto [p, end] = exec_chunk_locked(s);
       sh.mu.unlock();
       if (p != end) {
@@ -1106,28 +1248,199 @@ void SubscriptionEngine::MaybeAutoRebalance(uint64_t events) {
   rebalance_inflight_.store(false, std::memory_order_release);
 }
 
+void SubscriptionEngine::MaybeAutoAdapt(uint64_t events) {
+  if (tracker_ == nullptr) return;
+  if (adapt_events_since_window_.fetch_add(events,
+                                           std::memory_order_relaxed) +
+          events <
+      options_.adaptive.sample_window) {
+    return;
+  }
+  // Same deterministic-skip discipline as MaybeAutoRebalance: an atomic
+  // flag, not mutex try_lock, so single-caller sequences never skip a
+  // window at random.
+  if (adapt_inflight_.exchange(true, std::memory_order_acquire)) return;
+  {
+    std::lock_guard<std::mutex> lk(rebalance_mu_);
+    adapt_events_since_window_.store(0, std::memory_order_relaxed);
+    EvaluateAdaptiveLocked();
+  }
+  adapt_inflight_.store(false, std::memory_order_release);
+}
+
+bool SubscriptionEngine::EvaluateAdaptiveLocked() {
+  windows_evaluated_.fetch_add(1, std::memory_order_relaxed);
+  const adapt::PatternSnapshot pattern = tracker_->Snapshot();
+  tracker_->AdvanceWindow();
+  const RoutingPlan& cur = SnapshotUnderRebalanceLock()->plan;
+
+  adapt::AdvisorState st;
+  st.current_dim = cur.dim;
+  st.split_active = cur.split_dim >= 0;
+  st.range_slices = num_range_shards_;
+  st.split_slices = num_split_shards_;
+  st.overflow_residents =
+      shards_.back()->subs.load(std::memory_order_relaxed);
+  st.planner_predicted_spill =
+      predicted_spill_last_.load(std::memory_order_relaxed);
+  st.total_subscriptions =
+      subscription_count_.load(std::memory_order_relaxed);
+
+  adapt::RoutingDecision d = advisor_->Evaluate(pattern, st);
+  {
+    std::lock_guard<std::mutex> lk(adapt_estimates_mu_);
+    last_estimates_ = std::move(d.estimates);
+  }
+  switch (d.kind) {
+    case adapt::RoutingDecision::Kind::kNone:
+      return false;
+    case adapt::RoutingDecision::Kind::kSwitchDimension: {
+      // Re-fence on the winning dimension; any resident anywhere may
+      // re-route (straddlers become non-straddlers and vice versa), so
+      // the scan covers every shard. An active split dies with the old
+      // dimension's straddler population.
+      RoutingPlan plan;
+      plan.dim = d.dim;
+      plan.bounds = std::move(d.fences);
+      ApplyRoutingLocked(std::move(plan), AllShardIds());
+      dimension_switches_.fetch_add(1, std::memory_order_relaxed);
+      // The old pattern argued for this switch; it must not immediately
+      // argue again. The rebalancer's load window resets with it.
+      tracker_->ResetWindow();
+      for (size_t s = 0; s < shards_.size(); ++s) {
+        routed_at_reset_[s] =
+            shards_[s]->routed.load(std::memory_order_relaxed);
+      }
+      return true;
+    }
+    case adapt::RoutingDecision::Kind::kSplitOverflow: {
+      RoutingPlan plan = cur;
+      plan.split_dim = static_cast<int32_t>(d.dim);
+      plan.split_bounds = std::move(d.fences);
+      const size_t moved =
+          ApplyRoutingLocked(std::move(plan), OverflowShardIds());
+      overflow_splits_.fetch_add(1, std::memory_order_relaxed);
+      straddlers_split_.fetch_add(moved, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+AdaptiveRoutingStats SubscriptionEngine::adaptive_stats() const {
+  AdaptiveRoutingStats st;
+  st.enabled = tracker_ != nullptr;
+  {
+    exec::EpochManager::Guard guard = epoch_.Pin();
+    const RoutingSnapshot* snap = snapshot_.load(std::memory_order_seq_cst);
+    st.fence_dimension = snap->plan.dim;
+    st.split_dimension = snap->plan.split_dim;
+  }
+  st.dimension_switches =
+      dimension_switches_.load(std::memory_order_relaxed);
+  st.overflow_splits = overflow_splits_.load(std::memory_order_relaxed);
+  st.windows_evaluated = windows_evaluated_.load(std::memory_order_relaxed);
+  if (tracker_ != nullptr) {
+    st.events_observed = tracker_->events_observed();
+    st.subscriptions_observed = tracker_->subscriptions_observed();
+  }
+  {
+    std::lock_guard<std::mutex> lk(adapt_estimates_mu_);
+    st.last_estimates = last_estimates_;
+  }
+  return st;
+}
+
 bool SubscriptionEngine::RebalanceOnce() {
   if (!range_routed_) return false;
   std::lock_guard<std::mutex> lk(rebalance_mu_);
   return RebalanceLocked(/*force=*/true);
 }
 
+std::vector<uint32_t> SubscriptionEngine::AllShardIds() const {
+  std::vector<uint32_t> all(shards_.size());
+  std::iota(all.begin(), all.end(), 0u);
+  return all;
+}
+
+std::vector<uint32_t> SubscriptionEngine::OverflowShardIds() const {
+  std::vector<uint32_t> ids;
+  for (uint32_t s = num_range_shards_; s < shards_.size(); ++s) {
+    ids.push_back(s);
+  }
+  return ids;
+}
+
 bool SubscriptionEngine::SetRangeBoundaries(const std::vector<float>& bounds) {
   if (!range_routed_) return false;
-  if (bounds.size() != shards_.size() - 2) return false;
+  if (bounds.size() != static_cast<size_t>(num_range_shards_) - 1) {
+    return false;
+  }
   for (size_t i = 1; i < bounds.size(); ++i) {
     if (!(bounds[i - 1] < bounds[i])) return false;
   }
   std::lock_guard<std::mutex> lk(rebalance_mu_);
   // Arbitrary table change: any shard may hold re-routed residents, so the
-  // migration scan covers all of them (overflow drains too).
-  std::vector<uint32_t> all(shards_.size());
-  std::iota(all.begin(), all.end(), 0u);
-  ApplyBoundariesLocked(bounds, all);
+  // migration scan covers all of them (overflow drains too). The fence
+  // dimension and split state carry over unchanged.
+  RoutingPlan plan = SnapshotUnderRebalanceLock()->plan;
+  plan.bounds = bounds;
+  ApplyRoutingLocked(std::move(plan), AllShardIds());
   boundary_moves_.fetch_add(1, std::memory_order_relaxed);
   for (size_t s = 0; s < shards_.size(); ++s) {
     routed_at_reset_[s] = shards_[s]->routed.load(std::memory_order_relaxed);
   }
+  return true;
+}
+
+bool SubscriptionEngine::SetRoutingDimension(uint32_t dim) {
+  if (!range_routed_ || dim >= schema_.dims()) return false;
+  std::lock_guard<std::mutex> lk(rebalance_mu_);
+  const RoutingPlan& cur = SnapshotUnderRebalanceLock()->plan;
+  if (cur.dim == dim) return true;
+  RoutingPlan plan;
+  plan.dim = dim;
+  plan.bounds = cur.bounds;  // positions retained; the straddler SET changes
+  // An active split is cleared: its slicing was chosen against the old
+  // dimension's straddler population.
+  ApplyRoutingLocked(std::move(plan), AllShardIds());
+  dimension_switches_.fetch_add(1, std::memory_order_relaxed);
+  if (tracker_ != nullptr) tracker_->ResetWindow();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    routed_at_reset_[s] = shards_[s]->routed.load(std::memory_order_relaxed);
+  }
+  return true;
+}
+
+bool SubscriptionEngine::SetOverflowSplit(uint32_t dim,
+                                          const std::vector<float>& fences) {
+  if (!range_routed_ || num_split_shards_ == 0 || dim >= schema_.dims()) {
+    return false;
+  }
+  if (fences.size() + 1 > num_split_shards_) return false;
+  for (size_t i = 1; i < fences.size(); ++i) {
+    if (!(fences[i - 1] < fences[i])) return false;
+  }
+  std::lock_guard<std::mutex> lk(rebalance_mu_);
+  RoutingPlan plan = SnapshotUnderRebalanceLock()->plan;
+  plan.split_dim = static_cast<int32_t>(dim);
+  plan.split_bounds = fences;
+  // Only the overflow family can re-route: range-slice residents are not
+  // straddlers, so their home is unaffected by split fences.
+  const size_t moved = ApplyRoutingLocked(std::move(plan), OverflowShardIds());
+  overflow_splits_.fetch_add(1, std::memory_order_relaxed);
+  straddlers_split_.fetch_add(moved, std::memory_order_relaxed);
+  return true;
+}
+
+bool SubscriptionEngine::ClearOverflowSplit() {
+  if (!range_routed_) return false;
+  std::lock_guard<std::mutex> lk(rebalance_mu_);
+  RoutingPlan plan = SnapshotUnderRebalanceLock()->plan;
+  if (plan.split_dim < 0) return true;
+  plan.split_dim = -1;
+  plan.split_bounds.clear();
+  ApplyRoutingLocked(std::move(plan), OverflowShardIds());
   return true;
 }
 
@@ -1136,7 +1449,7 @@ SubscriptionEngine::GetRebalanceLoadSnapshot() const {
   RebalanceLoadSnapshot snap;
   if (!range_routed_) return snap;
   std::lock_guard<std::mutex> lk(rebalance_mu_);
-  const size_t rk = shards_.size() - 1;
+  const size_t rk = num_range_shards_;
   snap.range_loads.resize(rk);
   for (size_t s = 0; s < rk; ++s) {
     const uint64_t window =
@@ -1145,8 +1458,12 @@ SubscriptionEngine::GetRebalanceLoadSnapshot() const {
     snap.range_loads[s] =
         shards_[s]->subs.load(std::memory_order_relaxed) + window;
   }
-  snap.overflow_subscriptions =
-      shards_[rk]->subs.load(std::memory_order_relaxed);
+  // The whole overflow family: split sub-shards plus the catch-all (every
+  // resident there is a straddler of the current primary fences).
+  for (size_t s = rk; s < shards_.size(); ++s) {
+    snap.overflow_subscriptions +=
+        shards_[s]->subs.load(std::memory_order_relaxed);
+  }
   snap.total_subscriptions =
       subscription_count_.load(std::memory_order_relaxed);
   snap.straddler_fraction =
@@ -1158,7 +1475,7 @@ SubscriptionEngine::GetRebalanceLoadSnapshot() const {
 }
 
 bool SubscriptionEngine::RebalanceLocked(bool force) {
-  const size_t rk = shards_.size() - 1;  // range shards; overflow excluded
+  const size_t rk = num_range_shards_;  // overflow family excluded
   if (rk < 2) return false;
 
   // Window loads: resident subscriptions plus events routed since the last
@@ -1199,8 +1516,10 @@ bool SubscriptionEngine::RebalanceLocked(bool force) {
   const size_t h = load[best_f] >= load[best_f + 1] ? best_f : best_f + 1;
   const size_t l = h == best_f ? best_f + 1 : best_f;
 
-  std::vector<float> bounds = SnapshotUnderRebalanceLock()->bounds;
-  // Donor residents' leading-dimension extents. The move is ranked by the
+  RoutingPlan plan = SnapshotUnderRebalanceLock()->plan;
+  std::vector<float>& bounds = plan.bounds;
+  const Dim dim = static_cast<Dim>(plan.dim);
+  // Donor residents' fence-dimension extents. The move is ranked by the
   // endpoint FACING the receiver: a donor resident leaves when the moving
   // fence passes that endpoint — shedding downward, every box with
   // lo0 < fence leaves (to the receiver if it fits, to overflow if it
@@ -1217,7 +1536,7 @@ bool SubscriptionEngine::RebalanceLocked(bool force) {
     std::lock_guard<std::mutex> lk(shards_[h]->mu);
     exts.reserve(shards_[h]->index->size());
     shards_[h]->index->ForEachObject([&](ObjectId, BoxView b) {
-      exts.emplace_back(b.lo(0), b.hi(0));
+      exts.emplace_back(b.lo(dim), b.hi(dim));
     });
   }
   if (exts.size() < 2) return false;
@@ -1321,12 +1640,14 @@ bool SubscriptionEngine::RebalanceLocked(bool force) {
   predicted_spill_last_.store(best_spill, std::memory_order_relaxed);
   predicted_spill_total_.fetch_add(best_spill, std::memory_order_relaxed);
 
-  // Only the donor's residents and the overflow shard's straddlers can be
-  // re-routed by a single-fence move (the receiver's slice only grew), so
-  // the migration scan — and its locks — touch exactly those two shards.
-  ApplyBoundariesLocked(std::move(bounds),
-                        {static_cast<uint32_t>(h),
-                         static_cast<uint32_t>(shards_.size() - 1)});
+  // Only the donor's residents and the overflow family's straddlers can
+  // be re-routed by a single-fence move (the receiver's slice only grew),
+  // so the migration scan — and its locks — touch exactly those shards.
+  // The family includes active split sub-shards: the moved fence can
+  // un-straddle their residents too.
+  std::vector<uint32_t> scan{static_cast<uint32_t>(h)};
+  for (const uint32_t s : OverflowShardIds()) scan.push_back(s);
+  ApplyRoutingLocked(std::move(plan), scan);
   boundary_moves_.fetch_add(1, std::memory_order_relaxed);
   for (size_t s = 0; s < shards_.size(); ++s) {
     routed_at_reset_[s] = shards_[s]->routed.load(std::memory_order_relaxed);
@@ -1334,8 +1655,8 @@ bool SubscriptionEngine::RebalanceLocked(bool force) {
   return true;
 }
 
-size_t SubscriptionEngine::ApplyBoundariesLocked(
-    std::vector<float> new_bounds, const std::vector<uint32_t>& scan_shards) {
+size_t SubscriptionEngine::ApplyRoutingLocked(
+    RoutingPlan plan, const std::vector<uint32_t>& scan_shards) {
   const size_t stride = 2 * static_cast<size_t>(schema_.dims());
 
   // Phase 1 — scan: collect the residents the new table routes elsewhere.
@@ -1354,20 +1675,20 @@ size_t SubscriptionEngine::ApplyBoundariesLocked(
   std::vector<SrcPlan> plans;
   plans.reserve(scan_shards.size());
   for (const uint32_t src : scan_shards) {
-    SrcPlan plan;
-    plan.src = src;
-    plan.outgoing.resize(shards_.size());
+    SrcPlan sp;
+    sp.src = src;
+    sp.outgoing.resize(shards_.size());
     {
       std::lock_guard<std::mutex> lk(shards_[src]->mu);
       shards_[src]->index->ForEachObject([&](ObjectId id, BoxView b) {
-        const uint32_t dst = RangeShardFor(new_bounds, b.lo(0), b.hi(0));
+        const uint32_t dst = RangeShardFor(plan, b);
         if (dst == src) return;
-        Outgoing& o = plan.outgoing[dst];
+        Outgoing& o = sp.outgoing[dst];
         o.ids.push_back(id);
         o.coords.insert(o.coords.end(), b.data(), b.data() + stride);
       });
     }
-    plans.push_back(std::move(plan));
+    plans.push_back(std::move(sp));
   }
 
   // Phase 2 — double-residency inserts: each moving subscription is copied
@@ -1378,9 +1699,9 @@ size_t SubscriptionEngine::ApplyBoundariesLocked(
   // source copies; a route covering both shards finds two copies, which
   // the match-side adjacent-unique pass removes.
   size_t migrated = 0;
-  for (SrcPlan& plan : plans) {
+  for (SrcPlan& sp : plans) {
     for (uint32_t dst = 0; dst < shards_.size(); ++dst) {
-      Outgoing& o = plan.outgoing[dst];
+      Outgoing& o = sp.outgoing[dst];
       if (o.ids.empty()) continue;
       std::scoped_lock lk(meta_mu_, shards_[dst]->mu);
       std::vector<ObjectId> ins_ids;
@@ -1391,12 +1712,12 @@ size_t SubscriptionEngine::ApplyBoundariesLocked(
         const ObjectId id = o.ids[i];
         auto it = shard_of_.find(id);
         // Unsubscribed between scan and insert: nothing to migrate.
-        if (it == shard_of_.end() || it->second != plan.src) continue;
+        if (it == shard_of_.end() || it->second != sp.src) continue;
         ins_ids.push_back(id);
         ins_coords.insert(ins_coords.end(), o.coords.begin() + i * stride,
                           o.coords.begin() + (i + 1) * stride);
         second_home_.emplace(id, dst);
-        plan.moved.emplace_back(id, dst);
+        sp.moved.emplace_back(id, dst);
       }
       shards_[dst]->index->BulkInsert(
           Span<const ObjectId>(ins_ids.data(), ins_ids.size()),
@@ -1411,7 +1732,7 @@ size_t SubscriptionEngine::ApplyBoundariesLocked(
   // loaded the new snapshot (seq_cst publish ordering). Readers of the new
   // table find the moving subscriptions at their destinations, so the
   // source copies below are dead weight for every possible reader.
-  PublishSnapshot(std::move(new_bounds));
+  PublishSnapshot(std::move(plan));
   // Wait out the grace period but do NOT reclaim inline: retire work is
   // amortized into pool idle time (the idle hook runs TryReclaim), so the
   // publisher's wall cost is just the grace wait. Pool-less engines have
@@ -1422,28 +1743,28 @@ size_t SubscriptionEngine::ApplyBoundariesLocked(
   // Phase 4 — deferred source cleanup: flip ownership and bulk-erase the
   // stale source copies. An id whose second_home_ entry is gone was
   // unsubscribed mid-migration (Unsubscribe erased both copies); skip it.
-  for (SrcPlan& plan : plans) {
-    if (plan.moved.empty()) continue;
-    std::scoped_lock lk(meta_mu_, shards_[plan.src]->mu);
+  for (SrcPlan& sp : plans) {
+    if (sp.moved.empty()) continue;
+    std::scoped_lock lk(meta_mu_, shards_[sp.src]->mu);
     std::vector<ObjectId> erase_ids;
-    erase_ids.reserve(plan.moved.size());
+    erase_ids.reserve(sp.moved.size());
     std::vector<size_t> flips(shards_.size(), 0);
-    for (const auto& [id, dst] : plan.moved) {
+    for (const auto& [id, dst] : sp.moved) {
       auto jt = second_home_.find(id);
       if (jt == second_home_.end()) continue;  // unsubscribed mid-flight
       ACCL_DCHECK(jt->second == dst);
       second_home_.erase(jt);
       auto it = shard_of_.find(id);
-      ACCL_CHECK(it != shard_of_.end() && it->second == plan.src);
+      ACCL_CHECK(it != shard_of_.end() && it->second == sp.src);
       it->second = dst;
       erase_ids.push_back(id);
       ++flips[dst];
     }
-    const size_t erased = shards_[plan.src]->index->BulkErase(
+    const size_t erased = shards_[sp.src]->index->BulkErase(
         Span<const ObjectId>(erase_ids.data(), erase_ids.size()));
     ACCL_CHECK(erased == erase_ids.size());
-    shards_[plan.src]->subs.fetch_sub(erase_ids.size(),
-                                      std::memory_order_relaxed);
+    shards_[sp.src]->subs.fetch_sub(erase_ids.size(),
+                                    std::memory_order_relaxed);
     for (uint32_t d = 0; d < shards_.size(); ++d) {
       if (flips[d] != 0) {
         shards_[d]->subs.fetch_add(flips[d], std::memory_order_relaxed);

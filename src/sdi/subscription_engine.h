@@ -20,13 +20,31 @@
 // concurrency.
 //
 // Range-routed dispatch (ShardingPolicy::kRange): shards 0..K-2 own
-// contiguous slices of the leading dimension's domain, delimited by a
-// sorted boundary array; shard K-1 is the *overflow* shard holding every
-// subscription whose leading-dimension interval straddles a boundary. An
-// event is dispatched only to the shards whose slice its box overlaps
-// (two binary searches) plus the overflow shard — never broadcast — and
-// because any spatial relation the engine supports implies interval
-// overlap in every dimension, the routed match sets stay exact.
+// contiguous slices of the *fence dimension's* domain (dimension 0 by
+// default; configurable, and switched online by the adaptive subsystem —
+// see below), delimited by a sorted boundary array; the last shard is the
+// *overflow* shard holding every subscription whose fence-dimension
+// interval straddles a boundary. An event is dispatched only to the
+// shards whose slice its box overlaps (two binary searches) plus the
+// overflow shard — never broadcast — and because any spatial relation the
+// engine supports implies interval overlap in every dimension, the routed
+// match sets stay exact.
+//
+// Workload-adaptive routing (src/adapt/, EngineOptions::adaptive): a
+// lock-cheap QueryPatternTracker samples per-dimension event/subscription
+// interval histograms on the match and subscribe paths; every
+// sample_window events a RoutingAdvisor compares the predicted routing
+// selectivity of every candidate fence dimension (SelectivityAnalyzer)
+// and, when another dimension is predicted switch_threshold× more
+// selective, re-fences the engine on that dimension online — through the
+// same epoch-snapshot + double-residency migration rebalancing uses, so
+// match sets stay exact throughout. When the overflow shard stays hot
+// under well-placed fences (sustained straddler pressure, fed by the
+// rebalance planner's predicted_straddler_spill signal), the advisor
+// splits it on a second dimension into pre-allocated sub-shards: a
+// straddler whose split-dimension interval fits one split slice moves to
+// that sub-shard, and events visit only the sub-shards their own
+// split-dimension interval overlaps instead of one monolithic overflow.
 //
 // Epoch-published routing snapshots: the fence array, the shard handle
 // table and a version number live in one immutable RoutingSnapshot behind
@@ -52,6 +70,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "api/adaptive_routing.h"
 #include "api/batch.h"
 #include "api/durability.h"
 #include "api/schema.h"
@@ -70,6 +89,11 @@ class CheckpointStore;
 struct EngineImage;
 struct WalRecord;
 }  // namespace durability
+
+namespace adapt {
+class QueryPatternTracker;
+class RoutingAdvisor;
+}  // namespace adapt
 
 /// Identifier handed out for registered subscriptions.
 using SubscriptionId = ObjectId;
@@ -97,9 +121,12 @@ enum class ShardingPolicy : uint8_t {
   /// extents, so no shard can be skipped).
   kLeadingDimension,
   /// Range partitioning with routed, non-broadcast event dispatch: shards
-  /// 0..K-2 own contiguous leading-dimension slices, shard K-1 is the
-  /// overflow shard for boundary-straddling subscriptions. Requires K >= 2.
-  /// Supports online boundary rebalancing; see RebalanceOnce.
+  /// 0..K-2 own contiguous slices of the fence dimension (dimension 0
+  /// unless adaptive.fence_dim or the online advisor says otherwise), the
+  /// last shard is the overflow shard for fence-straddling subscriptions.
+  /// Requires K >= 2. Supports online boundary rebalancing
+  /// (RebalanceOnce) and workload-adaptive routing (EngineOptions::
+  /// adaptive).
   kRange,
 };
 
@@ -169,6 +196,10 @@ struct EngineOptions {
   /// count (so every candidate still roughly halves the load gap), the
   /// fence predicting the least straddler spill into the overflow shard.
   uint32_t rebalance_fence_candidates = 9;
+
+  /// Workload-adaptive routing: online fence-dimension selection and
+  /// overflow-shard splitting (kRange only; see api/adaptive_routing.h).
+  AdaptiveRoutingOptions adaptive;
 };
 
 /// The subscription database and matcher.
@@ -381,11 +412,20 @@ class SubscriptionEngine {
     uint64_t subscriptions_migrated = 0;
     /// Straddler spill the rebalance planner predicted its fence moves
     /// would send to the overflow shard (donor residents that straddle the
-    /// *new* fence instead of moving cleanly to the receiver). Reported,
-    /// not yet acted on — the load signal for overflow-aware fence
-    /// placement (ROADMAP). Lifetime sum and last move's value.
+    /// *new* fence instead of moving cleanly to the receiver). Lifetime
+    /// sum and last move's value. Acted on twice: the planner's
+    /// overflow-aware fence placement avoids high-spill fences, and the
+    /// adaptive advisor folds the last value into the straddler-pressure
+    /// signal that triggers an overflow split.
     uint64_t predicted_straddler_spill = 0;
     uint64_t last_predicted_straddler_spill = 0;
+    /// Online fence-dimension switches executed (advisor or manual).
+    uint64_t dimension_switches = 0;
+    /// Overflow-shard split activations (advisor or manual), and the
+    /// straddlers those activations moved out of the catch-all shard into
+    /// split sub-shards.
+    uint64_t overflow_splits = 0;
+    uint64_t straddlers_split = 0;
   };
   RebalanceStats rebalance_stats() const {
     RebalanceStats st;
@@ -396,6 +436,10 @@ class SubscriptionEngine {
         predicted_spill_total_.load(std::memory_order_relaxed);
     st.last_predicted_straddler_spill =
         predicted_spill_last_.load(std::memory_order_relaxed);
+    st.dimension_switches =
+        dimension_switches_.load(std::memory_order_relaxed);
+    st.overflow_splits = overflow_splits_.load(std::memory_order_relaxed);
+    st.straddlers_split = straddlers_split_.load(std::memory_order_relaxed);
     return st;
   }
 
@@ -411,6 +455,47 @@ class SubscriptionEngine {
     double straddler_fraction = 0.0;
   };
   RebalanceLoadSnapshot GetRebalanceLoadSnapshot() const;
+
+  // ---- Adaptive routing (kRange only; see api/adaptive_routing.h) ----
+
+  /// Fence dimension of the current routing snapshot (0 for non-range
+  /// engines). Taken under an epoch pin; lock-free.
+  uint32_t routing_dimension() const;
+
+  /// Split dimension of the current snapshot, or -1 when the overflow
+  /// split is inactive.
+  int32_t overflow_split_dimension() const;
+
+  /// Sub-shards physically reserved for overflow splitting
+  /// (adaptive.overflow_split_shards; 0 = splitting unavailable).
+  uint32_t overflow_split_capacity() const { return num_split_shards_; }
+
+  /// Manually re-fences routing on `dim` (the advisor's switch, forced):
+  /// the interior fence positions are retained, every resident the new
+  /// dimension routes elsewhere is migrated (double-residency protocol),
+  /// and an active overflow split is cleared (the straddler set changed).
+  /// Returns false for non-range engines or a dimension outside the
+  /// schema; returns true without a migration when `dim` is already the
+  /// fence dimension.
+  bool SetRoutingDimension(uint32_t dim);
+
+  /// Manually activates (or re-fences) the overflow split on `dim` with
+  /// the given strictly ascending interior fences (`fences.size() + 1`
+  /// split slices; at most overflow_split_capacity()). Catch-all
+  /// straddlers whose `dim` interval fits one split slice migrate into
+  /// that sub-shard. Returns false for non-range engines, zero split
+  /// capacity, a dimension outside the schema, or a malformed fence array.
+  bool SetOverflowSplit(uint32_t dim, const std::vector<float>& fences);
+
+  /// Deactivates the overflow split; sub-shard residents migrate back to
+  /// the catch-all shard. Returns false for non-range engines (a no-op
+  /// true when no split was active).
+  bool ClearOverflowSplit();
+
+  /// Point-in-time view of the adaptive subsystem (valid — with
+  /// enabled=false and live routing fields — even when the advisor is
+  /// off).
+  AdaptiveRoutingStats adaptive_stats() const;
 
   // ---- Epoch subsystem introspection ----
 
@@ -503,27 +588,44 @@ class SubscriptionEngine {
     std::atomic<size_t> subs{0};
   };
 
+  /// The routing function's parameters: which dimension the fences cut,
+  /// where they sit, and (when active) the overflow split's dimension and
+  /// fences. Value-copied into plans by the publishers, embedded immutably
+  /// in the published snapshot.
+  struct RoutingPlan {
+    uint32_t dim = 0;           ///< fence dimension (kRange)
+    std::vector<float> bounds;  ///< sorted interior fences (kRange)
+    /// Overflow split: -1 = inactive (all straddlers in the catch-all
+    /// shard). When >= 0, a straddler whose split_dim interval fits one
+    /// split slice lives in sub-shard num_range_shards_ + slice.
+    int32_t split_dim = -1;
+    std::vector<float> split_bounds;  ///< sorted interior split fences
+  };
+
   /// Immutable routing state, published whole behind `snapshot_`. Readers
   /// obtain it under an epoch pin and never see it change; superseded
   /// snapshots are retired through the epoch manager.
   struct RoutingSnapshot {
-    std::vector<float> bounds;    ///< sorted interior fences (kRange)
+    RoutingPlan plan;
     uint64_t version = 0;
     std::vector<Shard*> shards;   ///< handle table (Shard storage is stable)
   };
 
-  /// Shard choice for one subscription. `bounds` is only read by kRange
-  /// (callers pass the boundary snapshot they routed the rest of the
+  /// Shard choice for one subscription. `plan` is only read by kRange
+  /// (callers pass the routing snapshot they routed the rest of the
   /// operation with).
   uint32_t ShardFor(SubscriptionId id, const Box& box,
-                    const std::vector<float>& bounds) const;
-  /// kRange target of a box under `bounds`: its slice's shard, or the
-  /// overflow shard when the leading-dimension interval straddles a fence.
-  uint32_t RangeShardFor(const std::vector<float>& bounds,
-                         float lo0, float hi0) const;
-  /// Shards an event must visit under `bounds`: the slice span of its
-  /// leading-dimension interval plus the overflow shard, ascending.
-  void RouteEvent(const std::vector<float>& bounds, const Box& box,
+                    const RoutingPlan& plan) const;
+  /// kRange home of a box under `plan`: its slice's shard; a straddler
+  /// goes to the sub-shard its split_dim interval fits (split active), or
+  /// the catch-all overflow shard. B is Box or BoxView (defined in the
+  /// .cc; every instantiation lives there).
+  template <typename B>
+  uint32_t RangeShardFor(const RoutingPlan& plan, const B& box) const;
+  /// Shards an event must visit under `plan`: the slice span of its
+  /// fence-dimension interval, the sub-shards its split_dim interval
+  /// overlaps (split active), and the catch-all shard — ascending.
+  void RouteEvent(const RoutingPlan& plan, const Box& box,
                   std::vector<uint32_t>* out) const;
 
   /// Publisher-side snapshot access; caller holds rebalance_mu_ (the only
@@ -531,9 +633,9 @@ class SubscriptionEngine {
   const RoutingSnapshot* SnapshotUnderRebalanceLock() const {
     return snapshot_.load(std::memory_order_acquire);
   }
-  /// Allocates and publishes a snapshot with `bounds`, retiring the old
+  /// Allocates and publishes a snapshot with `plan`, retiring the old
   /// one through the epoch manager. Caller holds rebalance_mu_.
-  void PublishSnapshot(std::vector<float> bounds);
+  void PublishSnapshot(RoutingPlan plan);
 
   static Relation RelationFor(const Event& event, MatchPolicy policy);
   void RecordEvent(size_t matches, size_t verified, double latency_ms);
@@ -584,15 +686,34 @@ class SubscriptionEngine {
   /// trigger-ratio/min-load gate.
   bool RebalanceLocked(bool force);
   /// Double-residency migration: inserts re-routed subscriptions at their
-  /// destinations, publishes `new_bounds`, waits out the grace period, and
+  /// destinations, publishes `plan`, waits out the grace period, and
   /// erases the stale source copies. Caller holds rebalance_mu_. Returns
   /// the number of subscriptions migrated.
-  size_t ApplyBoundariesLocked(std::vector<float> new_bounds,
-                               const std::vector<uint32_t>& scan_shards);
+  size_t ApplyRoutingLocked(RoutingPlan plan,
+                            const std::vector<uint32_t>& scan_shards);
+
+  /// Adaptive-evaluation hook, called after every match entry point (with
+  /// no epoch pinned — an applied decision's grace-period wait would
+  /// otherwise deadlock on the caller's own pin).
+  void MaybeAutoAdapt(uint64_t events);
+  /// One advisor window: snapshot the tracker, evaluate, apply at most one
+  /// routing change. Caller holds rebalance_mu_. Returns true when a
+  /// change was applied.
+  bool EvaluateAdaptiveLocked();
+  /// All shard indices, and the overflow family (sub-shards + catch-all):
+  /// the migration scan sets the adaptive publishers use.
+  std::vector<uint32_t> AllShardIds() const;
+  std::vector<uint32_t> OverflowShardIds() const;
 
   AttributeSchema schema_;
   EngineOptions options_;
   bool range_routed_ = false;
+  /// kRange shard layout: shards 0..num_range_shards_-1 are the range
+  /// slices, the next num_split_shards_ are overflow sub-shards (idle
+  /// until a split activates), and the last shard is the catch-all
+  /// overflow. Both are 0 for non-range engines (every shard is plain).
+  uint32_t num_range_shards_ = 0;
+  uint32_t num_split_shards_ = 0;
   /// Durability hooks; null = volatile engine (the default). Set by
   /// AttachDurability/SetCheckpointer, read by the mutation entry points.
   durability::WriteAheadLog* wal_ = nullptr;
@@ -628,6 +749,24 @@ class SubscriptionEngine {
   std::atomic<uint64_t> subscriptions_migrated_{0};
   std::atomic<uint64_t> predicted_spill_total_{0};
   std::atomic<uint64_t> predicted_spill_last_{0};
+
+  /// Adaptive routing state. Tracker and advisor exist only when
+  /// options_.adaptive.enabled; the manual entry points
+  /// (SetRoutingDimension/SetOverflowSplit) work without them. The advisor
+  /// is only ever called under rebalance_mu_.
+  std::unique_ptr<adapt::QueryPatternTracker> tracker_;
+  std::unique_ptr<adapt::RoutingAdvisor> advisor_;
+  /// Same deterministic-skip discipline as rebalance_inflight_.
+  std::atomic<bool> adapt_inflight_{false};
+  std::atomic<uint64_t> adapt_events_since_window_{0};
+  std::atomic<uint64_t> dimension_switches_{0};
+  std::atomic<uint64_t> overflow_splits_{0};
+  std::atomic<uint64_t> straddlers_split_{0};
+  std::atomic<uint64_t> windows_evaluated_{0};
+  /// Most recent advisor window's per-dimension estimates; its own tiny
+  /// lock so adaptive_stats() never waits behind a migration.
+  mutable std::mutex adapt_estimates_mu_;
+  std::vector<DimensionEstimate> last_estimates_;
 
   /// Guards next_id_, shard_of_, second_home_ — never taken by
   /// Match/MatchBatch.

@@ -2,25 +2,30 @@
 //
 // A seeded operation log interleaving Subscribe / SubscribeBatch /
 // Unsubscribe / MatchBatch / forced RebalanceOnce / SetRangeBoundaries /
-// epoch-drain points (SynchronizeEpochs — forcing retired routing
-// snapshots through the grace period at arbitrary log positions) is
-// replayed through sharded kRange engines (several shard counts, thread
-// counts, and auto-rebalance settings) and through the serial single-index
-// engine; every batch's match sets — and an FNV digest over the exact
-// (event, id) assignment, the same oracle bench_parallel_sdi gates on —
-// must be identical. Boundary moves and migrations interleave with the
-// match stream mid-log, so any routing table / residency disagreement the
-// rebalancer can introduce shows up as a digest divergence. Failures print
+// fence-dimension switches (SetRoutingDimension) / overflow-split toggles
+// (SetOverflowSplit, ClearOverflowSplit) / epoch-drain points
+// (SynchronizeEpochs — forcing retired routing snapshots through the
+// grace period at arbitrary log positions) is replayed through sharded
+// kRange engines (several shard counts, thread counts, auto-rebalance and
+// split-capacity settings, one with the adaptive advisor live) and through
+// the serial single-index engine; every batch's match sets — and an FNV
+// digest over the exact (event, id) assignment, the same oracle
+// bench_parallel_sdi gates on — must be identical. Boundary moves,
+// dimension switches, split migrations, and advisor-driven adaptations
+// interleave with the match stream mid-log, so any routing table /
+// residency disagreement shows up as a digest divergence. Failures print
 // the reproducing seed.
 //
-// A scheduler-adversarial companion hammers RebalanceOnce and
-// SetRangeBoundaries from a dedicated thread while subscribers and
-// matchers run; the quiesced engine must agree exactly with a brute-force
-// oracle over the surviving subscriptions. Primary TSan target for the
-// migration locking.
+// Scheduler-adversarial companions hammer RebalanceOnce +
+// SetRangeBoundaries (and, in the dimension-flip variant, continuous
+// SetRoutingDimension / SetOverflowSplit over a STATIC subscription
+// population, where every mid-migration batch must already be
+// oracle-exact) from dedicated threads while matchers run. Primary TSan
+// targets for the migration locking.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -47,6 +52,8 @@ struct EngineConfig {
   uint32_t threads;
   ShardingPolicy policy;
   uint32_t rebalance_period;  // 0 = manual only
+  uint32_t split_capacity = 0;  // adaptive.overflow_split_shards
+  bool adaptive = false;        // advisor live mid-log
 };
 
 SubscriptionEngine MakeEngine(const EngineConfig& cfg) {
@@ -60,6 +67,15 @@ SubscriptionEngine MakeEngine(const EngineConfig& cfg) {
   o.rebalance_period = cfg.rebalance_period;
   o.rebalance_trigger_ratio = 1.3;
   o.rebalance_min_load = 64;
+  o.adaptive.overflow_split_shards = cfg.split_capacity;
+  if (cfg.adaptive) {
+    // Advisor decisions only have to be deterministic per engine config;
+    // parity with the serial oracle must hold whatever it decides.
+    o.adaptive.enabled = true;
+    o.adaptive.sample_window = 96;
+    o.adaptive.split_straddler_threshold = 0.25;
+    o.adaptive.split_patience = 2;
+  }
   return SubscriptionEngine(UnitSchema(), o);
 }
 
@@ -74,12 +90,15 @@ struct Op {
     kForceRebalance,
     kSetBoundaries,
     kEpochDrain,
+    kSwitchDim,     // SetRoutingDimension mid-log
+    kSplitToggle,   // SetOverflowSplit / ClearOverflowSplit mid-log
   } kind;
   Box box;                    // kSubscribe
   std::vector<Box> boxes;     // kSubscribeBatch
   size_t victim_index;        // kUnsubscribe: index into the live list
   std::vector<Event> events;  // kMatchBatch
-  uint64_t bounds_seed;       // kSetBoundaries
+  uint64_t bounds_seed;       // kSetBoundaries / kSplitToggle fence seed
+  uint32_t dim;               // kSwitchDim / kSplitToggle target dimension
 };
 
 /// Fence values every engine config under test can start with — boxes are
@@ -147,15 +166,22 @@ std::vector<Op> MakeOpLog(uint64_t seed, size_t n_ops) {
           op.events.push_back(Event::Range(FuzzBox(rng)));
         }
       }
-    } else if (roll < 0.965) {
+    } else if (roll < 0.955) {
       op.kind = Op::kForceRebalance;
-    } else if (roll < 0.985) {
+    } else if (roll < 0.965) {
       // Epoch-drain point: retired snapshots must be reclaimable at any
       // log position without disturbing parity.
       op.kind = Op::kEpochDrain;
-    } else {
+    } else if (roll < 0.98) {
       op.kind = Op::kSetBoundaries;
       op.bounds_seed = rng.NextU64();
+    } else if (roll < 0.99) {
+      op.kind = Op::kSwitchDim;
+      op.dim = static_cast<uint32_t>(rng.NextBelow(kNd));
+    } else {
+      op.kind = Op::kSplitToggle;
+      op.bounds_seed = rng.NextU64();
+      op.dim = static_cast<uint32_t>(rng.NextBelow(kNd));
     }
     log.push_back(std::move(op));
   }
@@ -224,9 +250,30 @@ ReplayResult Replay(SubscriptionEngine& engine, const std::vector<Op>& log) {
         engine.SynchronizeEpochs();
         break;
       case Op::kSetBoundaries:
-        if (engine.range_routed() && engine.shard_count() >= 3) {
-          EXPECT_TRUE(engine.SetRangeBoundaries(
-              BoundsFromSeed(op.bounds_seed, engine.shard_count() - 2)));
+        // Size the array from the live boundary count, not shard_count():
+        // engines with overflow-split capacity have more physical shards
+        // than range slices.
+        if (engine.range_routed() &&
+            !engine.GetRangeBoundaries().empty()) {
+          EXPECT_TRUE(engine.SetRangeBoundaries(BoundsFromSeed(
+              op.bounds_seed, engine.GetRangeBoundaries().size())));
+        }
+        break;
+      case Op::kSwitchDim:
+        if (engine.range_routed()) {
+          EXPECT_TRUE(engine.SetRoutingDimension(op.dim));
+        }
+        break;
+      case Op::kSplitToggle:
+        if (engine.range_routed() && engine.overflow_split_capacity() > 0) {
+          if (op.bounds_seed % 3 == 0) {
+            EXPECT_TRUE(engine.ClearOverflowSplit());
+          } else {
+            EXPECT_TRUE(engine.SetOverflowSplit(
+                op.dim,
+                BoundsFromSeed(op.bounds_seed,
+                               engine.overflow_split_capacity() - 1)));
+          }
         }
         break;
     }
@@ -242,6 +289,9 @@ TEST(RebalanceFuzz, ShardedReplayMatchesSerialReplayAcrossSeeds) {
       {4, 0, ShardingPolicy::kRange, 32},  // auto-rebalance mid-log
       {6, 3, ShardingPolicy::kRange, 48},
       {4, 2, ShardingPolicy::kHashId, 0},  // broadcast cross-check
+      {4, 0, ShardingPolicy::kRange, 0, 2},   // split toggles live
+      {5, 3, ShardingPolicy::kRange, 40, 3},  // splits + auto-rebalance
+      {5, 2, ShardingPolicy::kRange, 0, 2, true},  // advisor adapts mid-log
   };
   for (const uint64_t seed : {11ull, 2026ull, 777ull, 31415ull}) {
     const std::vector<Op> log = MakeOpLog(seed, 600);
@@ -401,6 +451,96 @@ TEST(RebalanceFuzz, ConcurrentRebalanceKeepsEngineConsistent) {
     std::sort(expect.begin(), expect.end());
     EXPECT_EQ(res.matches[e], expect) << "probe " << e;
   }
+}
+
+TEST(RebalanceFuzz, ConcurrentDimensionFlipsKeepMatchingExact) {
+  // The strongest mid-migration guarantee the adaptive subsystem makes:
+  // with a STATIC subscription population, every MatchBatch result must be
+  // brute-force exact even while a dedicated thread continuously flips the
+  // fence dimension and toggles the overflow split underneath the
+  // matchers. A reader on the old snapshot finds migrating subscriptions
+  // at their source, one on the new snapshot at their destination, and the
+  // ObjectId dedup pass removes double-resident duplicates — so there is
+  // no instant at which a result may differ from the oracle. Primary TSan
+  // target for the dimension-switch locking.
+  EngineOptions o;
+  o.index.reorg_period = 25;
+  o.index.min_observation = 8;
+  o.default_policy = MatchPolicy::kIntersecting;
+  o.shards = 5;
+  o.match_threads = 3;
+  o.sharding = ShardingPolicy::kRange;
+  o.adaptive.overflow_split_shards = 2;
+  SubscriptionEngine engine(UnitSchema(), o);
+
+  Rng rng(4242);
+  std::vector<std::pair<SubscriptionId, Box>> subs;
+  for (int i = 0; i < 500; ++i) {
+    Box b = FuzzBox(rng);
+    subs.emplace_back(engine.SubscribeBox(b), b);
+  }
+
+  std::vector<Event> probes;
+  for (int e = 0; e < 12; ++e) probes.push_back(Event::Range(FuzzBox(rng)));
+  std::vector<std::vector<ObjectId>> expected(probes.size());
+  for (size_t e = 0; e < probes.size(); ++e) {
+    Query q(probes[e].box, Relation::kIntersects);
+    for (const auto& [id, box] : subs) {
+      if (q.Matches(box.view())) expected[e].push_back(id);
+    }
+    std::sort(expected[e].begin(), expected[e].end());
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread flipper([&] {
+    Rng frng(rng.NextU64());
+    for (int i = 0; i < 48; ++i) {
+      switch (i % 4) {
+        case 0:
+        case 1:
+          EXPECT_TRUE(engine.SetRoutingDimension(
+              static_cast<uint32_t>(frng.NextBelow(kNd))));
+          break;
+        case 2:
+          EXPECT_TRUE(engine.SetOverflowSplit(
+              static_cast<uint32_t>(frng.NextBelow(kNd)),
+              BoundsFromSeed(frng.NextU64(), 1)));
+          break;
+        default:
+          EXPECT_TRUE(engine.ClearOverflowSplit());
+          break;
+      }
+    }
+    stop.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> matchers;
+  for (int t = 0; t < 2; ++t) {
+    matchers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        MatchBatchResult res;
+        engine.MatchBatch(
+            Span<const Event>(probes.data(), probes.size()), &res);
+        ASSERT_EQ(res.matches.size(), probes.size());
+        for (size_t e = 0; e < probes.size(); ++e) {
+          ASSERT_EQ(res.matches[e], expected[e])
+              << "mid-flip divergence at probe " << e;
+        }
+      }
+    });
+  }
+  flipper.join();
+  for (std::thread& m : matchers) m.join();
+
+  // Quiesced bookkeeping: nobody lost or duplicated a resident, and every
+  // retired snapshot drains.
+  size_t resident = 0;
+  for (const auto& info : engine.GetShardInfos()) {
+    resident += info.subscriptions;
+  }
+  EXPECT_EQ(resident, subs.size());
+  engine.SynchronizeEpochs();
+  EXPECT_EQ(engine.epoch_stats().retired_pending, 0u);
 }
 
 }  // namespace
