@@ -39,6 +39,7 @@
 // with an empty value) and prints the same numbers as a table.
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -52,33 +53,24 @@
 #include "durability/shipping.h"
 #include "durability/wal.h"
 #include "kernels/backend_registry.h"
+#include "obs/alloc_hook.h"
+#include "obs/trace.h"
 #include "sdi/subscription_engine.h"
 #include "util/digest.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
-// Process-wide allocation counter: this TU's global operator new/delete
-// replace libstdc++'s for the whole binary, so the bench can assert the
-// steady-state batch path stopped allocating. Counting is relaxed-atomic —
-// the counter is read only between deliberately ordered bench phases.
+// Process-wide allocation counter: the obs hook's global operator
+// new/delete replace libstdc++'s for the whole binary, so the bench can
+// assert the steady-state batch path stopped allocating — and every
+// engine's DumpMetrics() in this process reports live allocation counts.
 // (GCC pairs the inlined malloc in the replaced operator new with the free
 // in the replaced operator delete and mis-reports a mismatch; the pair is
 // consistent by construction.)
 #if defined(__GNUC__) && !defined(__clang__)
 #pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 #endif
-static std::atomic<uint64_t> g_heap_allocs{0};
-
-void* operator new(std::size_t sz) {
-  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(sz != 0 ? sz : 1)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t sz) { return ::operator new(sz); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+ACCL_OBS_INSTALL_GLOBAL_ALLOC_HOOK();
 
 namespace accl {
 namespace {
@@ -195,11 +187,11 @@ RunResult RunAtThreads(size_t threads, size_t subs, size_t n_events,
       // after warmup the engine's pooled scratch and the reused result must
       // make the batch path allocation-quiet (pool task submission is the
       // only remaining constant-per-batch source).
-      const uint64_t a0 = g_heap_allocs.load(std::memory_order_relaxed);
+      const uint64_t a0 = obs::HeapAllocsNow();
       WallTimer wall;
       engine.MatchBatch(Span<const Event>(events.data() + off, ne), &res);
       p.wall_ms += wall.ElapsedMs();
-      p.allocs += g_heap_allocs.load(std::memory_order_relaxed) - a0;
+      p.allocs += obs::HeapAllocsNow() - a0;
       ++p.batches;
       std::vector<double> shard_costs;
       shard_costs.reserve(res.per_shard.size());
@@ -954,6 +946,88 @@ ReplicationResult RunReplicationScenario(size_t threads,
   return r;
 }
 
+// ---- Observability-overhead scenario ----
+//
+// Prices the flight recorder's two states against the same workload:
+// tracing disabled (the steady production state — every ACCL_TRACE_* site
+// is one predicted branch) and tracing enabled (rings recording). Two
+// disabled runs bound the measurement noise floor; the enabled run's
+// excess over the faster disabled run is the recorder's true cost. The
+// enabled run's trace is drained to Chrome JSON (TRACE_parallel.json) and
+// the engine's combined metrics dump is embedded in BENCH_parallel.json.
+struct ObsOverheadResult {
+  double off_a_ms = 0.0;   ///< disabled, first timed run (min of reps)
+  double off_b_ms = 0.0;   ///< disabled, repeated (noise floor probe)
+  double on_ms = 0.0;      ///< tracing enabled (min of reps)
+  double off_delta = 0.0;  ///< |off_b - off_a| / off_a
+  double on_ratio = 0.0;   ///< on / min(off_a, off_b) - 1
+  size_t trace_events = 0;
+  uint64_t digest_off = 0;
+  uint64_t digest_on = 0;
+  std::string metrics_json;
+  std::string trace_json;
+};
+
+ObsOverheadResult RunObsOverhead(size_t threads, size_t subs,
+                                 size_t n_events, size_t batch,
+                                 uint32_t shards, size_t reps) {
+  EngineOptions opts;
+  opts.index.reorg_period = 100;
+  opts.default_policy = MatchPolicy::kIntersecting;
+  opts.shards = shards;
+  opts.match_threads = static_cast<uint32_t>(threads);
+  AttributeSchema schema;
+  for (Dim d = 0; d < kNd; ++d) {
+    schema.AddAttribute("a" + std::to_string(d), 0.0, 1.0);
+  }
+  SubscriptionEngine engine(std::move(schema), opts);
+  Rng rng(77);
+  for (size_t i = 0; i < subs; ++i) {
+    engine.SubscribeBox(RandomSubscription(rng));
+  }
+  const std::vector<Event> events = MakeEvents(78, n_events);
+
+  MatchBatchResult res;
+  const auto one_pass = [&](uint64_t* digest) {
+    uint64_t d = kFnvOffsetBasis;
+    size_t event_index = 0;
+    WallTimer wall;
+    for (size_t off = 0; off < events.size(); off += batch) {
+      const size_t ne = std::min(batch, events.size() - off);
+      engine.MatchBatch(Span<const Event>(events.data() + off, ne), &res);
+      for (const auto& m : res.matches) {
+        d = Fnv1a(d, event_index++);
+        for (const ObjectId id : m) d = Fnv1a(d, id);
+      }
+    }
+    if (digest != nullptr) *digest = d;
+    return wall.ElapsedMs();
+  };
+  const auto min_of = [&](uint64_t* digest) {
+    double best = one_pass(digest);
+    for (size_t r = 1; r < reps; ++r) best = std::min(best, one_pass(nullptr));
+    return best;
+  };
+
+  ObsOverheadResult o;
+  SubscriptionEngine::SetTracing(false);
+  (void)one_pass(nullptr);  // warmup: fault caches, settle the scratch pool
+  o.off_a_ms = min_of(&o.digest_off);
+  o.off_b_ms = min_of(nullptr);
+  SubscriptionEngine::SetTracing(true);
+  o.on_ms = min_of(&o.digest_on);
+  SubscriptionEngine::SetTracing(false);
+  // Quiesced drain: the last MatchBatch's pool synchronization ordered
+  // every worker's ring writes before this point.
+  o.trace_json = engine.DumpTrace();
+  o.trace_events = obs::TraceRecorder::Global().EventCount();
+  o.metrics_json = engine.DumpMetricsJson();
+
+  o.off_delta = std::abs(o.off_b_ms - o.off_a_ms) / o.off_a_ms;
+  o.on_ratio = o.on_ms / std::min(o.off_a_ms, o.off_b_ms) - 1.0;
+  return o;
+}
+
 }  // namespace
 }  // namespace accl
 
@@ -1268,6 +1342,74 @@ int main() {
     return 1;
   }
 
+  // ---- Observability-overhead scenario ----
+  const size_t ob_subs = EnvSize("ACCL_PARSDI_OBS_SUBS", 10000);
+  const size_t ob_events = EnvSize("ACCL_PARSDI_OBS_EVENTS", 2048);
+  const size_t ob_reps = std::max<size_t>(1, EnvSize("ACCL_PARSDI_OBS_REPS", 3));
+  const ObsOverheadResult ob = RunObsOverhead(
+      sk_threads, ob_subs, ob_events, batch, shards, ob_reps);
+  std::printf(
+      "\nobservability overhead: %zu subscriptions, %zu events, %zu threads, "
+      "min of %zu reps\n",
+      ob_subs, ob_events, sk_threads, ob_reps);
+  std::printf("%14s %14s %14s %12s %12s %12s\n", "trace-off ms", "off-again ms",
+              "trace-on ms", "off delta", "on overhead", "trace evts");
+  std::printf("%14.1f %14.1f %14.1f %11.2f%% %11.2f%% %12zu\n", ob.off_a_ms,
+              ob.off_b_ms, ob.on_ms, 100.0 * ob.off_delta,
+              100.0 * ob.on_ratio, ob.trace_events);
+  // Determinism gate (unconditional): tracing on/off must not perturb the
+  // match results.
+  if (ob.digest_on != ob.digest_off) {
+    std::fprintf(stderr,
+                 "OBS DIVERGENCE: digest %016llx with tracing on vs %016llx "
+                 "off\n",
+                 static_cast<unsigned long long>(ob.digest_on),
+                 static_cast<unsigned long long>(ob.digest_off));
+    return 1;
+  }
+  // The trace must actually contain the pipeline's spans.
+  if (ob.trace_events == 0 ||
+      ob.trace_json.find("match_batch") == std::string::npos ||
+      ob.trace_json.find("shard_execute") == std::string::npos) {
+    std::fprintf(stderr, "OBS TRACE EMPTY: %zu events, %zu bytes\n",
+                 ob.trace_events, ob.trace_json.size());
+    return 1;
+  }
+  // Overhead gates are wall-clock ratios on a shared machine, so both are
+  // env-armed (CI sets them; 0/unset disables). The disabled-path gate
+  // bounds the two trace-off runs' spread — the instrumentation's
+  // steady-state cost cannot exceed what run-to-run noise already shows.
+  const double obs_gate = EnvDouble("ACCL_PARSDI_OBS_GATE", 0.0);
+  if (obs_gate > 0.0 && ob.off_delta > obs_gate) {
+    std::fprintf(stderr,
+                 "OBS DISABLED-PATH REGRESSION: %.2f%% spread between "
+                 "trace-off runs (gate: <= %.2f%%)\n",
+                 100.0 * ob.off_delta, 100.0 * obs_gate);
+    return 1;
+  }
+  const double obs_trace_gate = EnvDouble("ACCL_PARSDI_OBS_TRACE_GATE", 0.0);
+  if (obs_trace_gate > 0.0 && ob.on_ratio > obs_trace_gate) {
+    std::fprintf(stderr,
+                 "OBS TRACING OVERHEAD REGRESSION: %.2f%% over the "
+                 "trace-off baseline (gate: <= %.2f%%)\n",
+                 100.0 * ob.on_ratio, 100.0 * obs_trace_gate);
+    return 1;
+  }
+  // Perfetto-loadable flight recording of the enabled run.
+  const char* trace_path = std::getenv("ACCL_PARSDI_TRACE");
+  if (trace_path == nullptr) trace_path = "TRACE_parallel.json";
+  if (*trace_path != '\0') {
+    if (std::FILE* tf = std::fopen(trace_path, "w")) {
+      std::fwrite(ob.trace_json.data(), 1, ob.trace_json.size(), tf);
+      std::fclose(tf);
+      std::printf("wrote %s (%zu trace events)\n", trace_path,
+                  ob.trace_events);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", trace_path);
+      return 1;
+    }
+  }
+
   const char* path = std::getenv("ACCL_PARSDI_JSON");
   if (path == nullptr) path = "BENCH_parallel.json";
   if (*path == '\0') return 0;
@@ -1433,7 +1575,7 @@ int main() {
       "    \"promoted_subscriptions\": %zu,\n"
       "    \"acked_records_lost\": %llu,\n"
       "    \"match_digest_equal\": %s,\n"
-      "    \"promoted_accepts_writes\": %s\n  }\n}\n",
+      "    \"promoted_accepts_writes\": %s\n  },\n",
       rp_subs, rp_threads, rp.acked, rp.ingest_wall_ms,
       static_cast<unsigned long long>(rp.ship_passes),
       static_cast<unsigned long long>(rp.max_lag_records),
@@ -1446,6 +1588,22 @@ int main() {
       static_cast<unsigned long long>(rp.acked - rp.promoted_count),
       rp.promoted_digest == rp.primary_digest ? "true" : "false",
       rp.promoted_accepts ? "true" : "false");
+  std::fprintf(
+      f,
+      "  \"observability\": {\n"
+      "    \"subscriptions\": %zu,\n    \"events\": %zu,\n"
+      "    \"threads\": %zu,\n    \"reps\": %zu,\n"
+      "    \"trace_off_ms\": %.3f,\n    \"trace_off_again_ms\": %.3f,\n"
+      "    \"trace_on_ms\": %.3f,\n    \"disabled_delta\": %.4f,\n"
+      "    \"tracing_overhead\": %.4f,\n    \"trace_events\": %zu,\n"
+      "    \"digest_equal_traced\": %s\n  },\n",
+      ob_subs, ob_events, sk_threads, ob_reps, ob.off_a_ms, ob.off_b_ms,
+      ob.on_ms, ob.off_delta, ob.on_ratio, ob.trace_events,
+      ob.digest_on == ob.digest_off ? "true" : "false");
+  // The obs engine's combined metric dump (its registry + the
+  // process-default registry), embedded verbatim — DumpMetricsJson()
+  // returns one JSON object.
+  std::fprintf(f, "  \"metrics\": %s\n}\n", ob.metrics_json.c_str());
   std::fclose(f);
   std::printf("wrote %s\n", path);
   return 0;

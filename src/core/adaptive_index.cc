@@ -223,6 +223,7 @@ void AdaptiveIndex::Execute(const Query& q, std::vector<ObjectId>* out,
     c->candidates->AccountQuery(q, &qmasks_);
 
     uint64_t cluster_dims = 0;
+    backend_->NoteDispatch();
     m->result_count += backend_->VerifyBatch(c->objects.coords_data(),
                                              c->objects.ids().data(), n, bq_,
                                              out, &cluster_dims);

@@ -1,10 +1,12 @@
 #include "durability/checkpoint.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <utility>
 
 #include "durability/wal.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/digest.h"
 #include "util/serialize.h"
@@ -169,14 +171,34 @@ Checkpointer::~Checkpointer() {
   // Drains any queued background checkpoint while engine/wal/store are
   // still alive.
   pool_.reset();
+  // The engine's registry outlives this checkpointer (DurableEngine's
+  // Teardown destroys the checkpointer first): withdraw our metrics so a
+  // later DumpMetrics cannot read freed objects.
+  if (attached_reg_ != nullptr) {
+    attached_reg_->Detach("accl_ckpt_writes_total");
+    attached_reg_->Detach("accl_ckpt_failures_total");
+    attached_reg_->Detach("accl_ckpt_duration_us");
+    attached_reg_->Detach("accl_ckpt_last_subscriptions");
+    attached_reg_->Detach("accl_ckpt_last_lsn");
+    attached_reg_->Detach("accl_ckpt_last_write_us");
+  }
 }
 
 bool Checkpointer::CheckpointNow() {
   std::lock_guard<std::mutex> run(run_mu_);
+  ACCL_TRACE_SPAN("ckpt_run");
   WallTimer t;
   EngineImage image;
-  engine_->CaptureDurableImage(&image);
-  bool ok = store_->Write(image);
+  {
+    ACCL_TRACE_SPAN("ckpt_capture");
+    engine_->CaptureDurableImage(&image);
+  }
+  bool ok;
+  {
+    ACCL_TRACE_SPAN_ARG("ckpt_write",
+                        static_cast<uint32_t>(image.ids.size()));
+    ok = store_->Write(image);
+  }
   if (ok) {
     // The image is durable; truncation is an optimization, but a refused or
     // failed one still counts as a checkpoint failure so callers notice the
@@ -184,14 +206,16 @@ bool Checkpointer::CheckpointNow() {
     const Status trunc = wal_->Truncate(image.lsn);
     ok = trunc.ok();
   }
-  std::lock_guard<std::mutex> lk(stats_mu_);
+  const int64_t elapsed_us =
+      static_cast<int64_t>(std::llround(t.ElapsedMs() * 1000.0));
+  duration_us_.Record(static_cast<uint64_t>(std::max<int64_t>(0, elapsed_us)));
   if (ok) {
-    ++stats_.checkpoints_written;
-    stats_.last_subscriptions = image.ids.size();
-    stats_.last_lsn = image.lsn;
-    stats_.last_write_ms = t.ElapsedMs();
+    writes_.Add(1);
+    last_subscriptions_.Set(static_cast<int64_t>(image.ids.size()));
+    last_lsn_.Set(static_cast<int64_t>(image.lsn));
+    last_write_us_.Set(elapsed_us);
   } else {
-    ++stats_.checkpoint_failures;
+    failures_.Add(1);
   }
   return ok;
 }
@@ -216,8 +240,48 @@ void Checkpointer::OnMutations(uint64_t n) {
 }
 
 CheckpointStats Checkpointer::stats() const {
-  std::lock_guard<std::mutex> lk(stats_mu_);
-  return stats_;
+  CheckpointStats s;
+  s.checkpoints_written = writes_.Value();
+  s.checkpoint_failures = failures_.Value();
+  s.last_subscriptions = static_cast<uint64_t>(last_subscriptions_.Value());
+  s.last_lsn = static_cast<Lsn>(last_lsn_.Value());
+  s.last_write_ms = static_cast<double>(last_write_us_.Value()) / 1000.0;
+  return s;
+}
+
+void DurableEngine::Teardown() {
+  checkpointer.reset();  // joins its worker, detaches from engine->metrics()
+  engine.reset();
+  checkpoints.reset();
+  wal.reset();
+}
+
+DurableEngine& DurableEngine::operator=(DurableEngine&& other) noexcept {
+  if (this != &other) {
+    Teardown();
+    wal = std::move(other.wal);
+    checkpoints = std::move(other.checkpoints);
+    engine = std::move(other.engine);
+    checkpointer = std::move(other.checkpointer);
+    recovery = other.recovery;
+  }
+  return *this;
+}
+
+void Checkpointer::AttachMetrics(obs::MetricsRegistry* reg) {
+  attached_reg_ = reg;
+  reg->Attach("accl_ckpt_writes_total", &writes_,
+              "checkpoints written successfully");
+  reg->Attach("accl_ckpt_failures_total", &failures_,
+              "checkpoint runs that failed (write or truncate)");
+  reg->Attach("accl_ckpt_duration_us", &duration_us_,
+              "checkpoint capture+write+truncate duration (us)");
+  reg->Attach("accl_ckpt_last_subscriptions", &last_subscriptions_,
+              "subscriptions in the last durable image");
+  reg->Attach("accl_ckpt_last_lsn", &last_lsn_,
+              "WAL LSN the last durable image covers");
+  reg->Attach("accl_ckpt_last_write_us", &last_write_us_,
+              "duration of the last successful checkpoint (us)");
 }
 
 }  // namespace accl::durability

@@ -29,6 +29,7 @@
 #include "api/status.h"
 #include "api/types.h"
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
 #include "sdi/subscription_engine.h"
 #include "storage/paged_store.h"
 #include "storage/sim_disk.h"
@@ -111,6 +112,14 @@ class Checkpointer {
 
   CheckpointStats stats() const;
 
+  /// Registers this checkpointer's metrics (write/failure counters, the
+  /// capture+write+truncate duration histogram, last-image gauges) into
+  /// `reg` under the accl_ckpt_* names. The checkpointer owns the
+  /// metrics and detaches them in its destructor — a DurableEngine
+  /// destroys the checkpointer before the engine (and its registry), so
+  /// the registry must never be left pointing at dead metrics.
+  void AttachMetrics(obs::MetricsRegistry* reg);
+
  private:
   SubscriptionEngine* engine_;
   WriteAheadLog* wal_;
@@ -121,8 +130,15 @@ class Checkpointer {
   std::atomic<uint64_t> mutations_since_{0};
   std::atomic<bool> inflight_{false};
 
-  mutable std::mutex stats_mu_;
-  CheckpointStats stats_;
+  /// Checkpoint telemetry on obs primitives: stats() is a thin snapshot
+  /// read; AttachMetrics exposes the same objects on a registry.
+  obs::Counter writes_;
+  obs::Counter failures_;
+  obs::Histogram duration_us_;  ///< capture + write + truncate, per run
+  obs::Gauge last_subscriptions_;
+  obs::Gauge last_lsn_;
+  obs::Gauge last_write_us_;
+  obs::MetricsRegistry* attached_reg_ = nullptr;
 
   /// Private single worker so background checkpoints never contend with
   /// the engine's match pool; destroyed first (declared last) so the
@@ -130,16 +146,28 @@ class Checkpointer {
   std::unique_ptr<exec::ThreadPool> pool_;
 };
 
-/// A fully wired durable engine. Members are declared in dependency order
-/// so destruction (reverse order) tears down safely: checkpointer joins
-/// its background job first, then the engine (detaching from the WAL),
-/// then the stores, then the WAL's flusher.
+/// A fully wired durable engine. Teardown order matters: the checkpointer
+/// must die first (it joins its background job and detaches its metrics
+/// from the engine's registry), then the engine, then the stores, then the
+/// WAL's flusher. Reverse member order gives exactly that at scope end,
+/// but move-assignment (`de = DurableEngine()`) destroys the old members
+/// in DECLARATION order — wal and engine before checkpointer — so the
+/// destructor and move-assign spell the order out explicitly.
 struct DurableEngine {
   std::unique_ptr<WriteAheadLog> wal;
   std::unique_ptr<CheckpointStore> checkpoints;
   std::unique_ptr<SubscriptionEngine> engine;
   std::unique_ptr<Checkpointer> checkpointer;
   RecoveryStats recovery;
+
+  DurableEngine() = default;
+  DurableEngine(DurableEngine&&) = default;
+  DurableEngine& operator=(DurableEngine&& other) noexcept;
+  ~DurableEngine() { Teardown(); }
+
+ private:
+  /// Resets checkpointer -> engine -> checkpoints -> wal.
+  void Teardown();
 };
 
 /// Opens `path` as a page file, creating it only when it does not exist.

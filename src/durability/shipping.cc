@@ -7,12 +7,15 @@
 #include <sys/stat.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <utility>
 #include <vector>
 
 #include "durability/wal.h"
+#include "obs/trace.h"
 #include "storage/paged_store.h"
+#include "util/timer.h"
 
 namespace accl::durability {
 namespace {
@@ -30,7 +33,7 @@ LogShipper::LogShipper(AttributeSchema schema, EngineOptions engine_options,
       engine_options_(std::move(engine_options)),
       options_(std::move(options)) {}
 
-LogShipper::~LogShipper() = default;
+LogShipper::~LogShipper() { DetachMetrics(); }
 
 std::unique_ptr<LogShipper> LogShipper::Create(AttributeSchema schema,
                                                EngineOptions engine_options,
@@ -62,6 +65,9 @@ std::unique_ptr<LogShipper> LogShipper::Create(AttributeSchema schema,
       shipper->schema_, shipper->engine_options_, status);
   if (shipper->engine_ == nullptr) return nullptr;
   shipper->engine_->SetRole(SubscriptionEngine::EngineRole::kFollower);
+  // Replication lag/cursor/throughput metrics surface through the
+  // follower's own DumpMetrics alongside its pipeline families.
+  shipper->AttachMetrics(&shipper->engine_->metrics());
   if (status != nullptr) *status = Status::Ok();
   return shipper;
 }
@@ -90,9 +96,9 @@ Status LogShipper::SyncCheckpoint(bool need_rebase) {
     }
     replica_ckpt_lsn_ = image.lsn;
   }
-  if (have_image) {
-    stats_.source_durable_lsn =
-        std::max(stats_.source_durable_lsn, image.lsn);
+  if (have_image && static_cast<int64_t>(image.lsn) >
+                        source_durable_lsn_gauge_.Value()) {
+    source_durable_lsn_gauge_.Set(static_cast<int64_t>(image.lsn));
   }
   if (!need_rebase) return Status::Ok();
 
@@ -115,10 +121,15 @@ Status LogShipper::SyncCheckpoint(bool need_rebase) {
       &apply_stats_);
   if (rebuilt == nullptr) return st;
   rebuilt->SetRole(SubscriptionEngine::EngineRole::kFollower);
+  // The replica registry dies with the engine it belongs to: withdraw the
+  // shipper's metrics before the swap and re-home them on the rebuilt
+  // engine, or attached_reg_ would dangle into the destroyed registry.
+  DetachMetrics();
   engine_ = std::move(rebuilt);
+  AttachMetrics(&engine_->metrics());
   cursor_lsn_ = replica_ckpt_lsn_;
   mirror_max_lsn_ = 0;  // pre-gap mirror content no longer constrains copies
-  ++stats_.checkpoint_catchups;
+  checkpoint_catchups_.Add(1);
   return Status::Ok();
 }
 
@@ -184,7 +195,7 @@ Status LogShipper::ShipSegment(const SegmentFileInfo& info, bool* stop) {
     Mirror m;
     m.seg = std::move(seg);
     it = mirror_.emplace(info.seq, std::move(m)).first;
-    ++stats_.segments_mirrored;
+    segments_mirrored_.Add(1);
   }
   Mirror& m = it->second;
 
@@ -202,7 +213,7 @@ Status LogShipper::ShipSegment(const SegmentFileInfo& info, bool* stop) {
   m.tail = end;
   m.last_lsn = recs.back().lsn;
   mirror_max_lsn_ = copied_max;
-  stats_.bytes_shipped += buf.size();
+  bytes_shipped_.Add(static_cast<uint64_t>(buf.size()));
 
   // Apply behind the cursor only after the bytes are mirror-durable, so a
   // promoted node's files always cover its in-memory state.
@@ -210,7 +221,7 @@ Status LogShipper::ShipSegment(const SegmentFileInfo& info, bool* stop) {
     if (rec.lsn <= cursor_lsn_) continue;
     engine_->ApplyReplicated(rec, &apply_stats_);
     cursor_lsn_ = rec.lsn;
-    ++stats_.records_applied;
+    records_applied_.Add(1);
   }
   return Status::Ok();
 }
@@ -233,7 +244,7 @@ Status LogShipper::GcMirror(uint64_t oldest_live_seq) {
     const std::string path = m.seg->path();
     it = mirror_.erase(it);  // close the handle before unlinking
     std::remove(path.c_str());
-    ++stats_.mirror_segments_unlinked;
+    mirror_unlinked_.Add(1);
   }
   return Status::Ok();
 }
@@ -242,6 +253,8 @@ Status LogShipper::ShipOnce() {
   if (engine_ == nullptr) {
     return Status::FailedPrecondition("shipper was already promoted");
   }
+  ACCL_TRACE_SPAN("ship_once");
+  WallTimer pass_timer;
   const std::vector<SegmentFileInfo> live =
       ListSegmentFiles(options_.source_wal_base);
 
@@ -266,17 +279,22 @@ Status LogShipper::ShipOnce() {
   if (st.ok() && !live.empty()) {
     st = GcMirror(live.front().seq);
   }
+  ship_pass_us_.Record(static_cast<uint64_t>(
+      std::max(0.0, std::round(pass_timer.ElapsedMs() * 1000.0))));
   if (!st.ok()) {
-    ++stats_.ship_errors;
+    ship_errors_.Add(1);
     return st;
   }
-  ++stats_.ship_passes;
-  stats_.cursor_lsn = cursor_lsn_;
-  stats_.source_durable_lsn =
-      std::max(stats_.source_durable_lsn, mirror_max_lsn_);
-  stats_.lag_records = stats_.source_durable_lsn > cursor_lsn_
-                           ? stats_.source_durable_lsn - cursor_lsn_
-                           : 0;
+  ship_passes_.Add(1);
+  cursor_lsn_gauge_.Set(static_cast<int64_t>(cursor_lsn_));
+  if (static_cast<int64_t>(mirror_max_lsn_) >
+      source_durable_lsn_gauge_.Value()) {
+    source_durable_lsn_gauge_.Set(static_cast<int64_t>(mirror_max_lsn_));
+  }
+  const int64_t source_lsn = source_durable_lsn_gauge_.Value();
+  lag_records_gauge_.Set(source_lsn > static_cast<int64_t>(cursor_lsn_)
+                             ? source_lsn - static_cast<int64_t>(cursor_lsn_)
+                             : 0);
   return Status::Ok();
 }
 
@@ -323,9 +341,72 @@ Status LogShipper::Promote(const DurabilityOptions& durability_options,
       out->engine.get(), out->wal.get(), out->checkpoints.get(), cp_opts);
   out->engine->SetCheckpointer(out->checkpointer.get());
   out->recovery = apply_stats_;
-  stats_.promoted = true;
-  stats_.cursor_lsn = cursor_lsn_;
+  promoted_gauge_.Set(1);
+  cursor_lsn_gauge_.Set(static_cast<int64_t>(cursor_lsn_));
+  // The promoted engine (and its registry) outlives this shipper, and the
+  // shipper-owned counters stop meaning anything for a primary: withdraw
+  // them now rather than leaving dangling registrants behind.
+  DetachMetrics();
   return Status::Ok();
+}
+
+ReplicationStats LogShipper::stats() const {
+  ReplicationStats s;
+  s.cursor_lsn = static_cast<Lsn>(cursor_lsn_gauge_.Value());
+  s.source_durable_lsn = static_cast<Lsn>(source_durable_lsn_gauge_.Value());
+  s.lag_records = static_cast<uint64_t>(lag_records_gauge_.Value());
+  s.ship_passes = ship_passes_.Value();
+  s.records_applied = records_applied_.Value();
+  s.bytes_shipped = bytes_shipped_.Value();
+  s.segments_mirrored = segments_mirrored_.Value();
+  s.mirror_segments_unlinked = mirror_unlinked_.Value();
+  s.checkpoint_catchups = checkpoint_catchups_.Value();
+  s.ship_errors = ship_errors_.Value();
+  s.promoted = promoted_gauge_.Value() != 0;
+  return s;
+}
+
+void LogShipper::DetachMetrics() {
+  if (attached_reg_ == nullptr) return;
+  for (const char* name :
+       {"accl_repl_ship_passes_total", "accl_repl_records_applied_total",
+        "accl_repl_bytes_shipped_total", "accl_repl_segments_mirrored_total",
+        "accl_repl_mirror_segments_unlinked_total",
+        "accl_repl_checkpoint_catchups_total", "accl_repl_ship_errors_total",
+        "accl_repl_ship_pass_us", "accl_repl_cursor_lsn",
+        "accl_repl_source_durable_lsn", "accl_repl_lag_records",
+        "accl_repl_promoted"}) {
+    attached_reg_->Detach(name);
+  }
+  attached_reg_ = nullptr;
+}
+
+void LogShipper::AttachMetrics(obs::MetricsRegistry* reg) {
+  attached_reg_ = reg;
+  reg->Attach("accl_repl_ship_passes_total", &ship_passes_,
+              "successful replication passes");
+  reg->Attach("accl_repl_records_applied_total", &records_applied_,
+              "records applied to the follower");
+  reg->Attach("accl_repl_bytes_shipped_total", &bytes_shipped_,
+              "bytes copied into the mirror chain");
+  reg->Attach("accl_repl_segments_mirrored_total", &segments_mirrored_,
+              "mirror segments created");
+  reg->Attach("accl_repl_mirror_segments_unlinked_total", &mirror_unlinked_,
+              "mirror segments garbage-collected");
+  reg->Attach("accl_repl_checkpoint_catchups_total", &checkpoint_catchups_,
+              "follower re-bases from the source checkpoint");
+  reg->Attach("accl_repl_ship_errors_total", &ship_errors_,
+              "replication passes that failed");
+  reg->Attach("accl_repl_ship_pass_us", &ship_pass_us_,
+              "duration of each replication pass (us)");
+  reg->Attach("accl_repl_cursor_lsn", &cursor_lsn_gauge_,
+              "highest LSN applied to the follower");
+  reg->Attach("accl_repl_source_durable_lsn", &source_durable_lsn_gauge_,
+              "highest source LSN observed");
+  reg->Attach("accl_repl_lag_records", &lag_records_gauge_,
+              "records the follower is behind the source");
+  reg->Attach("accl_repl_promoted", &promoted_gauge_,
+              "1 after a successful promotion");
 }
 
 }  // namespace accl::durability

@@ -51,6 +51,7 @@
 #include "api/types.h"
 #include "durability/checkpoint.h"
 #include "durability/segment.h"
+#include "obs/metrics.h"
 #include "sdi/subscription_engine.h"
 #include "storage/sim_disk.h"
 
@@ -106,7 +107,15 @@ class LogShipper {
   /// promoted: Match serves, Subscribe/Unsubscribe refuse.
   SubscriptionEngine* engine() const { return engine_.get(); }
 
-  ReplicationStats stats() const { return stats_; }
+  ReplicationStats stats() const;
+
+  /// Registers the shipper's metrics (ship-pass/record/byte counters, the
+  /// per-pass duration histogram, cursor/lag gauges) into `reg` under the
+  /// accl_repl_* names. Create() attaches them to the follower engine's
+  /// registry automatically; the shipper detaches in its destructor and
+  /// on a successful Promote (the promoted engine — and its registry —
+  /// outlives the discarded shipper).
+  void AttachMetrics(obs::MetricsRegistry* reg);
 
  private:
   LogShipper(AttributeSchema schema, EngineOptions engine_options,
@@ -142,7 +151,25 @@ class LogShipper {
   Lsn replica_ckpt_lsn_ = 0;  ///< LSN of the image in the replica store
   Lsn mirror_max_lsn_ = 0;    ///< highest LSN ever copied; continuity guard
   RecoveryStats apply_stats_;
-  ReplicationStats stats_;
+
+  /// Replication telemetry on obs primitives: one driver thread writes,
+  /// stats() and any attached registry read atomically from anywhere.
+  obs::Counter ship_passes_;
+  obs::Counter records_applied_;
+  obs::Counter bytes_shipped_;
+  obs::Counter segments_mirrored_;
+  obs::Counter mirror_unlinked_;
+  obs::Counter checkpoint_catchups_;
+  obs::Counter ship_errors_;
+  obs::Histogram ship_pass_us_;  ///< duration of each ShipOnce pass
+  obs::Gauge cursor_lsn_gauge_;
+  obs::Gauge source_durable_lsn_gauge_;
+  obs::Gauge lag_records_gauge_;
+  obs::Gauge promoted_gauge_;  ///< 0/1
+  obs::MetricsRegistry* attached_reg_ = nullptr;
+
+  /// Withdraws the accl_repl_* names from attached_reg_ (if any).
+  void DetachMetrics();
 };
 
 }  // namespace accl::durability

@@ -1,14 +1,25 @@
 #include "durability/wal.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/digest.h"
 #include "util/serialize.h"
 
 namespace accl::durability {
+
+namespace {
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
 
 WriteAheadLog::WriteAheadLog(std::string base_path, Options options)
     : base_path_(std::move(base_path)), options_(options) {}
@@ -139,6 +150,7 @@ Lsn WriteAheadLog::Append(WalRecordType type, ObjectId first_id,
     payload.PutBytes(coords, static_cast<size_t>(count) * 2 * nd * 4);
   }
   Pending p;
+  p.enqueue_ns = NowNs();
   p.payload_hash =
       Fnv1aBytes(kFnvOffsetBasis, payload.bytes().data(), payload.size());
   p.payload.assign(payload.bytes().begin(), payload.bytes().end());
@@ -149,8 +161,8 @@ Lsn WriteAheadLog::Append(WalRecordType type, ObjectId first_id,
   p.lsn = lsn;
   pending_bytes_ += kFrameHeaderBytes + p.payload.size();
   pending_.push(std::move(p));
-  ++records_appended_;
   lk.unlock();
+  records_appended_.Add();
   flush_cv_.notify_one();
   return lsn;
 }
@@ -194,11 +206,21 @@ void WriteAheadLog::FlusherLoop() {
     const Lsn last = items.back().lsn;
     lk.unlock();
     const bool ok = WriteBatch(items);
+    if (ok) {
+      // Enqueue -> durable: the latency each covered record's WaitDurable
+      // ack is bounded below by. Recorded off the queue lock.
+      const uint64_t now = NowNs();
+      for (const Pending& p : items) {
+        commit_latency_us_.Record((now - p.enqueue_ns) / 1000);
+      }
+      records_per_sync_.Record(items.size());
+      flush_batches_.Add();
+      bytes_appended_.Add(batch_bytes);
+      durable_lsn_gauge_.Set(static_cast<int64_t>(last));
+    }
     lk.lock();
     if (ok) {
       durable_lsn_ = last;
-      ++flush_batches_;
-      bytes_appended_ += batch_bytes;
     } else {
       // The failed batch was never acknowledged; everything still queued
       // can never become durable either. Break the log and wake every
@@ -212,6 +234,8 @@ void WriteAheadLog::FlusherLoop() {
 }
 
 bool WriteAheadLog::WriteBatch(const std::vector<Pending>& items) {
+  ACCL_TRACE_SPAN_ARG("wal_write_batch",
+                      static_cast<uint32_t>(items.size()));
   std::lock_guard<std::mutex> lk(io_mu_);
   LiveSeg* tail = &segments_.back();
   if (tail->tail - kSegmentPreambleBytes >= options_.segment_bytes) {
@@ -273,7 +297,7 @@ bool WriteAheadLog::RotateLocked(Lsn base_lsn) {
     spares_.pop_back();
     seg = WalSegment::Recycle(live, seq, base_lsn, options_.disk);
     if (seg == nullptr) return false;
-    segments_recycled_.fetch_add(1, std::memory_order_relaxed);
+    segments_recycled_.Add();
   } else {
     seg = WalSegment::Create(live, options_.page_bytes, seq, base_lsn,
                              options_.disk);
@@ -282,7 +306,7 @@ bool WriteAheadLog::RotateLocked(Lsn base_lsn) {
   LiveSeg ls;
   ls.seg = std::move(seg);
   segments_.push_back(std::move(ls));
-  segments_rotated_.fetch_add(1, std::memory_order_relaxed);
+  segments_rotated_.Add();
   UpdateSegmentGauges();
   return true;
 }
@@ -427,6 +451,7 @@ bool WriteAheadLog::Replay(Lsn after,
 }
 
 Status WriteAheadLog::Truncate(Lsn up_to) {
+  ACCL_TRACE_SPAN("wal_truncate");
   if (up_to == kNoLsn) return Status::Ok();
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -467,50 +492,80 @@ Status WriteAheadLog::Truncate(Lsn up_to) {
       }
       if (options_.disk != nullptr) options_.disk->NoteRename();
       spares_.push_back(spare);
-      segments_spared_.fetch_add(1, std::memory_order_relaxed);
+      segments_spared_.Add();
     } else {
       if (std::remove(path.c_str()) != 0) {
         return Status::IOError("cannot unlink truncated WAL segment " +
                                path);
       }
       if (options_.disk != nullptr) options_.disk->NoteUnlink();
-      segments_unlinked_.fetch_add(1, std::memory_order_relaxed);
+      segments_unlinked_.Add();
     }
     segments_.pop_front();
   }
   UpdateSegmentGauges();
   io.unlock();
-  std::lock_guard<std::mutex> lk(mu_);
-  ++truncations_;
+  truncations_.Add();
   return Status::Ok();
 }
 
 void WriteAheadLog::UpdateSegmentGauges() {
-  live_segments_.store(segments_.size(), std::memory_order_relaxed);
-  spare_count_.store(spares_.size(), std::memory_order_relaxed);
-  tail_seq_.store(segments_.empty() ? 0 : segments_.back().seg->seq(),
-                  std::memory_order_relaxed);
+  live_segments_.Set(static_cast<int64_t>(segments_.size()));
+  spare_count_.Set(static_cast<int64_t>(spares_.size()));
+  tail_seq_.Set(static_cast<int64_t>(
+      segments_.empty() ? 0 : segments_.back().seg->seq()));
 }
 
 WalStats WriteAheadLog::stats() const {
   WalStats st;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    st.records_appended = records_appended_;
-    st.flush_batches = flush_batches_;
-    st.bytes_appended = bytes_appended_;
-    st.truncations = truncations_;
     st.durable_lsn = durable_lsn_;
     st.applied_low_water = applied_upto_;
   }
-  st.live_segments = live_segments_.load(std::memory_order_relaxed);
-  st.spare_segments = spare_count_.load(std::memory_order_relaxed);
-  st.tail_segment_seq = tail_seq_.load(std::memory_order_relaxed);
-  st.segments_rotated = segments_rotated_.load(std::memory_order_relaxed);
-  st.segments_recycled = segments_recycled_.load(std::memory_order_relaxed);
-  st.segments_unlinked = segments_unlinked_.load(std::memory_order_relaxed);
-  st.segments_spared = segments_spared_.load(std::memory_order_relaxed);
+  st.records_appended = records_appended_.Value();
+  st.flush_batches = flush_batches_.Value();
+  st.bytes_appended = bytes_appended_.Value();
+  st.truncations = truncations_.Value();
+  st.live_segments = static_cast<uint64_t>(live_segments_.Value());
+  st.spare_segments = static_cast<uint64_t>(spare_count_.Value());
+  st.tail_segment_seq = static_cast<uint64_t>(tail_seq_.Value());
+  st.segments_rotated = segments_rotated_.Value();
+  st.segments_recycled = segments_recycled_.Value();
+  st.segments_unlinked = segments_unlinked_.Value();
+  st.segments_spared = segments_spared_.Value();
   return st;
+}
+
+void WriteAheadLog::AttachMetrics(obs::MetricsRegistry* reg) {
+  reg->Attach("accl_wal_records_appended_total", &records_appended_,
+              "records enqueued to the log");
+  reg->Attach("accl_wal_flush_batches_total", &flush_batches_,
+              "flusher write+sync batches (one fsync each)");
+  reg->Attach("accl_wal_bytes_appended_total", &bytes_appended_,
+              "framed bytes written to segments");
+  reg->Attach("accl_wal_truncations_total", &truncations_,
+              "successful Truncate calls");
+  reg->Attach("accl_wal_commit_latency_us", &commit_latency_us_,
+              "enqueue -> durable latency per record (microseconds)");
+  reg->Attach("accl_wal_records_per_sync", &records_per_sync_,
+              "records covered per fsync (group-commit batch size)");
+  reg->Attach("accl_wal_live_segments", &live_segments_,
+              "segments in the live chain");
+  reg->Attach("accl_wal_spare_segments", &spare_count_,
+              "truncated segments held for recycling");
+  reg->Attach("accl_wal_tail_segment_seq", &tail_seq_,
+              "sequence number of the append-tail segment");
+  reg->Attach("accl_wal_durable_lsn", &durable_lsn_gauge_,
+              "highest LSN known durable");
+  reg->Attach("accl_wal_segments_rotated_total", &segments_rotated_,
+              "tail rotations");
+  reg->Attach("accl_wal_segments_recycled_total", &segments_recycled_,
+              "rotations served from the spare pool");
+  reg->Attach("accl_wal_segments_unlinked_total", &segments_unlinked_,
+              "truncated segments unlinked");
+  reg->Attach("accl_wal_segments_spared_total", &segments_spared_,
+              "truncated segments renamed into the spare pool");
 }
 
 }  // namespace accl::durability

@@ -67,6 +67,7 @@
 #include "api/status.h"
 #include "api/types.h"
 #include "durability/segment.h"
+#include "obs/metrics.h"
 #include "storage/sim_disk.h"
 
 namespace accl::durability {
@@ -166,11 +167,19 @@ class WriteAheadLog {
 
   WalStats stats() const;
 
+  /// Registers this log's metrics (counters, segment gauges, the
+  /// enqueue->durable commit-latency histogram and the records-per-sync
+  /// histogram) into `reg` under the accl_wal_* names. The log owns the
+  /// metrics; it must outlive the registry or be detached.
+  void AttachMetrics(obs::MetricsRegistry* reg);
+
  private:
   WriteAheadLog(std::string base_path, Options options);
 
   struct Pending {
     Lsn lsn;
+    uint64_t enqueue_ns;    ///< steady-clock stamp for the commit-latency
+                            ///< histogram (enqueue -> durable)
     uint64_t payload_hash;  ///< Fnv1aBytes over the payload; the flusher
                             ///< folds LSN + generation in O(1) at placement
     std::vector<uint8_t> payload;
@@ -233,20 +242,26 @@ class WriteAheadLog {
   Lsn applied_upto_ = 0;
   std::priority_queue<Lsn, std::vector<Lsn>, std::greater<Lsn>> applied_ooo_;
 
-  uint64_t records_appended_ = 0;
-  uint64_t flush_batches_ = 0;
-  uint64_t bytes_appended_ = 0;
-  uint64_t truncations_ = 0;
-
-  /// Segment gauges/counters, atomics so stats() needs neither io_mu_ nor
-  /// a lock order with mu_.
-  std::atomic<uint64_t> live_segments_{0};
-  std::atomic<uint64_t> spare_count_{0};
-  std::atomic<uint64_t> tail_seq_{0};
-  std::atomic<uint64_t> segments_rotated_{0};
-  std::atomic<uint64_t> segments_recycled_{0};
-  std::atomic<uint64_t> segments_unlinked_{0};
-  std::atomic<uint64_t> segments_spared_{0};
+  /// Lifetime counters, latency histograms and segment gauges: obs
+  /// primitives, so stats() is a thin snapshot read and AttachMetrics can
+  /// expose the same objects on a registry. None need io_mu_ or mu_.
+  obs::Counter records_appended_;
+  obs::Counter flush_batches_;
+  obs::Counter bytes_appended_;
+  obs::Counter truncations_;
+  /// Latency from Append's enqueue to the flusher advancing the durable
+  /// LSN past the record (microseconds) — the group-commit ack path.
+  obs::Histogram commit_latency_us_;
+  /// Records covered per fsync (group-commit batch size).
+  obs::Histogram records_per_sync_;
+  obs::Gauge live_segments_;
+  obs::Gauge spare_count_;
+  obs::Gauge tail_seq_;
+  obs::Gauge durable_lsn_gauge_;
+  obs::Counter segments_rotated_;
+  obs::Counter segments_recycled_;
+  obs::Counter segments_unlinked_;
+  obs::Counter segments_spared_;
 
   std::thread flusher_;
 };

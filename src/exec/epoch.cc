@@ -1,8 +1,9 @@
 #include "exec/epoch.h"
 
-#include <algorithm>
+#include <cmath>
 #include <thread>
 
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace accl::exec {
@@ -37,7 +38,7 @@ EpochManager::~EpochManager() {
   {
     std::lock_guard<std::mutex> lk(retire_mu_);
     for (Retired& r : retired_) r.deleter();
-    reclaimed_count_.fetch_add(retired_.size(), std::memory_order_relaxed);
+    reclaimed_count_.Add(retired_.size());
     retired_.clear();
   }
   SlotBlock* b = head_.next.load(std::memory_order_acquire);
@@ -49,7 +50,7 @@ EpochManager::~EpochManager() {
 }
 
 EpochManager::Guard EpochManager::Pin() {
-  pins_.fetch_add(1, std::memory_order_relaxed);
+  pins_.Add();
   const size_t start = ThreadOrdinal() % SlotBlock::kSlots;
   for (;;) {
     for (SlotBlock* b = &head_; b != nullptr;
@@ -102,7 +103,7 @@ void EpochManager::Retire(std::function<void()> deleter) {
   retired_.push_back(
       Retired{global_epoch_.load(std::memory_order_seq_cst),
               std::move(deleter)});
-  retired_count_.fetch_add(1, std::memory_order_relaxed);
+  retired_count_.Add();
 }
 
 size_t EpochManager::ReclaimUpTo(uint64_t min_active) {
@@ -115,7 +116,7 @@ size_t EpochManager::ReclaimUpTo(uint64_t min_active) {
     ++ran;
   }
   retired_.erase(retired_.begin(), retired_.begin() + ran);
-  reclaimed_count_.fetch_add(ran, std::memory_order_relaxed);
+  reclaimed_count_.Add(ran);
   return ran;
 }
 
@@ -132,7 +133,8 @@ void EpochManager::Synchronize() { SynchronizeImpl(/*reclaim=*/true); }
 void EpochManager::WaitGrace() { SynchronizeImpl(/*reclaim=*/false); }
 
 void EpochManager::SynchronizeImpl(bool reclaim) {
-  synchronizes_.fetch_add(1, std::memory_order_relaxed);
+  ACCL_TRACE_SPAN("epoch_grace_wait");
+  synchronizes_.Add();
   const uint64_t next =
       global_epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
   // Wait for every reader still pinned at a pre-bump epoch. Readers never
@@ -154,41 +156,38 @@ void EpochManager::SynchronizeImpl(bool reclaim) {
     std::this_thread::yield();
   }
   // Record how long the grace period blocked this publisher — the price a
-  // rebalance pays for each snapshot it retires; stats() derives p50/p99
-  // over the resident window.
-  {
-    const double waited_ms = wait_timer.ElapsedMs();
-    std::lock_guard<std::mutex> lk(telemetry_mu_);
-    grace_ms_[grace_count_ % kGraceSamples] = waited_ms;
-    ++grace_count_;
-    if (waited_ms > grace_max_ms_) grace_max_ms_ = waited_ms;
-  }
+  // rebalance pays for each snapshot it retires; stats() and any attached
+  // registry derive p50/p99 from the histogram.
+  grace_wait_us_.Record(static_cast<uint64_t>(
+      std::llround(wait_timer.ElapsedMs() * 1000.0)));
   if (reclaim) ReclaimUpTo(next);
 }
 
 EpochManagerStats EpochManager::stats() const {
   EpochManagerStats st;
   st.epoch = global_epoch_.load(std::memory_order_seq_cst);
-  st.pins = pins_.load(std::memory_order_relaxed);
-  st.synchronizes = synchronizes_.load(std::memory_order_relaxed);
-  st.retired = retired_count_.load(std::memory_order_relaxed);
-  st.reclaimed = reclaimed_count_.load(std::memory_order_relaxed);
+  st.pins = pins_.Value();
+  st.synchronizes = synchronizes_.Value();
+  st.retired = retired_count_.Value();
+  st.reclaimed = reclaimed_count_.Value();
   st.retired_pending = st.retired - st.reclaimed;
-  {
-    std::lock_guard<std::mutex> lk(telemetry_mu_);
-    st.grace_waits = grace_count_;
-    st.grace_wait_max_ms = grace_max_ms_;
-    const size_t n = static_cast<size_t>(
-        std::min<uint64_t>(grace_count_, kGraceSamples));
-    if (n > 0) {
-      double window[kGraceSamples];
-      std::copy(grace_ms_, grace_ms_ + n, window);
-      std::sort(window, window + n);
-      st.grace_wait_p50_ms = window[n / 2];
-      st.grace_wait_p99_ms = window[(n * 99) / 100];
-    }
-  }
+  st.grace_waits = grace_wait_us_.Count();
+  st.grace_wait_p50_ms = grace_wait_us_.Percentile(0.50) / 1000.0;
+  st.grace_wait_p99_ms = grace_wait_us_.Percentile(0.99) / 1000.0;
+  st.grace_wait_max_ms = static_cast<double>(grace_wait_us_.Max()) / 1000.0;
   return st;
+}
+
+void EpochManager::AttachMetrics(obs::MetricsRegistry* reg) {
+  reg->Attach("accl_epoch_pins_total", &pins_, "lifetime epoch pins");
+  reg->Attach("accl_epoch_synchronizes_total", &synchronizes_,
+              "grace periods driven (Synchronize + WaitGrace)");
+  reg->Attach("accl_epoch_retired_total", &retired_count_,
+              "deleters deferred through the retire list");
+  reg->Attach("accl_epoch_reclaimed_total", &reclaimed_count_,
+              "deferred deleters that have run");
+  reg->Attach("accl_epoch_grace_wait_us", &grace_wait_us_,
+              "grace-period wait per Synchronize/WaitGrace (microseconds)");
 }
 
 }  // namespace accl::exec

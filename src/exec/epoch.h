@@ -52,9 +52,14 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace accl::exec {
 
-/// Aggregate counters for observability (relaxed; monotone).
+/// Aggregate counters for observability (relaxed; monotone). A thin
+/// snapshot read of the manager's obs metrics (kept for API
+/// compatibility — the same numbers surface through a MetricsRegistry
+/// the manager is attached to).
 struct EpochManagerStats {
   uint64_t epoch = 0;            ///< current global epoch
   uint64_t pins = 0;             ///< lifetime Pin() calls
@@ -63,9 +68,10 @@ struct EpochManagerStats {
   uint64_t reclaimed = 0;        ///< retired entries whose deleter has run
   uint64_t retired_pending = 0;  ///< retired entries awaiting reclamation
   /// Grace-period wait telemetry: how long Synchronize() calls blocked
-  /// waiting for pre-bump readers to drain. Percentiles are computed over
-  /// a sliding window of the most recent waits (EpochManager::
-  /// kGraceSamples), so they track current behavior, not lifetime history.
+  /// waiting for pre-bump readers to drain. Derived from a log-bucketed
+  /// lifetime histogram (obs::Histogram, microsecond resolution), so the
+  /// percentiles are quantized to <= 12.5% relative error; the max is
+  /// exact to the microsecond.
   uint64_t grace_waits = 0;       ///< Synchronize() calls measured
   double grace_wait_p50_ms = 0.0;
   double grace_wait_p99_ms = 0.0;
@@ -166,8 +172,16 @@ class EpochManager {
 
   EpochManagerStats stats() const;
 
-  /// Sliding-window size for the grace-wait percentile telemetry.
-  static constexpr size_t kGraceSamples = 256;
+  /// Registers this manager's metrics (pins/synchronizes/retired/
+  /// reclaimed counters, grace-wait histogram) into `reg` under the
+  /// accl_epoch_* names. The manager owns the metrics; it must outlive
+  /// the registry or be detached.
+  void AttachMetrics(obs::MetricsRegistry* reg);
+
+  /// The grace-wait histogram (microseconds), for direct inspection.
+  const obs::Histogram& grace_wait_histogram() const {
+    return grace_wait_us_;
+  }
 
  private:
   // One reader slot per cache line; 0 = quiescent, else the pinned epoch.
@@ -200,18 +214,14 @@ class EpochManager {
   mutable std::mutex retire_mu_;
   std::vector<Retired> retired_;  ///< epoch-ordered (Retire stamps monotonically)
 
-  std::atomic<uint64_t> pins_{0};
-  std::atomic<uint64_t> synchronizes_{0};
-  std::atomic<uint64_t> retired_count_{0};
-  std::atomic<uint64_t> reclaimed_count_{0};
-
-  /// Grace-wait telemetry ring: the most recent kGraceSamples Synchronize
-  /// wait durations (ms). Guarded by telemetry_mu_ (its own lock so
-  /// recording never contends with retire/reclaim).
-  mutable std::mutex telemetry_mu_;
-  double grace_ms_[kGraceSamples] = {};
-  uint64_t grace_count_ = 0;
-  double grace_max_ms_ = 0.0;
+  /// Lifetime counters and the grace-wait latency histogram
+  /// (microseconds): obs primitives so AttachMetrics can expose them on a
+  /// registry while stats() keeps serving thin snapshot reads.
+  obs::Counter pins_;
+  obs::Counter synchronizes_;
+  obs::Counter retired_count_;
+  obs::Counter reclaimed_count_;
+  obs::Histogram grace_wait_us_;
 };
 
 }  // namespace accl::exec

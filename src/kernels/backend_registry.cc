@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "kernels/backends.h"
+#include "obs/metrics.h"
 
 namespace accl::kernels {
 
@@ -25,6 +26,15 @@ BackendRegistry::BackendRegistry() : host_(HostCpuFeatures()) {
 #if defined(ACCL_KERNEL_HAVE_AVX512)
   add(MakeAvx512Backend());
 #endif
+  // Per-backend dispatch counters live on the process-default registry:
+  // the backends are process-wide singletons (this registry is leaked),
+  // so the lifetime contract of Attach holds trivially.
+  for (const VerifyBackend* b : all_) {
+    obs::MetricsRegistry::Default().Attach(
+        std::string("accl_kernel_dispatch_") + b->name() + "_total",
+        b->dispatch_counter(),
+        "VerifyBatch dispatches through this backend");
+  }
 }
 
 const BackendRegistry& BackendRegistry::Instance() {
@@ -86,8 +96,9 @@ std::string BackendRegistry::BackendNames() const {
 size_t VerifyBatch(const float* coords, const ObjectId* ids, size_t n,
                    const BatchQuery& bq, std::vector<ObjectId>* out,
                    uint64_t* dims_checked) {
-  return BackendRegistry::Instance().Resolve("")->VerifyBatch(
-      coords, ids, n, bq, out, dims_checked);
+  const VerifyBackend* b = BackendRegistry::Instance().Resolve("");
+  b->NoteDispatch();
+  return b->VerifyBatch(coords, ids, n, bq, out, dims_checked);
 }
 
 }  // namespace accl::kernels

@@ -17,6 +17,7 @@
 #include "api/types.h"
 #include "geometry/predicates.h"
 #include "kernels/cpu_features.h"
+#include "obs/metrics.h"
 
 namespace accl::kernels {
 
@@ -99,6 +100,20 @@ class VerifyBackend {
                                    float le_bound, float ge_bound,
                                    const uint32_t* in, size_t n,
                                    uint32_t* out_slots) const;
+
+  // ---- Dispatch accounting -------------------------------------------
+  //
+  // Call sites that resolve a backend once and loop (the adaptive index's
+  // verify loop) note each dispatch here; the BackendRegistry attaches
+  // every registered backend's counter to the process-default
+  // MetricsRegistry as accl_kernel_dispatch_<name>_total, so engine
+  // metric dumps show which kernel actually ran and how often.
+  void NoteDispatch() const { dispatch_count_.Add(1); }
+  uint64_t dispatch_count() const { return dispatch_count_.Value(); }
+  obs::Counter* dispatch_counter() const { return &dispatch_count_; }
+
+ private:
+  mutable obs::Counter dispatch_count_;
 };
 
 }  // namespace accl::kernels

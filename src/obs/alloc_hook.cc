@@ -1,0 +1,28 @@
+#include "obs/alloc_hook.h"
+
+namespace accl::obs {
+
+namespace {
+std::atomic<bool> g_hook_installed{false};
+}  // namespace
+
+std::atomic<uint64_t>& HeapAllocCount() {
+  // Constant-initialized function-local: safe to touch from the very
+  // first allocation a hooked binary performs, even before main.
+  static std::atomic<uint64_t> count{0};
+  return count;
+}
+
+uint64_t HeapAllocsNow() {
+  return HeapAllocCount().load(std::memory_order_relaxed);
+}
+
+bool HeapAllocHookInstalled() {
+  return g_hook_installed.load(std::memory_order_relaxed);
+}
+
+void MarkHeapAllocHookInstalled() {
+  g_hook_installed.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace accl::obs

@@ -1,0 +1,308 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace accl::obs {
+
+namespace {
+
+/// Dense process-wide thread ordinal (same probe-seed idiom as the epoch
+/// manager's): a counter cell index, never a correctness input.
+size_t ThreadOrdinal() {
+  static std::atomic<size_t> counter{0};
+  thread_local const size_t ordinal =
+      counter.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+void AppendJsonNumber(std::string* out, double v) {
+  // Metric values are counts and quantized quantiles; fixed notation with
+  // trailing-zero trim keeps the dump compact and parseable everywhere.
+  char buf[64];
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::abs(v) < 9.0e15) {
+    std::snprintf(buf, sizeof buf, "%lld",
+                  static_cast<long long>(static_cast<int64_t>(v)));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+  }
+  out->append(buf);
+}
+
+}  // namespace
+
+size_t Counter::CellIndex() { return ThreadOrdinal() % kCells; }
+
+void Histogram::MergeFrom(const Histogram& other) {
+  for (size_t i = 0; i < kBuckets; ++i) {
+    const uint64_t n = other.counts_[i].load(std::memory_order_relaxed);
+    if (n != 0) counts_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  const uint64_t omax = other.max_.load(std::memory_order_relaxed);
+  uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (prev < omax && !max_.compare_exchange_weak(
+                            prev, omax, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Percentile(double q) const {
+  const uint64_t n = Count();
+  if (n == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(n))));
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    cum += counts_[i].load(std::memory_order_relaxed);
+    if (cum >= rank) {
+      const double mid = static_cast<double>(BucketLow(i)) +
+                         static_cast<double>(BucketWidth(i) - 1) / 2.0;
+      // Clamp to the exact recorded max so pXX <= max always holds even
+      // when max sits at its bucket's lower edge.
+      return std::min(mid, static_cast<double>(Max()));
+    }
+  }
+  return static_cast<double>(Max());  // racy count ahead of bucket adds
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot s;
+  s.count = Count();
+  s.sum = Sum();
+  s.max = Max();
+  s.p50 = Percentile(0.50);
+  s.p90 = Percentile(0.90);
+  s.p99 = Percentile(0.99);
+  return s;
+}
+
+MetricsSnapshot MetricsSnapshot::DeltaSince(const MetricsSnapshot& base) const {
+  MetricsSnapshot out = *this;
+  for (auto& [name, v] : out.values) {
+    const MetricValue* b = base.Find(name);
+    if (b == nullptr || b->type != v.type) continue;
+    if (v.type == MetricType::kCounter) {
+      v.counter -= std::min(v.counter, b->counter);
+    } else if (v.type == MetricType::kHistogram) {
+      v.hist.count -= std::min(v.hist.count, b->hist.count);
+      v.hist.sum -= std::min(v.hist.sum, b->hist.sum);
+    }
+  }
+  return out;
+}
+
+const MetricValue* MetricsSnapshot::Find(const std::string& name) const {
+  const auto it = std::lower_bound(
+      values.begin(), values.end(), name,
+      [](const auto& p, const std::string& n) { return p.first < n; });
+  if (it == values.end() || it->first != name) return nullptr;
+  return &it->second;
+}
+
+std::string PrometheusText(const MetricsSnapshot& snap) {
+  std::string out;
+  out.reserve(snap.values.size() * 64);
+  for (const auto& [name, v] : snap.values) {
+    switch (v.type) {
+      case MetricType::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + " ";
+        AppendJsonNumber(&out, static_cast<double>(v.counter));
+        out += "\n";
+        break;
+      case MetricType::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " ";
+        AppendJsonNumber(&out, static_cast<double>(v.gauge));
+        out += "\n";
+        break;
+      case MetricType::kHistogram: {
+        out += "# TYPE " + name + " summary\n";
+        const auto q = [&](const char* label, double val) {
+          out += name + "{quantile=\"" + label + "\"} ";
+          AppendJsonNumber(&out, val);
+          out += "\n";
+        };
+        q("0.5", v.hist.p50);
+        q("0.9", v.hist.p90);
+        q("0.99", v.hist.p99);
+        out += name + "_sum ";
+        AppendJsonNumber(&out, static_cast<double>(v.hist.sum));
+        out += "\n" + name + "_count ";
+        AppendJsonNumber(&out, static_cast<double>(v.hist.count));
+        out += "\n" + name + "_max ";
+        AppendJsonNumber(&out, static_cast<double>(v.hist.max));
+        out += "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string JsonDump(const MetricsSnapshot& snap) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, v] : snap.values) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":";
+    switch (v.type) {
+      case MetricType::kCounter:
+        AppendJsonNumber(&out, static_cast<double>(v.counter));
+        break;
+      case MetricType::kGauge:
+        AppendJsonNumber(&out, static_cast<double>(v.gauge));
+        break;
+      case MetricType::kHistogram:
+        out += "{\"count\":";
+        AppendJsonNumber(&out, static_cast<double>(v.hist.count));
+        out += ",\"sum\":";
+        AppendJsonNumber(&out, static_cast<double>(v.hist.sum));
+        out += ",\"max\":";
+        AppendJsonNumber(&out, static_cast<double>(v.hist.max));
+        out += ",\"p50\":";
+        AppendJsonNumber(&out, v.hist.p50);
+        out += ",\"p90\":";
+        AppendJsonNumber(&out, v.hist.p90);
+        out += ",\"p99\":";
+        AppendJsonNumber(&out, v.hist.p99);
+        out += "}";
+        break;
+    }
+  }
+  out += "}";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* reg = new MetricsRegistry();  // never destroyed
+  return *reg;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    ACCL_CHECK(it->second.type == MetricType::kCounter);
+    return it->second.c;
+  }
+  auto owned = std::make_shared<Counter>();
+  Entry e;
+  e.type = MetricType::kCounter;
+  e.help = help;
+  e.c = owned.get();
+  e.owned = owned;
+  entries_.emplace(name, std::move(e));
+  return owned.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    ACCL_CHECK(it->second.type == MetricType::kGauge);
+    return it->second.g;
+  }
+  auto owned = std::make_shared<Gauge>();
+  Entry e;
+  e.type = MetricType::kGauge;
+  e.help = help;
+  e.g = owned.get();
+  e.owned = owned;
+  entries_.emplace(name, std::move(e));
+  return owned.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    ACCL_CHECK(it->second.type == MetricType::kHistogram);
+    return it->second.h;
+  }
+  auto owned = std::make_shared<Histogram>();
+  Entry e;
+  e.type = MetricType::kHistogram;
+  e.help = help;
+  e.h = owned.get();
+  e.owned = owned;
+  entries_.emplace(name, std::move(e));
+  return owned.get();
+}
+
+void MetricsRegistry::Attach(const std::string& name, Counter* c,
+                             const std::string& help) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Entry e;
+  e.type = MetricType::kCounter;
+  e.help = help;
+  e.c = c;
+  entries_[name] = std::move(e);
+}
+
+void MetricsRegistry::Attach(const std::string& name, Gauge* g,
+                             const std::string& help) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Entry e;
+  e.type = MetricType::kGauge;
+  e.help = help;
+  e.g = g;
+  entries_[name] = std::move(e);
+}
+
+void MetricsRegistry::Attach(const std::string& name, Histogram* h,
+                             const std::string& help) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Entry e;
+  e.type = MetricType::kHistogram;
+  e.help = help;
+  e.h = h;
+  entries_[name] = std::move(e);
+}
+
+void MetricsRegistry::Detach(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  entries_.erase(name);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  MetricsSnapshot snap;
+  snap.values.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {  // map iteration = name-sorted
+    MetricValue v;
+    v.type = e.type;
+    switch (e.type) {
+      case MetricType::kCounter:
+        v.counter = e.c->Value();
+        break;
+      case MetricType::kGauge:
+        v.gauge = e.g->Value();
+        break;
+      case MetricType::kHistogram:
+        v.hist = e.h->Snapshot();
+        break;
+    }
+    snap.values.emplace_back(name, v);
+  }
+  return snap;
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_.size();
+}
+
+}  // namespace accl::obs

@@ -1,0 +1,114 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace accl::obs {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::atomic<uint32_t> TraceRecorder::enabled_{0};
+
+TraceRecorder::TraceRecorder() : epoch_ns_(NowNs()) {}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* rec = new TraceRecorder();  // never destroyed
+  return *rec;
+}
+
+void TraceRecorder::SetRingCapacity(size_t events) {
+  if (events == 0) events = 1;
+  ring_capacity_.store(events, std::memory_order_relaxed);
+}
+
+TraceRecorder::Ring* TraceRecorder::RingForThisThread() {
+  thread_local Ring* ring = nullptr;
+  if (__builtin_expect(ring == nullptr, 0)) {
+    std::lock_guard<std::mutex> lk(mu_);
+    rings_.push_back(std::make_unique<Ring>(
+        ring_capacity_.load(std::memory_order_relaxed),
+        static_cast<uint32_t>(rings_.size())));
+    ring = rings_.back().get();
+  }
+  return ring;
+}
+
+void TraceRecorder::Record(const char* name, Phase phase, uint32_t arg) {
+  Ring* r = RingForThisThread();
+  const uint64_t h = r->head.load(std::memory_order_relaxed);
+  Event& e = r->slots[h % r->slots.size()];
+  e.name = name;
+  e.ts_ns = NowNs() - epoch_ns_;
+  e.arg = arg;
+  e.phase = phase;
+  r->head.store(h + 1, std::memory_order_release);
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& r : rings_) {
+    // A concurrent writer may interleave; Clear is a quiesced-use tool
+    // like the drain. Resetting head alone drops the contents.
+    r->head.store(0, std::memory_order_release);
+  }
+}
+
+size_t TraceRecorder::EventCount() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  size_t n = 0;
+  for (const auto& r : rings_) {
+    n += static_cast<size_t>(std::min<uint64_t>(
+        r->head.load(std::memory_order_acquire), r->slots.size()));
+  }
+  return n;
+}
+
+std::string TraceRecorder::DrainChromeJson() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buf[160];
+  for (const auto& r : rings_) {
+    const uint64_t head = r->head.load(std::memory_order_acquire);
+    const uint64_t cap = r->slots.size();
+    const uint64_t n = std::min(head, cap);
+    for (uint64_t i = head - n; i < head; ++i) {
+      const Event& e = r->slots[i % cap];
+      if (e.name == nullptr) continue;
+      const char* ph =
+          e.phase == kBegin ? "B" : (e.phase == kEnd ? "E" : "i");
+      const double ts_us = static_cast<double>(e.ts_ns) / 1000.0;
+      int len;
+      if (e.phase == kInstant) {
+        len = std::snprintf(buf, sizeof buf,
+                            "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\","
+                            "\"ts\":%.3f,\"pid\":1,\"tid\":%u,"
+                            "\"args\":{\"v\":%u}}",
+                            e.name, ts_us, r->tid, e.arg);
+      } else {
+        len = std::snprintf(buf, sizeof buf,
+                            "{\"name\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,"
+                            "\"pid\":1,\"tid\":%u,\"args\":{\"v\":%u}}",
+                            e.name, ph, ts_us, r->tid, e.arg);
+      }
+      if (len <= 0) continue;
+      if (!first) out += ",";
+      first = false;
+      out.append(buf, static_cast<size_t>(len));
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace accl::obs

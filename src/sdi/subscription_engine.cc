@@ -6,8 +6,11 @@
 #include <cstdlib>
 #include <numeric>
 #include <thread>
+#include <tuple>
 #include <unordered_set>
 #include <utility>
+
+#include <cmath>
 
 #include "adapt/pattern_tracker.h"
 #include "adapt/routing_advisor.h"
@@ -15,6 +18,8 @@
 #include "durability/wal.h"
 #include "exec/shard_queues.h"
 #include "kernels/backend_registry.h"
+#include "obs/alloc_hook.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -112,6 +117,93 @@ struct SubscriptionEngine::PipelineScratch {
   /// Off-lock fold buffer for the adaptive tracker's event sampling
   /// (pooled here so steady-state batches allocate nothing).
   adapt::PatternAccumulator pattern;
+};
+
+// Registry-owned handles for the engine's own metrics. Everything here is
+// created on (and owned by) the engine's MetricsRegistry, so the handles
+// are plain pointers with the registry's lifetime; components the engine
+// merely wires in (WAL, checkpointer, epoch manager, log shipper) own
+// their metrics themselves and Attach() them instead.
+struct SubscriptionEngine::EngineObs {
+  explicit EngineObs(obs::MetricsRegistry* r)
+      : batches(r->GetCounter("accl_pipeline_batches_total",
+                              "MatchBatch pipeline runs")),
+        events(r->GetCounter("accl_pipeline_events_total",
+                             "events matched through the batch pipeline")),
+        events_routed(r->GetCounter(
+            "accl_pipeline_events_routed_total",
+            "per-shard event dispatches (one event may visit many shards)")),
+        chunks_claimed(r->GetCounter("accl_pipeline_chunks_claimed_total",
+                                     "shard-queue chunks executed")),
+        chunks_stolen(r->GetCounter(
+            "accl_pipeline_chunks_stolen_total",
+            "chunks a worker claimed off its affine shard")),
+        trylock_failures(r->GetCounter(
+            "accl_pipeline_trylock_failures_total",
+            "failed shard-mutex claim attempts (residual serialization)")),
+        ready_pop_retries(r->GetCounter(
+            "accl_pipeline_ready_pop_retries_total",
+            "lost ready-stack head races (finalize contention)")),
+        matches(r->GetCounter("accl_pipeline_matches_total",
+                              "post-dedup subscription notifications")),
+        batch_us(r->GetHistogram("accl_pipeline_batch_us",
+                                 "MatchBatch end-to-end duration (us)")),
+        boundary_moves(r->GetCounter("accl_rebalance_boundary_moves_total",
+                                     "fence moves applied")),
+        subs_migrated(r->GetCounter(
+            "accl_rebalance_subscriptions_migrated_total",
+            "subscriptions moved by the double-residency protocol")),
+        spill_total(r->GetCounter(
+            "accl_rebalance_predicted_spill_total",
+            "straddler spill the fence planner predicted (lifetime)")),
+        spill_last(r->GetGauge(
+            "accl_rebalance_predicted_spill_last",
+            "straddler spill predicted by the most recent fence move")),
+        migration_us(r->GetHistogram(
+            "accl_rebalance_migration_us",
+            "scan+insert+grace+cleanup duration per routing change (us)")),
+        dimension_switches(r->GetCounter(
+            "accl_adapt_dimension_switches_total",
+            "online fence-dimension switches (advisor or manual)")),
+        overflow_splits(r->GetCounter(
+            "accl_adapt_overflow_splits_total",
+            "overflow-shard split activations (advisor or manual)")),
+        straddlers_split(r->GetCounter(
+            "accl_adapt_straddlers_split_total",
+            "straddlers moved out of the catch-all shard by splits")),
+        windows_evaluated(r->GetCounter("accl_adapt_windows_evaluated_total",
+                                        "advisor windows evaluated")),
+        subscriptions(r->GetGauge("accl_engine_subscriptions",
+                                  "live subscriptions")),
+        heap_allocs(r->GetGauge(
+            "accl_process_heap_allocs",
+            "lifetime heap allocations (0 unless the binary installed "
+            "ACCL_OBS_INSTALL_GLOBAL_ALLOC_HOOK)")),
+        heap_alloc_hook(r->GetGauge(
+            "accl_process_heap_alloc_hook",
+            "1 when the global allocation hook is installed")) {}
+
+  obs::Counter* batches;
+  obs::Counter* events;
+  obs::Counter* events_routed;
+  obs::Counter* chunks_claimed;
+  obs::Counter* chunks_stolen;
+  obs::Counter* trylock_failures;
+  obs::Counter* ready_pop_retries;
+  obs::Counter* matches;
+  obs::Histogram* batch_us;
+  obs::Counter* boundary_moves;
+  obs::Counter* subs_migrated;
+  obs::Counter* spill_total;
+  obs::Gauge* spill_last;
+  obs::Histogram* migration_us;
+  obs::Counter* dimension_switches;
+  obs::Counter* overflow_splits;
+  obs::Counter* straddlers_split;
+  obs::Counter* windows_evaluated;
+  obs::Gauge* subscriptions;
+  obs::Gauge* heap_allocs;
+  obs::Gauge* heap_alloc_hook;
 };
 
 Event Event::Point(std::vector<float> normalized_point) {
@@ -260,6 +352,9 @@ SubscriptionEngine::SubscriptionEngine(AttributeSchema schema,
                  st.message().c_str());
     std::abort();
   }
+  metrics_ = std::make_unique<obs::MetricsRegistry>();
+  obs_ = std::make_unique<EngineObs>(metrics_.get());
+  epoch_.AttachMetrics(metrics_.get());
   options_.index.nd = schema_.dims();
   RoutingPlan plan;
   uint32_t physical_shards = options_.shards;
@@ -662,10 +757,52 @@ void SubscriptionEngine::SynchronizeEpochs() { epoch_.Synchronize(); }
 
 void SubscriptionEngine::AttachDurability(durability::WriteAheadLog* wal) {
   wal_ = wal;
+  if (wal_ != nullptr) wal_->AttachMetrics(metrics_.get());
 }
 
 void SubscriptionEngine::SetCheckpointer(durability::Checkpointer* cp) {
   checkpointer_ = cp;
+  if (checkpointer_ != nullptr) checkpointer_->AttachMetrics(metrics_.get());
+}
+
+void SubscriptionEngine::RefreshGaugesForDump() const {
+  obs_->subscriptions->Set(static_cast<int64_t>(
+      subscription_count_.load(std::memory_order_relaxed)));
+  obs_->heap_allocs->Set(static_cast<int64_t>(obs::HeapAllocsNow()));
+  obs_->heap_alloc_hook->Set(obs::HeapAllocHookInstalled() ? 1 : 0);
+}
+
+std::string SubscriptionEngine::DumpMetrics() const {
+  RefreshGaugesForDump();
+  // The engine registry holds everything wired through this engine (its
+  // own families plus attached WAL/checkpoint/epoch/replication metrics);
+  // the process-default registry holds per-backend kernel dispatch
+  // counters shared by every engine in the binary.
+  return metrics_->PrometheusText() +
+         obs::MetricsRegistry::Default().PrometheusText();
+}
+
+std::string SubscriptionEngine::DumpMetricsJson() const {
+  RefreshGaugesForDump();
+  obs::MetricsSnapshot snap = metrics_->Snapshot();
+  obs::MetricsSnapshot proc = obs::MetricsRegistry::Default().Snapshot();
+  snap.values.insert(snap.values.end(), proc.values.begin(),
+                     proc.values.end());
+  std::sort(snap.values.begin(), snap.values.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return obs::JsonDump(snap);
+}
+
+std::string SubscriptionEngine::DumpTrace() const {
+  return obs::TraceRecorder::Global().DrainChromeJson();
+}
+
+void SubscriptionEngine::SetTracing(bool on) {
+  obs::TraceRecorder::Global().SetEnabled(on);
+}
+
+bool SubscriptionEngine::tracing_enabled() {
+  return obs::TraceRecorder::enabled();
 }
 
 void SubscriptionEngine::NotifyCheckpointer(uint64_t mutations) {
@@ -795,6 +932,7 @@ void SubscriptionEngine::Match(const Event& event,
 
 void SubscriptionEngine::Match(const Event& event, MatchPolicy policy,
                                std::vector<SubscriptionId>* out) {
+  ACCL_TRACE_SPAN("match_event");
   Query q(event.box, RelationFor(event, policy));
   WallTimer t;
   size_t matched = 0;
@@ -926,6 +1064,9 @@ void SubscriptionEngine::MatchBatchImpl(Span<const Event> events,
     ReleaseScratch(std::move(scratch));
     return;
   }
+  ACCL_TRACE_SPAN_ARG("match_batch", static_cast<uint32_t>(ne));
+  obs_->batches->Add(1);
+  obs_->events->Add(ne);
   WallTimer t;
 
   // Pin once for the whole batch; the pool workers below run under this
@@ -939,26 +1080,32 @@ void SubscriptionEngine::MatchBatchImpl(Span<const Event> events,
   // Per-shard work queues. Broadcast policies enqueue every event on every
   // shard; kRange asks the router, under the one snapshot the whole batch
   // shares, which shards each event's box overlaps.
-  if (range_routed_) {
-    ps.queues.Build(ne, k, [&](size_t e, std::vector<uint32_t>* targets) {
-      RouteEvent(snap->plan, events[e].box, targets);
-    });
-    // Overflow-pressure gauge: resident (owned) subscriptions in the
-    // overflow shard at dispatch time. overflow_shard names the entry so
-    // broadcast callers see "absent", never a silent zero.
-    res->overflow_shard = k - 1;
-    res->per_shard[k - 1].overflow_subscriptions =
-        snap->shards[k - 1]->subs.load(std::memory_order_relaxed);
-  } else {
-    ps.queues.BuildBroadcast(ne, k);
+  {
+    ACCL_TRACE_SPAN("route_scatter");
+    if (range_routed_) {
+      ps.queues.Build(ne, k, [&](size_t e, std::vector<uint32_t>* targets) {
+        RouteEvent(snap->plan, events[e].box, targets);
+      });
+      // Overflow-pressure gauge: resident (owned) subscriptions in the
+      // overflow shard at dispatch time. overflow_shard names the entry so
+      // broadcast callers see "absent", never a silent zero.
+      res->overflow_shard = k - 1;
+      res->per_shard[k - 1].overflow_subscriptions =
+          snap->shards[k - 1]->subs.load(std::memory_order_relaxed);
+    } else {
+      ps.queues.BuildBroadcast(ne, k);
+    }
   }
+  uint64_t routed_total = 0;
   for (size_t s = 0; s < k; ++s) {
     res->per_shard[s].events_routed = ps.queues.size(s);
     res->per_shard[s].resident_subscriptions =
         snap->shards[s]->subs.load(std::memory_order_relaxed);
     snap->shards[s]->routed.fetch_add(ps.queues.size(s),
                                       std::memory_order_relaxed);
+    routed_total += ps.queues.size(s);
   }
+  obs_->events_routed->Add(routed_total);
 
   // Per-event countdowns and the ready stack.
   if (ps.event_cap < ne) {
@@ -1019,12 +1166,18 @@ void SubscriptionEngine::MatchBatchImpl(Span<const Event> events,
   // not run pinned.
   guard.Release();
 
+  uint64_t trylock_fail_total = 0;
+  uint64_t pop_retry_total = 0;
   for (size_t w = 0; w < workers; ++w) {
     for (size_t s = 0; s < k; ++s) {
       res->per_shard[s].try_lock_failures += ps.try_lock_fail[w][s];
+      trylock_fail_total += ps.try_lock_fail[w][s];
     }
     res->ready_pop_retries += ps.pop_retry[w];
+    pop_retry_total += ps.pop_retry[w];
   }
+  obs_->trylock_failures->Add(trylock_fail_total);
+  obs_->ready_pop_retries->Add(pop_retry_total);
   res->AggregateShards();
   // Latency is read after the fan-out drains so the batch path reports the
   // same end-to-end per-event cost Match() reports for its full path.
@@ -1034,10 +1187,15 @@ void SubscriptionEngine::MatchBatchImpl(Span<const Event> events,
   // added the same averaged latency ne times while holding stats_mu_).
   Summary matched_sum;
   Summary verified_sum;
+  uint64_t matched_total = 0;
   for (size_t e = 0; e < ne; ++e) {
     matched_sum.Add(static_cast<double>(ps.matched[e]));
     verified_sum.Add(static_cast<double>(ps.verified[e]));
+    matched_total += ps.matched[e];
   }
+  obs_->matches->Add(matched_total);
+  obs_->batch_us->Record(static_cast<uint64_t>(
+      std::max(0.0, std::round(t.ElapsedMs() * 1000.0))));
   {
     std::lock_guard<std::mutex> lk(stats_mu_);
     stats_.match_latency_ms.AddN(ne, per_event_ms);
@@ -1065,11 +1223,18 @@ void SubscriptionEngine::RunPipelineWorker(size_t worker_id,
                                            MatchSink* sink) {
   const size_t ne = events.size();
   const size_t k = shards_.size();
+  ACCL_TRACE_SPAN_ARG("pipeline_worker", static_cast<uint32_t>(worker_id));
+  // Claim accounting is kept in locals and flushed once after the loop:
+  // the loop body is the engine's hottest path and the obs counters,
+  // while cheap, are still shared cache lines.
+  uint64_t chunks_claimed = 0;
+  uint64_t chunks_stolen = 0;
   std::vector<ObjectId>& buf = ps.gather[worker_id];
 
   // Finalize one ready event: gather its per-shard slices through the
   // inverse visit CSR, sort, dedup under kRange (double-residency), emit.
   const auto finalize = [&](size_t e) {
+    ACCL_TRACE_SPAN_ARG("finalize_event", static_cast<uint32_t>(e));
     buf.clear();
     const size_t deg = ps.queues.item_degree(e);
     const uint32_t* vshards = ps.queues.item_shards(e);
@@ -1179,7 +1344,7 @@ void SubscriptionEngine::RunPipelineWorker(size_t worker_id,
     // Finalization first: it is the only work no mutex guards, and
     // draining it keeps the emit path ahead of execution.
     for (int64_t e; (e = pop_ready()) >= 0;) finalize(static_cast<size_t>(e));
-    if (ps.events_done.load(std::memory_order_acquire) == ne) return;
+    if (ps.events_done.load(std::memory_order_acquire) == ne) break;
 
     bool executed = false;
     size_t first_pending = k;
@@ -1195,10 +1360,16 @@ void SubscriptionEngine::RunPipelineWorker(size_t worker_id,
         ++ps.try_lock_fail[worker_id][s];
         continue;
       }
-      const auto [p, end] = exec_chunk_locked(s);
+      size_t p, end;
+      {
+        ACCL_TRACE_SPAN_ARG("shard_execute", static_cast<uint32_t>(s));
+        std::tie(p, end) = exec_chunk_locked(s);
+      }
       sh.mu.unlock();
       if (p != end) {
         settle(s, p, end);
+        ++chunks_claimed;
+        if (i != 0) ++chunks_stolen;  // claimed off the affine shard
         affinity = s;
         executed = true;
         break;
@@ -1214,10 +1385,17 @@ void SubscriptionEngine::RunPipelineWorker(size_t worker_id,
       if (ps.ready_head.load(std::memory_order_acquire) >= 0) continue;
       Shard& sh = *snap->shards[first_pending];
       sh.mu.lock();
-      const auto [p, end] = exec_chunk_locked(first_pending);
+      size_t p, end;
+      {
+        ACCL_TRACE_SPAN_ARG("shard_execute",
+                            static_cast<uint32_t>(first_pending));
+        std::tie(p, end) = exec_chunk_locked(first_pending);
+      }
       sh.mu.unlock();
       if (p != end) {
         settle(first_pending, p, end);
+        ++chunks_claimed;
+        if (first_pending != affinity) ++chunks_stolen;
         affinity = first_pending;
       }
       continue;
@@ -1226,6 +1404,8 @@ void SubscriptionEngine::RunPipelineWorker(size_t worker_id,
     // workers (or about to land on the ready stack).
     std::this_thread::yield();
   }
+  obs_->chunks_claimed->Add(chunks_claimed);
+  obs_->chunks_stolen->Add(chunks_stolen);
 }
 
 void SubscriptionEngine::MaybeAutoRebalance(uint64_t events) {
@@ -1269,7 +1449,7 @@ void SubscriptionEngine::MaybeAutoAdapt(uint64_t events) {
 }
 
 bool SubscriptionEngine::EvaluateAdaptiveLocked() {
-  windows_evaluated_.fetch_add(1, std::memory_order_relaxed);
+  obs_->windows_evaluated->Add(1);
   const adapt::PatternSnapshot pattern = tracker_->Snapshot();
   tracker_->AdvanceWindow();
   const RoutingPlan& cur = SnapshotUnderRebalanceLock()->plan;
@@ -1282,7 +1462,7 @@ bool SubscriptionEngine::EvaluateAdaptiveLocked() {
   st.overflow_residents =
       shards_.back()->subs.load(std::memory_order_relaxed);
   st.planner_predicted_spill =
-      predicted_spill_last_.load(std::memory_order_relaxed);
+      static_cast<uint64_t>(std::max<int64_t>(0, obs_->spill_last->Value()));
   st.total_subscriptions =
       subscription_count_.load(std::memory_order_relaxed);
 
@@ -1303,7 +1483,8 @@ bool SubscriptionEngine::EvaluateAdaptiveLocked() {
       plan.dim = d.dim;
       plan.bounds = std::move(d.fences);
       ApplyRoutingLocked(std::move(plan), AllShardIds());
-      dimension_switches_.fetch_add(1, std::memory_order_relaxed);
+      obs_->dimension_switches->Add(1);
+      ACCL_TRACE_INSTANT("adapt_dimension_switch", d.dim);
       // The old pattern argued for this switch; it must not immediately
       // argue again. The rebalancer's load window resets with it.
       tracker_->ResetWindow();
@@ -1319,8 +1500,10 @@ bool SubscriptionEngine::EvaluateAdaptiveLocked() {
       plan.split_bounds = std::move(d.fences);
       const size_t moved =
           ApplyRoutingLocked(std::move(plan), OverflowShardIds());
-      overflow_splits_.fetch_add(1, std::memory_order_relaxed);
-      straddlers_split_.fetch_add(moved, std::memory_order_relaxed);
+      obs_->overflow_splits->Add(1);
+      obs_->straddlers_split->Add(moved);
+      ACCL_TRACE_INSTANT("adapt_overflow_split",
+                         static_cast<uint32_t>(moved));
       return true;
     }
   }
@@ -1336,10 +1519,9 @@ AdaptiveRoutingStats SubscriptionEngine::adaptive_stats() const {
     st.fence_dimension = snap->plan.dim;
     st.split_dimension = snap->plan.split_dim;
   }
-  st.dimension_switches =
-      dimension_switches_.load(std::memory_order_relaxed);
-  st.overflow_splits = overflow_splits_.load(std::memory_order_relaxed);
-  st.windows_evaluated = windows_evaluated_.load(std::memory_order_relaxed);
+  st.dimension_switches = obs_->dimension_switches->Value();
+  st.overflow_splits = obs_->overflow_splits->Value();
+  st.windows_evaluated = obs_->windows_evaluated->Value();
   if (tracker_ != nullptr) {
     st.events_observed = tracker_->events_observed();
     st.subscriptions_observed = tracker_->subscriptions_observed();
@@ -1348,6 +1530,20 @@ AdaptiveRoutingStats SubscriptionEngine::adaptive_stats() const {
     std::lock_guard<std::mutex> lk(adapt_estimates_mu_);
     st.last_estimates = last_estimates_;
   }
+  return st;
+}
+
+SubscriptionEngine::RebalanceStats SubscriptionEngine::rebalance_stats()
+    const {
+  RebalanceStats st;
+  st.boundary_moves = obs_->boundary_moves->Value();
+  st.subscriptions_migrated = obs_->subs_migrated->Value();
+  st.predicted_straddler_spill = obs_->spill_total->Value();
+  st.last_predicted_straddler_spill =
+      static_cast<uint64_t>(std::max<int64_t>(0, obs_->spill_last->Value()));
+  st.dimension_switches = obs_->dimension_switches->Value();
+  st.overflow_splits = obs_->overflow_splits->Value();
+  st.straddlers_split = obs_->straddlers_split->Value();
   return st;
 }
 
@@ -1386,7 +1582,7 @@ bool SubscriptionEngine::SetRangeBoundaries(const std::vector<float>& bounds) {
   RoutingPlan plan = SnapshotUnderRebalanceLock()->plan;
   plan.bounds = bounds;
   ApplyRoutingLocked(std::move(plan), AllShardIds());
-  boundary_moves_.fetch_add(1, std::memory_order_relaxed);
+  obs_->boundary_moves->Add(1);
   for (size_t s = 0; s < shards_.size(); ++s) {
     routed_at_reset_[s] = shards_[s]->routed.load(std::memory_order_relaxed);
   }
@@ -1404,7 +1600,8 @@ bool SubscriptionEngine::SetRoutingDimension(uint32_t dim) {
   // An active split is cleared: its slicing was chosen against the old
   // dimension's straddler population.
   ApplyRoutingLocked(std::move(plan), AllShardIds());
-  dimension_switches_.fetch_add(1, std::memory_order_relaxed);
+  obs_->dimension_switches->Add(1);
+  ACCL_TRACE_INSTANT("adapt_dimension_switch", dim);
   if (tracker_ != nullptr) tracker_->ResetWindow();
   for (size_t s = 0; s < shards_.size(); ++s) {
     routed_at_reset_[s] = shards_[s]->routed.load(std::memory_order_relaxed);
@@ -1428,8 +1625,9 @@ bool SubscriptionEngine::SetOverflowSplit(uint32_t dim,
   // Only the overflow family can re-route: range-slice residents are not
   // straddlers, so their home is unaffected by split fences.
   const size_t moved = ApplyRoutingLocked(std::move(plan), OverflowShardIds());
-  overflow_splits_.fetch_add(1, std::memory_order_relaxed);
-  straddlers_split_.fetch_add(moved, std::memory_order_relaxed);
+  obs_->overflow_splits->Add(1);
+  obs_->straddlers_split->Add(moved);
+  ACCL_TRACE_INSTANT("adapt_overflow_split", static_cast<uint32_t>(moved));
   return true;
 }
 
@@ -1637,8 +1835,8 @@ bool SubscriptionEngine::RebalanceLocked(bool force) {
   }
   bounds[fence] = new_fence;
 
-  predicted_spill_last_.store(best_spill, std::memory_order_relaxed);
-  predicted_spill_total_.fetch_add(best_spill, std::memory_order_relaxed);
+  obs_->spill_last->Set(static_cast<int64_t>(best_spill));
+  obs_->spill_total->Add(best_spill);
 
   // Only the donor's residents and the overflow family's straddlers can
   // be re-routed by a single-fence move (the receiver's slice only grew),
@@ -1648,7 +1846,7 @@ bool SubscriptionEngine::RebalanceLocked(bool force) {
   std::vector<uint32_t> scan{static_cast<uint32_t>(h)};
   for (const uint32_t s : OverflowShardIds()) scan.push_back(s);
   ApplyRoutingLocked(std::move(plan), scan);
-  boundary_moves_.fetch_add(1, std::memory_order_relaxed);
+  obs_->boundary_moves->Add(1);
   for (size_t s = 0; s < shards_.size(); ++s) {
     routed_at_reset_[s] = shards_[s]->routed.load(std::memory_order_relaxed);
   }
@@ -1657,6 +1855,9 @@ bool SubscriptionEngine::RebalanceLocked(bool force) {
 
 size_t SubscriptionEngine::ApplyRoutingLocked(
     RoutingPlan plan, const std::vector<uint32_t>& scan_shards) {
+  ACCL_TRACE_SPAN_ARG("routing_migrate",
+                      static_cast<uint32_t>(scan_shards.size()));
+  WallTimer migrate_timer;
   const size_t stride = 2 * static_cast<size_t>(schema_.dims());
 
   // Phase 1 — scan: collect the residents the new table routes elsewhere.
@@ -1771,7 +1972,9 @@ size_t SubscriptionEngine::ApplyRoutingLocked(
       }
     }
   }
-  subscriptions_migrated_.fetch_add(migrated, std::memory_order_relaxed);
+  obs_->subs_migrated->Add(migrated);
+  obs_->migration_us->Record(static_cast<uint64_t>(std::max(
+      0.0, std::round(migrate_timer.ElapsedMs() * 1000.0))));
   return migrated;
 }
 

@@ -427,21 +427,9 @@ class SubscriptionEngine {
     uint64_t overflow_splits = 0;
     uint64_t straddlers_split = 0;
   };
-  RebalanceStats rebalance_stats() const {
-    RebalanceStats st;
-    st.boundary_moves = boundary_moves_.load(std::memory_order_relaxed);
-    st.subscriptions_migrated =
-        subscriptions_migrated_.load(std::memory_order_relaxed);
-    st.predicted_straddler_spill =
-        predicted_spill_total_.load(std::memory_order_relaxed);
-    st.last_predicted_straddler_spill =
-        predicted_spill_last_.load(std::memory_order_relaxed);
-    st.dimension_switches =
-        dimension_switches_.load(std::memory_order_relaxed);
-    st.overflow_splits = overflow_splits_.load(std::memory_order_relaxed);
-    st.straddlers_split = straddlers_split_.load(std::memory_order_relaxed);
-    return st;
-  }
+  /// Thin atomic snapshot read of the registry-backed rebalance counters
+  /// (safe from any thread, racy-exact like every obs::Counter read).
+  RebalanceStats rebalance_stats() const;
 
   /// The load signal the rebalancer acts on, plus overflow pressure:
   /// per-range-shard window loads (residents + events routed since the
@@ -507,6 +495,41 @@ class SubscriptionEngine {
   /// Counters of the engine's epoch manager (pins, grace periods, retired
   /// and reclaimed snapshots).
   exec::EpochManagerStats epoch_stats() const { return epoch_.stats(); }
+
+  // ---- Observability (src/obs/) ----
+
+  /// The engine-scoped metrics registry. Every instrumented component
+  /// wired into this engine (epoch manager, WAL, checkpointer, log
+  /// shipper) registers its metrics here under the accl_* naming scheme;
+  /// the engine's own pipeline/rebalance/adaptive counters are
+  /// registry-owned. Components attach on wiring (AttachDurability /
+  /// SetCheckpointer / LogShipper::Create), so a volatile engine's
+  /// registry simply has no accl_wal_*/accl_ckpt_*/accl_repl_* entries.
+  obs::MetricsRegistry& metrics() const { return *metrics_; }
+
+  /// Prometheus text exposition of the engine registry plus the
+  /// process-default registry (kernel dispatch counters, heap-alloc
+  /// gauge). Refreshes the point-in-time gauges (subscriptions, heap
+  /// allocs) first.
+  std::string DumpMetrics() const;
+
+  /// The same combined metric set as one JSON object keyed by metric
+  /// name (counters/gauges as numbers, histograms as
+  /// {"count","sum","max","p50","p90","p99"}); embedded verbatim in
+  /// BENCH_parallel.json.
+  std::string DumpMetricsJson() const;
+
+  /// Chrome trace-event JSON from the process-wide flight recorder
+  /// (loadable in Perfetto / chrome://tracing). Call with tracing
+  /// disabled and matchers quiesced — a completed MatchBatch's
+  /// countdown/pool synchronization orders every worker's ring writes
+  /// before the caller's drain.
+  std::string DumpTrace() const;
+
+  /// Toggles the process-wide flight recorder (one relaxed atomic; the
+  /// disabled hot path is a single predicted branch per site).
+  static void SetTracing(bool on);
+  static bool tracing_enabled();
 
   // ---- Durability (src/durability/) ----
 
@@ -705,8 +728,20 @@ class SubscriptionEngine {
   std::vector<uint32_t> AllShardIds() const;
   std::vector<uint32_t> OverflowShardIds() const;
 
+  /// Registry-owned handles for the engine's own metrics (pipeline,
+  /// rebalance, adaptive, gauges); defined in the .cc.
+  struct EngineObs;
+  /// Re-computes the point-in-time gauges (subscription count, heap
+  /// allocs) before a metrics export.
+  void RefreshGaugesForDump() const;
+
   AttributeSchema schema_;
   EngineOptions options_;
+  /// Engine-scoped metrics plane. Declared before every instrumented
+  /// member (and before epoch_, whose AttachMetrics registers into it)
+  /// so the registry is destroyed last.
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<EngineObs> obs_;
   bool range_routed_ = false;
   /// kRange shard layout: shards 0..num_range_shards_-1 are the range
   /// slices, the next num_split_shards_ are overflow sub-shards (idle
@@ -745,10 +780,6 @@ class SubscriptionEngine {
   /// load is routed - routed_at_reset_. Guarded by rebalance_mu_.
   std::vector<uint64_t> routed_at_reset_;
   std::atomic<uint64_t> events_since_check_{0};
-  std::atomic<uint64_t> boundary_moves_{0};
-  std::atomic<uint64_t> subscriptions_migrated_{0};
-  std::atomic<uint64_t> predicted_spill_total_{0};
-  std::atomic<uint64_t> predicted_spill_last_{0};
 
   /// Adaptive routing state. Tracker and advisor exist only when
   /// options_.adaptive.enabled; the manual entry points
@@ -759,10 +790,6 @@ class SubscriptionEngine {
   /// Same deterministic-skip discipline as rebalance_inflight_.
   std::atomic<bool> adapt_inflight_{false};
   std::atomic<uint64_t> adapt_events_since_window_{0};
-  std::atomic<uint64_t> dimension_switches_{0};
-  std::atomic<uint64_t> overflow_splits_{0};
-  std::atomic<uint64_t> straddlers_split_{0};
-  std::atomic<uint64_t> windows_evaluated_{0};
   /// Most recent advisor window's per-dimension estimates; its own tiny
   /// lock so adaptive_stats() never waits behind a migration.
   mutable std::mutex adapt_estimates_mu_;
